@@ -1,0 +1,125 @@
+// Ablation of the cooling-design choices DESIGN.md calls out:
+//  (a) cavity count  — why the 4-tier stack runs cooler (more cavities);
+//  (b) coolant choice — why Section II-C rejects dielectric liquids;
+//  (c) cavity model  — homogenized ("porous-media") vs discrete
+//      per-channel, across the Table I flow range.
+#include <iostream>
+
+#include "arch/mpsoc.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "microchannel/pump.hpp"
+#include "thermal/rc_model.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+/// Max-power 2-tier stack at the given flow, returning the peak core
+/// temperature [K]; the coolant of every cavity can be overridden.
+double peak_at(arch::Mpsoc3D& soc, double q_per_cavity) {
+  soc.model().set_all_flows(q_per_cavity);
+  std::vector<arch::CoreState> cores(soc.n_cores(),
+                                     {1.0, soc.chip().vf.max_level()});
+  soc.model().set_element_powers(soc.element_powers(cores, {}));
+  const auto temps = soc.model().steady_state();
+  return soc.max_core_temp(temps);
+}
+
+thermal::StackSpec with_coolant(thermal::StackSpec spec,
+                                const microchannel::Coolant& coolant) {
+  for (auto& layer : spec.layers) {
+    if (layer.kind == thermal::LayerKind::kCavity) layer.coolant = coolant;
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ABLATION - cooling design choices",
+      "cavity count (4-tier advantage), coolant choice (dielectric "
+      "rejection, Section II-C), cavity model (porous-media vs discrete)");
+
+  const auto pump = microchannel::PumpModel::table1();
+
+  // (a) cavity count: 2-tier (2 cavities) vs 4-tier (4 cavities), same
+  // chip and total power.
+  {
+    TextTable t;
+    t.set_header({"Stack", "Cavities", "Peak core T [C] @ max flow",
+                  "@ min flow"});
+    for (int tiers : {2, 4}) {
+      arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+          tiers, arch::CoolingKind::kLiquidCooled,
+          thermal::GridOptions{16, 16}, arch::NiagaraConfig::paper()});
+      const double hi = peak_at(soc, pump.q_max());
+      const double lo = peak_at(soc, pump.q_min());
+      t.add_row({std::to_string(tiers) + "-tier",
+                 std::to_string(soc.model().n_cavities()),
+                 fmt(kelvin_to_celsius(hi), 1), fmt(kelvin_to_celsius(lo), 1)});
+    }
+    std::cout << "(a) Cavity count\n" << t << '\n';
+  }
+
+  // (b) coolant choice: water vs dielectric FC-72-like fluid.
+  {
+    TextTable t;
+    t.set_header({"Coolant", "vol. heat capacity [MJ/m3K]",
+                  "Peak core T [C] @ max flow"});
+    for (const bool use_water : {true, false}) {
+      const auto coolant =
+          use_water
+              ? microchannel::water(celsius_to_kelvin(27.0))
+              : microchannel::dielectric_fc72(celsius_to_kelvin(27.0));
+      auto spec = with_coolant(
+          arch::build_stack(arch::NiagaraConfig::paper(), 2,
+                            arch::CoolingKind::kLiquidCooled),
+          coolant);
+      thermal::RcModel model(spec, thermal::GridOptions{16, 16});
+      model.set_all_flows(pump.q_max());
+      // Full-power map as in (a).
+      arch::Mpsoc3D ref(arch::Mpsoc3D::Options{
+          2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{16, 16},
+          arch::NiagaraConfig::paper()});
+      std::vector<arch::CoreState> cores(8, {1.0, 4});
+      model.set_element_powers(ref.element_powers(cores, {}));
+      const auto temps = model.steady_state();
+      t.add_row({coolant.name,
+                 fmt(coolant.volumetric_heat_capacity() / 1e6, 2),
+                 fmt(kelvin_to_celsius(model.max_temperature(temps)), 1)});
+    }
+    std::cout << "(b) Coolant choice (paper: dielectric fluids 'not "
+                 "acceptable')\n"
+              << t << '\n';
+  }
+
+  // (c) cavity model: homogenized vs discrete across the flow range.
+  {
+    TextTable t;
+    t.set_header({"Flow [ml/min/cavity]", "Homogenized peak [C]",
+                  "Discrete peak [C]", "Error [% of rise]"});
+    arch::Mpsoc3D coarse(arch::Mpsoc3D::Options{
+        2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{16, 16},
+        arch::NiagaraConfig::paper()});
+    thermal::GridOptions fine;
+    fine.rows = 32;
+    fine.discrete_channels = true;
+    arch::Mpsoc3D detailed(arch::Mpsoc3D::Options{
+        2, arch::CoolingKind::kLiquidCooled, fine,
+        arch::NiagaraConfig::paper()});
+    for (const double ml : {10.0, 20.0, 32.3}) {
+      const double th = peak_at(coarse, ml_per_min(ml));
+      const double td = peak_at(detailed, ml_per_min(ml));
+      const double rise = td - celsius_to_kelvin(27.0);
+      t.add_row({fmt(ml, 1), fmt(kelvin_to_celsius(th), 2),
+                 fmt(kelvin_to_celsius(td), 2),
+                 fmt(100.0 * (th - td) / rise, 2)});
+    }
+    std::cout << "(c) Cavity model (porous-media validation)\n" << t;
+  }
+  return 0;
+}

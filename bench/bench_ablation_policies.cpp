@@ -1,0 +1,71 @@
+// Policy ablation on the liquid-cooled 2-tier stack: what does each
+// ingredient of LC_FUZZY buy? Compares max-flow (LC_LB), temperature-
+// triggered DVFS with max flow (LC_TDVFS_LB, not in the paper's final
+// set), and the fuzzy flow+DVFS controller, on the web workload.
+#include <iostream>
+#include <memory>
+
+#include "arch/mpsoc.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "control/policy.hpp"
+#include "power/workloads.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace tac3d;
+  bench::banner(
+      "ABLATION - run-time policy ingredients (liquid-cooled 2-tier)",
+      "why joint flow+DVFS control: 'the reason LC_FUZZY outperforms all "
+      "other techniques ... is the joint control of flow rate and DVFS'");
+
+  const auto pump = microchannel::PumpModel::table1(16);
+  const auto trace = power::generate_workload(
+      power::WorkloadKind::kWebServer, 32, 180, 1);
+
+  struct Row {
+    std::string name;
+    std::unique_ptr<control::ThermalPolicy> policy;
+  };
+
+  TextTable t;
+  t.set_header({"Policy", "Peak T [C]", "Hot spots", "Chip E [J]",
+                "Pump E [J]", "System E [J]", "Perf loss"});
+
+  for (int variant = 0; variant < 3; ++variant) {
+    arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+        2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{16, 16},
+        arch::NiagaraConfig::paper()});
+    std::unique_ptr<control::ThermalPolicy> policy;
+    switch (variant) {
+      case 0:
+        policy = std::make_unique<control::MaxPerformancePolicy>(
+            8, soc.chip().vf, pump.levels() - 1);
+        break;
+      case 1:
+        policy = std::make_unique<control::TemperatureTriggeredDvfsPolicy>(
+            8, soc.chip().vf, celsius_to_kelvin(85.0),
+            celsius_to_kelvin(82.0), pump.levels() - 1);
+        break;
+      default:
+        policy = std::make_unique<control::FuzzyFlowDvfsPolicy>(
+            8, soc.chip().vf, pump.levels(), celsius_to_kelvin(85.0));
+    }
+    sim::SimulationConfig cfg;
+    cfg.pump = pump;
+    const auto m = sim::simulate(soc, trace, *policy, cfg);
+    t.add_row({policy->name(), fmt(kelvin_to_celsius(m.peak_temp), 1),
+               fmt_pct(m.hotspot_frac_any()), fmt(m.chip_energy, 0),
+               fmt(m.pump_energy, 0), fmt(m.system_energy(), 0),
+               fmt_pct(m.perf_degradation(), 3)});
+  }
+  std::cout << t << '\n';
+  std::cout
+      << "LC_TDVFS_LB never throttles (liquid cooling keeps the stack far\n"
+         "below the DVFS trip point) so it cannot save anything; only the\n"
+         "fuzzy controller converts the thermal margin into pump and DVFS\n"
+         "energy savings, which is the paper's core argument for joint\n"
+         "mechanical-electrical control.\n";
+  return 0;
+}

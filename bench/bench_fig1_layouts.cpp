@@ -1,0 +1,49 @@
+// Regenerates Fig. 1 ("Layouts of the 3D multicore systems"): the tier
+// floorplans and stack-ups of the 2- and 4-tier UltraSPARC T1 3D MPSoCs.
+#include <iostream>
+
+#include "arch/niagara.hpp"
+#include "arch/stacks.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace tac3d;
+  bench::banner("FIG. 1 - layouts of the 3D multicore systems",
+                "cores and L2 caches on separate tiers; micro-channels "
+                "between the vertical layers");
+
+  const auto chip = arch::NiagaraConfig::paper();
+  for (int tiers : {2, 4}) {
+    const auto spec =
+        arch::build_stack(chip, tiers, arch::CoolingKind::kLiquidCooled);
+    std::cout << "---- " << spec.name << " ----\n";
+    std::cout << "Tier size: " << fmt(spec.width * 1e3, 2) << " x "
+              << fmt(spec.length * 1e3, 2) << " mm ("
+              << fmt(spec.width * spec.length * 1e6, 1) << " mm2)\n\n";
+
+    std::cout << "Stack-up (bottom to top):\n";
+    for (const auto& layer : spec.layers) {
+      std::cout << "  " << layer.name << "  ("
+                << fmt(layer.thickness * 1e3, 3) << " mm, "
+                << (layer.kind == thermal::LayerKind::kCavity
+                        ? "micro-channel cavity"
+                        : layer.material.name)
+                << ")";
+      if (layer.floorplan_index >= 0) {
+        std::cout << "  <- floorplan " << layer.floorplan_index;
+      }
+      std::cout << '\n';
+    }
+    std::cout << '\n';
+
+    for (std::size_t f = 0; f < spec.floorplans.size(); ++f) {
+      const auto& fp = spec.floorplans[f];
+      std::cout << "Floorplan " << f << " (area used "
+                << fmt(fp.total_area() * 1e6, 1) << " mm2):\n";
+      std::cout << fp.ascii_art(spec.width, spec.length, 44) << '\n';
+    }
+  }
+  return 0;
+}

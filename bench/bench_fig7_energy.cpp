@@ -1,0 +1,90 @@
+// Regenerates Fig. 7: normalized energy consumption (system and pump)
+// and performance degradation for the seven policy/stack combinations,
+// normalized to 2-tier AC_LB, averaged across the average-case
+// workloads. Also prints the Section IV-A energy-saving claims
+// (LC_FUZZY vs LC_LB).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace tac3d;
+  bench::banner(
+      "FIG. 7 - normalized energy consumption and performance degradation",
+      "LC_FUZZY cuts 2-/4-tier system energy 14%/18% and cooling energy "
+      "50%/52% vs LC_LB; up to 67% cooling / 30% system savings; "
+      "LC performance loss < 0.01%");
+
+  struct Combo {
+    int tiers;
+    sim::PolicyKind policy;
+  };
+  const std::vector<Combo> combos = {
+      {2, sim::PolicyKind::kAcLb},   {2, sim::PolicyKind::kAcTdvfsLb},
+      {2, sim::PolicyKind::kLcLb},   {2, sim::PolicyKind::kLcFuzzy},
+      {4, sim::PolicyKind::kAcLb},   {4, sim::PolicyKind::kLcLb},
+      {4, sim::PolicyKind::kLcFuzzy}};
+
+  struct Acc {
+    double chip = 0.0, pump = 0.0, perf_max = 0.0, perf_avg = 0.0;
+  };
+  std::map<std::string, Acc> results;
+  std::vector<std::string> order;
+
+  const auto workloads = power::average_case_workloads();
+  for (const Combo& c : combos) {
+    Acc acc;
+    for (const auto w : workloads) {
+      sim::ExperimentSpec spec;
+      spec.tiers = c.tiers;
+      spec.policy = c.policy;
+      spec.workload = w;
+      spec.trace_seconds = 180;
+      const auto m = sim::run_experiment(spec);
+      acc.chip += m.chip_energy / workloads.size();
+      acc.pump += m.pump_energy / workloads.size();
+      acc.perf_avg += m.perf_degradation() / workloads.size();
+    }
+    sim::ExperimentSpec spec;
+    spec.tiers = c.tiers;
+    spec.policy = c.policy;
+    spec.workload = power::WorkloadKind::kMaxUtil;
+    spec.trace_seconds = 180;
+    acc.perf_max = sim::run_experiment(spec).perf_degradation();
+
+    const std::string key =
+        std::to_string(c.tiers) + "-tier " + sim::policy_label(c.policy);
+    results[key] = acc;
+    order.push_back(key);
+  }
+
+  const double norm = results["2-tier AC_LB"].chip;  // no pump in AC_LB
+  TextTable t;
+  t.set_header({"Config", "system E (norm)", "pump E (norm)",
+                "perf loss (avg)", "perf loss (max util)"});
+  for (const auto& key : order) {
+    const Acc& a = results[key];
+    t.add_row({key, fmt((a.chip + a.pump) / norm, 3), fmt(a.pump / norm, 3),
+               fmt_pct(a.perf_avg, 2), fmt_pct(a.perf_max, 2)});
+  }
+  std::cout << t << '\n';
+
+  auto saving = [](double base, double val) {
+    return 100.0 * (base - val) / base;
+  };
+  for (int tiers : {2, 4}) {
+    const Acc& lb = results[std::to_string(tiers) + "-tier LC_LB"];
+    const Acc& fz = results[std::to_string(tiers) + "-tier LC_FUZZY"];
+    std::cout << tiers << "-tier LC_FUZZY vs LC_LB: system energy -"
+              << fmt(saving(lb.chip + lb.pump, fz.chip + fz.pump), 1)
+              << "% [paper: " << (tiers == 2 ? 14 : 18)
+              << "%], cooling energy -" << fmt(saving(lb.pump, fz.pump), 1)
+              << "% [paper: " << (tiers == 2 ? 50 : 52) << "%]\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks of the sparse kernels underlying the RC thermal
+// solver: SpMV, ILU(0) refactorization, preconditioned BiCGSTAB and
+// banded LU, swept over grid sizes (the matrices are real RC systems
+// assembled from the 2-tier liquid-cooled stack).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arch/mpsoc.hpp"
+#include "microchannel/pump.hpp"
+#include "sparse/banded_lu.hpp"
+#include "sparse/iterative.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+/// RC matrix of a 2-tier liquid-cooled stack at grid n x n.
+sparse::CsrMatrix rc_matrix(int n) {
+  arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+      2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{n, n},
+      arch::NiagaraConfig::paper()});
+  soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
+  // Backward-Euler system: G + C/dt.
+  sparse::CsrMatrix a = soc.model().conductance();
+  const auto c = soc.model().capacitance();
+  for (std::int32_t i = 0; i < a.rows(); ++i) {
+    a.coeff_ref(i, i) += c[i] / 0.1;
+  }
+  return a;
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const auto a = rc_matrix(static_cast<int>(state.range(0)));
+  std::vector<double> x(a.cols(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Ilu0Refactor(benchmark::State& state) {
+  const auto a = rc_matrix(static_cast<int>(state.range(0)));
+  sparse::Ilu0Preconditioner precond(a);
+  for (auto _ : state) {
+    precond.refactor(a);
+  }
+}
+BENCHMARK(BM_Ilu0Refactor)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_BicgstabSolve(benchmark::State& state) {
+  const auto a = rc_matrix(static_cast<int>(state.range(0)));
+  sparse::Ilu0Preconditioner precond(a);
+  std::vector<double> b(a.rows(), 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(a.rows(), 300.0);
+    const auto res = sparse::bicgstab(a, b, x, precond, {1e-10, 2000});
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_BicgstabSolve)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_BandedLuFactor(benchmark::State& state) {
+  const auto a = rc_matrix(static_cast<int>(state.range(0)));
+  sparse::BandedLu lu(a);
+  for (auto _ : state) {
+    lu.factor(a);
+  }
+}
+BENCHMARK(BM_BandedLuFactor)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BandedLuSolve(benchmark::State& state) {
+  const auto a = rc_matrix(static_cast<int>(state.range(0)));
+  sparse::BandedLu lu(a);
+  std::vector<double> b(a.rows(), 1.0), x(a.rows());
+  for (auto _ : state) {
+    lu.solve(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_BandedLuSolve)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Regenerates the Section II-D modeling claim in structure: the compact
+// (homogenized "porous-media") RC model is orders of magnitude faster
+// than a detailed solver while staying within a few percent on maximum
+// temperature. The paper compared 3D-ICE against commercial CFD (975x
+// speed-up, <= 3.4% max temperature error); our comparator is the
+// in-repo detailed per-channel model on a refined grid (see DESIGN.md
+// "Substitutions").
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "arch/mpsoc.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "microchannel/pump.hpp"
+#include "thermal/transient.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+arch::Mpsoc3D make_soc(const thermal::GridOptions& grid) {
+  return arch::Mpsoc3D(arch::Mpsoc3D::Options{
+      2, arch::CoolingKind::kLiquidCooled, grid,
+      arch::NiagaraConfig::paper()});
+}
+
+void load_max_power(arch::Mpsoc3D& soc) {
+  soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
+  std::vector<arch::CoreState> cores(soc.n_cores(),
+                                     {1.0, soc.chip().vf.max_level()});
+  soc.model().set_element_powers(soc.element_powers(cores, {}));
+}
+
+thermal::GridOptions compact_grid() { return thermal::GridOptions{16, 16}; }
+
+thermal::GridOptions detailed_grid() {
+  thermal::GridOptions g;
+  g.rows = 48;
+  g.discrete_channels = true;
+  g.x_refine = 1;
+  g.z_refine = 2;
+  return g;
+}
+
+void BM_CompactSteadyState(benchmark::State& state) {
+  auto soc = make_soc(compact_grid());
+  load_max_power(soc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.model().steady_state());
+  }
+}
+BENCHMARK(BM_CompactSteadyState)->Unit(benchmark::kMillisecond);
+
+void BM_DetailedSteadyState(benchmark::State& state) {
+  auto soc = make_soc(detailed_grid());
+  load_max_power(soc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.model().steady_state());
+  }
+}
+BENCHMARK(BM_DetailedSteadyState)->Unit(benchmark::kMillisecond);
+
+void BM_CompactTransientStep(benchmark::State& state) {
+  auto soc = make_soc(compact_grid());
+  load_max_power(soc);
+  thermal::TransientSolver sim(soc.model(), 0.1);
+  sim.initialize_steady();
+  for (auto _ : state) {
+    sim.step();
+  }
+}
+BENCHMARK(BM_CompactTransientStep)->Unit(benchmark::kMillisecond);
+
+void BM_DetailedTransientStep(benchmark::State& state) {
+  auto soc = make_soc(detailed_grid());
+  load_max_power(soc);
+  thermal::TransientSolver sim(soc.model(), 0.1);
+  sim.initialize_steady();
+  for (auto _ : state) {
+    sim.step();
+  }
+}
+BENCHMARK(BM_DetailedTransientStep)->Unit(benchmark::kMillisecond);
+
+void accuracy_report() {
+  bench::banner(
+      "SOLVER - compact vs detailed model: speed and accuracy",
+      "3D-ICE-style compact modeling: large speed-up (paper: up to 975x "
+      "vs CFD) at small error (paper: max temperature error 3.4%)");
+
+  auto compact = make_soc(compact_grid());
+  auto detailed = make_soc(detailed_grid());
+  load_max_power(compact);
+  load_max_power(detailed);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto temps_c = compact.model().steady_state();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto temps_d = detailed.model().steady_state();
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const double ms_c =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double ms_d =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+  // Compare per-element maximum temperatures (the quantity policies use).
+  TextTable t;
+  t.set_header({"Element", "Compact [C]", "Detailed [C]", "Error [K]"});
+  double max_err = 0.0, max_rise = 0.0;
+  const double t_ref = compact.model().grid().spec().coolant_inlet;
+  for (int e = 0; e < compact.model().grid().element_count(); ++e) {
+    const auto& name = compact.model().grid().element(e).name;
+    const double tc = compact.model().element_max(temps_c, e);
+    const int ed = detailed.model().grid().element_id(name);
+    const double td = detailed.model().element_max(temps_d, ed);
+    max_err = std::max(max_err, std::abs(tc - td));
+    max_rise = std::max(max_rise, td - t_ref);
+    if (e < 6 || std::abs(tc - td) == max_err) {
+      t.add_row({name, fmt(kelvin_to_celsius(tc), 2),
+                 fmt(kelvin_to_celsius(td), 2), fmt(tc - td, 2)});
+    }
+  }
+  std::cout << t << '\n';
+  bench::result_line("Compact nodes",
+                     compact.model().node_count(), "");
+  bench::result_line("Detailed nodes",
+                     detailed.model().node_count(), "");
+  bench::result_line("Steady-state speed-up (detailed/compact)",
+                     ms_d / ms_c, "x", "paper: up to 975x vs CFD");
+  bench::result_line("Max element temperature error",
+                     100.0 * max_err / max_rise, "% of rise",
+                     "paper: <= 3.4%");
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  accuracy_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

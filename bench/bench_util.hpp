@@ -1,0 +1,32 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared banner/formatting helpers for the paper-reproduction
+/// bench binaries.
+
+#include <iostream>
+#include <string>
+
+namespace tac3d::bench {
+
+/// Print the standard experiment banner: which paper artifact this
+/// binary regenerates and what the paper reports.
+inline void banner(const std::string& experiment_id,
+                   const std::string& paper_claim) {
+  std::cout << "==============================================================="
+               "=========\n"
+            << experiment_id << '\n'
+            << "Paper reference: " << paper_claim << '\n'
+            << "==============================================================="
+               "=========\n\n";
+}
+
+/// Print a named scalar result line.
+inline void result_line(const std::string& name, double value,
+                        const std::string& unit,
+                        const std::string& paper_value = "") {
+  std::cout << "  " << name << ": " << value << ' ' << unit;
+  if (!paper_value.empty()) std::cout << "   [paper: " << paper_value << "]";
+  std::cout << '\n';
+}
+
+}  // namespace tac3d::bench

@@ -1,0 +1,102 @@
+// Cavity designer: compare the paper's single-phase heat-transfer
+// structures (Section II-C) for a tier with one strong hot spot —
+// uniform straight channels, hot-spot-aware width modulation, and
+// circular pin-fin arrays (in-line vs staggered) — at the same pump
+// operating point.
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "microchannel/modulation.hpp"
+#include "microchannel/pinfin.hpp"
+
+int main() {
+  using namespace tac3d;
+  using namespace tac3d::microchannel;
+
+  const Coolant fluid = water(celsius_to_kelvin(27.0));
+  const double k_si = 130.0;
+  const double t_in = celsius_to_kelvin(27.0);
+  const double t_limit = celsius_to_kelvin(85.0);
+
+  // A 10 x 10 mm tier, 40 W/cm2 background with a 2 mm 250 W/cm2 hot
+  // spot at 60-80% of the channel length; Table I cavity: 100 um tall,
+  // 150 um pitch, 66 channels, 32.3 ml/min.
+  const int n = 20;
+  std::vector<double> seg_len(n, mm(10.0) / n);
+  std::vector<double> q(n, w_per_cm2(40.0));
+  for (int i = 12; i < 16; ++i) q[i] = w_per_cm2(250.0);
+  const double height = um(100.0);
+  const double pitch = um(150.0);
+  const double q_cavity = ml_per_min(32.3);
+  const double q_channel = q_cavity / 66.0;
+
+  std::cout << "Tier: 10x10 mm, 40 W/cm2 background, 250 W/cm2 hot spot;\n"
+               "cavity flow "
+            << fmt(to_ml_per_min(q_cavity), 1) << " ml/min\n\n";
+
+  TextTable t;
+  t.set_header({"Design", "Peak wall T [C]", "dP [kPa]",
+                "Pump power (cavity) [mW]", "Holds 85C?"});
+
+  auto report_channel = [&](const std::string& name,
+                            const ModulatedChannel& chan) {
+    const auto r = evaluate_modulated_channel(chan, q, pitch, q_channel,
+                                              t_in, fluid, k_si);
+    t.add_row({name, fmt(kelvin_to_celsius(r.peak_wall_temperature), 1),
+               fmt(r.pressure_drop / 1e3, 1),
+               fmt(r.pumping_power * 66.0 * 1e3, 2),
+               r.peak_wall_temperature <= t_limit ? "yes" : "NO"});
+  };
+
+  report_channel("channels, uniform 50 um",
+                 ModulatedChannel{seg_len,
+                                  std::vector<double>(n, um(50.0)), height});
+  report_channel("channels, uniform 30 um",
+                 ModulatedChannel{seg_len,
+                                  std::vector<double>(n, um(30.0)), height});
+  report_channel(
+      "channels, width-modulated",
+      design_width_profile(seg_len, q, height, pitch, um(30.0), um(50.0),
+                           q_channel, t_in, t_limit, fluid, k_si));
+
+  // Pin-fin cavities: same footprint and flow; thermal budget check via
+  // total conductance against the hot-spot superheat requirement.
+  for (const auto arr : {PinArrangement::kInline, PinArrangement::kStaggered}) {
+    PinFinArray geom;
+    geom.pin_diameter = um(50.0);
+    geom.transverse_pitch = um(150.0);
+    geom.longitudinal_pitch = um(150.0);
+    geom.height = height;
+    geom.footprint_width = mm(10.0);
+    geom.footprint_length = mm(10.0);
+    geom.arrangement = arr;
+    const auto perf = evaluate_pin_fin(geom, q_cavity, fluid, k_si);
+    // Local check at the hot spot: conductance share over the hot-spot
+    // footprint vs its flux, plus the bulk fluid rise up to that point.
+    const double g_per_area = perf.thermal_conductance /
+                              (geom.footprint_width * geom.footprint_length);
+    const double superheat = w_per_cm2(250.0) / g_per_area * 1.0;
+    const double mcp =
+        fluid.density * fluid.specific_heat * q_cavity;
+    const double heat_upstream = w_per_cm2(40.0) * mm(10.0) * mm(6.0) +
+                                 0.0;  // background up to the hot spot
+    const double t_fluid = t_in + heat_upstream / mcp;
+    const double peak = t_fluid + superheat;
+    t.add_row({std::string("pin fins, circular ") +
+                   (arr == PinArrangement::kInline ? "in-line" : "staggered"),
+               fmt(kelvin_to_celsius(peak), 1),
+               fmt(perf.pressure_drop / 1e3, 1),
+               fmt(perf.pumping_power * 1e3, 2),
+               peak <= t_limit ? "yes" : "NO"});
+  }
+  std::cout << t << '\n';
+
+  std::cout << "Design guidance (Section II-C): prefer the lowest-pressure-"
+               "drop\nstructure that holds the limit — width modulation "
+               "beats uniformly\nnarrow channels; in-line pins beat "
+               "staggered on pumping power.\n";
+  return 0;
+}

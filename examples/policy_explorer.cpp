@@ -1,0 +1,77 @@
+// Policy explorer: run any of the paper's four thermal-management
+// policies on any workload/stack combination and print the resulting
+// thermal/energy/performance metrics.
+//
+// Usage:
+//   policy_explorer [tiers] [policy] [workload] [seconds]
+//     tiers:    2 | 4                       (default 2)
+//     policy:   ac_lb | ac_tdvfs | lc_lb | lc_fuzzy   (default lc_fuzzy)
+//     workload: web | db | mmedia | mixed | maxutil | idle (default web)
+//     seconds:  trace length               (default 120)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+sim::PolicyKind parse_policy(const std::string& s) {
+  if (s == "ac_lb") return sim::PolicyKind::kAcLb;
+  if (s == "ac_tdvfs") return sim::PolicyKind::kAcTdvfsLb;
+  if (s == "lc_lb") return sim::PolicyKind::kLcLb;
+  if (s == "lc_fuzzy") return sim::PolicyKind::kLcFuzzy;
+  throw InvalidArgument("unknown policy: " + s);
+}
+
+power::WorkloadKind parse_workload(const std::string& s) {
+  using W = power::WorkloadKind;
+  for (const auto w : {W::kWebServer, W::kDatabase, W::kMultimedia,
+                       W::kMixed, W::kMaxUtil, W::kIdle}) {
+    if (power::workload_name(w) == s) return w;
+  }
+  throw InvalidArgument("unknown workload: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ExperimentSpec spec;
+  spec.tiers = argc > 1 ? std::atoi(argv[1]) : 2;
+  spec.policy = argc > 2 ? parse_policy(argv[2]) : sim::PolicyKind::kLcFuzzy;
+  spec.workload = argc > 3 ? parse_workload(argv[3])
+                           : power::WorkloadKind::kWebServer;
+  spec.trace_seconds = argc > 4 ? std::atoi(argv[4]) : 120;
+
+  std::cout << "Running " << spec.tiers << "-tier "
+            << sim::policy_label(spec.policy) << " on '"
+            << power::workload_name(spec.workload) << "' for "
+            << spec.trace_seconds << " s of trace...\n\n";
+
+  const auto m = sim::run_experiment(spec);
+
+  TextTable t;
+  t.set_header({"Metric", "Value"});
+  t.add_row({"Peak core temperature",
+             fmt(kelvin_to_celsius(m.peak_temp), 1) + " C"});
+  t.add_row({"Hot-spot time (any core > 85 C)",
+             fmt_pct(m.hotspot_frac_any())});
+  t.add_row({"Hot-spot time (per-core average)",
+             fmt_pct(m.hotspot_frac_avg_core())});
+  t.add_row({"Chip energy", fmt(m.chip_energy, 0) + " J"});
+  t.add_row({"Pump energy", fmt(m.pump_energy, 0) + " J"});
+  t.add_row({"System energy", fmt(m.system_energy(), 0) + " J"});
+  t.add_row({"Mean system power",
+             fmt(m.system_energy() / m.duration, 1) + " W"});
+  t.add_row({"Average flow (fraction of max)",
+             fmt(m.avg_flow_fraction, 2)});
+  t.add_row({"Performance degradation", fmt_pct(m.perf_degradation(), 3)});
+  t.add_row({"Thread migrations", std::to_string(m.migrations)});
+  std::cout << t;
+  return 0;
+}

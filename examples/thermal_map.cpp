@@ -1,0 +1,58 @@
+// Thermal map export: run the 2-tier stack at a chosen pump level and
+// dump per-layer temperature fields plus the element summary as CSV —
+// ready for plotting (e.g. pandas/matplotlib heat maps).
+//
+// Usage:
+//   thermal_map [pump_level 0..15] [layer]        # CSV to stdout
+//   thermal_map --elements [pump_level]           # element summary CSV
+//   thermal_map --stack                            # dump the stack file
+#include <cstdlib>
+#include <iostream>
+#include <algorithm>
+#include <string>
+
+#include "arch/mpsoc.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "microchannel/pump.hpp"
+#include "thermal/stackup_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tac3d;
+
+  arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+      2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{24, 24},
+      arch::NiagaraConfig::paper()});
+
+  const std::string first = argc > 1 ? argv[1] : "";
+  if (first == "--stack") {
+    std::cout << thermal::stack_to_text(soc.model().grid().spec());
+    return 0;
+  }
+
+  const auto pump = microchannel::PumpModel::table1(16);
+  const bool elements = first == "--elements";
+  const int level_arg = elements ? (argc > 2 ? std::atoi(argv[2]) : 15)
+                                 : (argc > 1 ? std::atoi(argv[1]) : 15);
+  const int level = std::clamp(level_arg, 0, pump.levels() - 1);
+  soc.model().set_all_flows(pump.flow_per_cavity(level));
+
+  // Full-power workload, leakage-consistent steady state.
+  std::vector<arch::CoreState> cores(soc.n_cores(),
+                                     {1.0, soc.chip().vf.max_level()});
+  const std::vector<double> temps = soc.leakage_consistent_steady(cores);
+
+  if (elements) {
+    thermal::write_element_csv(soc.model(), temps, std::cout);
+    return 0;
+  }
+
+  const int layer = argc > 2 ? std::atoi(argv[2]) : 0;  // 0 = core tier
+  std::cerr << "Layer " << layer << " ("
+            << soc.model().grid().layer(layer).name << ") at pump level "
+            << level << " ("
+            << fmt(to_ml_per_min(pump.flow_per_cavity(level)), 1)
+            << " ml/min per cavity)\n";
+  thermal::write_layer_csv(soc.model(), temps, layer, std::cout);
+  return 0;
+}

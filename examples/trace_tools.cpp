@@ -1,0 +1,46 @@
+// Trace tools: generate the synthetic workload traces used by the
+// evaluation (web server, database, multimedia, mixed, max-utilization)
+// and write them to CSV for inspection or external replay.
+//
+// Usage:
+//   trace_tools [workload] [threads] [seconds] [seed] > trace.csv
+//   trace_tools --stats                # print summary of all workloads
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "power/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tac3d;
+  using W = power::WorkloadKind;
+
+  if (argc > 1 && std::string(argv[1]) == "--stats") {
+    TextTable t;
+    t.set_header({"Workload", "Mean util", "Peak util", "Thread0 mean"});
+    for (const auto w : {W::kWebServer, W::kDatabase, W::kMultimedia,
+                         W::kMixed, W::kMaxUtil, W::kIdle}) {
+      const auto tr = power::generate_workload(w, 32, 180, 1);
+      t.add_row({tr.name(), fmt(tr.mean(), 3), fmt(tr.peak(), 3),
+                 fmt(tr.thread_mean(0), 3)});
+    }
+    std::cout << t;
+    return 0;
+  }
+
+  const std::string name = argc > 1 ? argv[1] : "web";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int seconds = argc > 3 ? std::atoi(argv[3]) : 180;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 1;
+
+  W kind = W::kWebServer;
+  for (const auto w : {W::kWebServer, W::kDatabase, W::kMultimedia,
+                       W::kMixed, W::kMaxUtil, W::kIdle}) {
+    if (power::workload_name(w) == name) kind = w;
+  }
+  const auto trace = power::generate_workload(kind, threads, seconds, seed);
+  trace.to_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+/// \file calibration.hpp
+/// \brief The free parameters of the 3D MPSoC model that Table I of the
+/// paper does not pin down, fixed in one place.
+///
+/// Everything here is chosen once against the paper's reported anchors
+/// (Section IV-A): 2-tier air-cooled peak ~87 C, 4-tier air-cooled peak
+/// up to ~178 C, 2-tier liquid-cooled peak ~56 C at maximum flow, and a
+/// 2-tier chip power of ~70 W. Integration tests in
+/// tests/test_integration_paper.cpp assert these anchors with tolerance
+/// bands; if you retune a value, run those tests.
+
+#include "common/units.hpp"
+
+namespace tac3d::arch::calib {
+
+/// Air ambient (server inlet), the HotSpot convention.
+inline constexpr double kAmbientC = 45.0;
+
+/// Coolant supply temperature (building water loop).
+inline constexpr double kCoolantInletC = 27.0;
+
+// --- unit powers at the nominal VF point (dynamic only) ---------------
+inline constexpr double kCoreActiveW = 5.8;  ///< fully-utilized core
+inline constexpr double kCoreIdleW = 1.1;    ///< idling core (clock on)
+inline constexpr double kL2ActiveW = 2.1;    ///< fully-utilized L2 bank
+inline constexpr double kL2IdleW = 0.7;
+inline constexpr double kCrossbarW = 5.5;    ///< crossbar + FPU + misc logic
+inline constexpr double kMiscW = 4.5;        ///< IO, DRAM control, buffers
+
+// --- leakage -----------------------------------------------------------
+/// Leakage density at 45 C: ~8 W over the 2.3 cm^2 of active silicon.
+inline constexpr double kLeakageDensityW_m2 = 4.4e4;
+/// Exponential slope: leakage doubles roughly every 35 K.
+inline constexpr double kLeakageBetaK = 58.0;
+/// Clamp on the exponential factor (numerical guard in runaway cases).
+inline constexpr double kLeakageMaxFactor = 2.5;
+
+// --- air-cooled path ----------------------------------------------------
+/// Sink-attach (TIM + base spreading) conductance, total [W/K].
+inline constexpr double kSinkCouplingW_K = 5.0;
+/// TIM layer thickness [m] / conductivity in materials::tim().
+inline constexpr double kTimThickness = 20e-6;
+/// Copper spreader thickness [m].
+inline constexpr double kSpreaderThickness = 1e-3;
+
+// --- stack geometry (beyond Table I) -------------------------------------
+/// BEOL/wiring layer thickness on each die [m].
+inline constexpr double kWiringThickness = 10e-6;
+/// Silicon lid above the topmost cavity [m].
+inline constexpr double kLidThickness = 300e-6;
+
+/// DVFS thresholds of the temperature-triggered policy [C].
+inline constexpr double kDvfsTripC = 85.0;
+inline constexpr double kDvfsReleaseC = 82.0;
+
+/// Thermal threshold used for hot-spot accounting [C].
+inline constexpr double kHotSpotThresholdC = 85.0;
+
+}  // namespace tac3d::arch::calib

@@ -1,0 +1,34 @@
+#include "arch/niagara.hpp"
+
+#include "arch/calibration.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::arch {
+
+NiagaraConfig NiagaraConfig::paper() {
+  NiagaraConfig cfg{
+      /*n_cores=*/8,
+      /*threads_per_core=*/4,
+      /*n_l2_banks=*/4,
+      /*core_area=*/mm2(10.0),
+      /*l2_area=*/mm2(19.0),
+      /*layer_area=*/mm2(115.0),
+      UnitPowers{calib::kCoreActiveW, calib::kCoreIdleW, calib::kL2ActiveW,
+                 calib::kL2IdleW, calib::kCrossbarW, calib::kMiscW},
+      power::VfTable::ultrasparc_t1(),
+      power::LeakageModel(calib::kLeakageDensityW_m2,
+                          celsius_to_kelvin(calib::kAmbientC),
+                          calib::kLeakageBetaK, calib::kLeakageMaxFactor)};
+  return cfg;
+}
+
+std::string core_name(int i) { return "core" + std::to_string(i); }
+std::string l2_name(int i) { return "l2_" + std::to_string(i); }
+std::string crossbar_name(int tier_instance) {
+  return "xbar" + std::to_string(tier_instance);
+}
+std::string misc_name(int tier_instance) {
+  return "misc" + std::to_string(tier_instance);
+}
+
+}  // namespace tac3d::arch

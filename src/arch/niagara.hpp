@@ -1,0 +1,47 @@
+#pragma once
+/// \file niagara.hpp
+/// \brief UltraSPARC T1 (Niagara-1) chip description: unit counts,
+/// areas (Table I), nominal powers, VF ladder and leakage model.
+
+#include <string>
+
+#include "power/leakage.hpp"
+#include "power/vf.hpp"
+
+namespace tac3d::arch {
+
+/// Per-unit nominal dynamic powers at the top VF level [W].
+struct UnitPowers {
+  double core_active = 0.0;
+  double core_idle = 0.0;
+  double l2_active = 0.0;
+  double l2_idle = 0.0;
+  double crossbar = 0.0;
+  double misc = 0.0;
+};
+
+/// Static description of the chip the stacks are built from.
+struct NiagaraConfig {
+  int n_cores = 8;
+  int threads_per_core = 4;
+  int n_l2_banks = 4;
+  double core_area = 0.0;   ///< [m^2] (Table I: 10 mm^2)
+  double l2_area = 0.0;     ///< [m^2] (Table I: 19 mm^2)
+  double layer_area = 0.0;  ///< [m^2] (Table I: 115 mm^2, 2-tier layers)
+  UnitPowers powers;
+  power::VfTable vf = power::VfTable::ultrasparc_t1();
+  power::LeakageModel leakage;
+
+  int hardware_threads() const { return n_cores * threads_per_core; }
+
+  /// The paper's configuration (Table I areas, calibrated powers).
+  static NiagaraConfig paper();
+};
+
+/// Element-name helpers shared by floorplan builders and the simulator.
+std::string core_name(int i);
+std::string l2_name(int i);
+std::string crossbar_name(int tier_instance);
+std::string misc_name(int tier_instance);
+
+}  // namespace tac3d::arch

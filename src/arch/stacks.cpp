@@ -1,0 +1,235 @@
+#include "arch/stacks.hpp"
+
+#include <cmath>
+
+#include "arch/calibration.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/material.hpp"
+
+namespace tac3d::arch {
+
+using thermal::Floorplan;
+using thermal::Layer;
+using thermal::StackSpec;
+namespace mat = thermal::materials;
+
+Floorplan core_tier_floorplan(const NiagaraConfig& chip, int cores_per_tier,
+                              int first_core, int instance,
+                              double tier_width) {
+  require(cores_per_tier >= 1, "core_tier_floorplan: need cores");
+  Floorplan fp;
+  const double w = tier_width;
+  if (cores_per_tier >= 8) {
+    // Two rows of four cores with the crossbar strip in between.
+    const double cw = w / 4.0;
+    const double ch = chip.core_area / cw;
+    for (int i = 0; i < 4; ++i) {
+      fp.add(core_name(first_core + i), Rect{i * cw, 0.0, cw, ch});
+    }
+    for (int i = 0; i < 4; ++i) {
+      fp.add(core_name(first_core + 4 + i),
+             Rect{i * cw, w - ch, cw, ch});
+    }
+    fp.add(crossbar_name(instance), Rect{0.0, ch, w, w - 2.0 * ch});
+  } else {
+    // One row of cores plus the crossbar slice above.
+    const double cw = w / cores_per_tier;
+    const double ch = chip.core_area / cw;
+    for (int i = 0; i < cores_per_tier; ++i) {
+      fp.add(core_name(first_core + i), Rect{i * cw, 0.0, cw, ch});
+    }
+    fp.add(crossbar_name(instance), Rect{0.0, ch, w, w - ch});
+  }
+  return fp;
+}
+
+Floorplan cache_tier_floorplan(const NiagaraConfig& chip, int banks_per_tier,
+                               int first_bank, int instance,
+                               double tier_width) {
+  require(banks_per_tier >= 1, "cache_tier_floorplan: need banks");
+  Floorplan fp;
+  const double w = tier_width;
+  if (banks_per_tier >= 4) {
+    const double bw = w / 2.0;
+    const double bh = chip.l2_area / bw;
+    fp.add(l2_name(first_bank + 0), Rect{0.0, 0.0, bw, bh});
+    fp.add(l2_name(first_bank + 1), Rect{bw, 0.0, bw, bh});
+    fp.add(l2_name(first_bank + 2), Rect{0.0, w - bh, bw, bh});
+    fp.add(l2_name(first_bank + 3), Rect{bw, w - bh, bw, bh});
+    fp.add(misc_name(instance), Rect{0.0, bh, w, w - 2.0 * bh});
+  } else {
+    const double bw = w / banks_per_tier;
+    const double bh = chip.l2_area / bw;
+    for (int i = 0; i < banks_per_tier; ++i) {
+      fp.add(l2_name(first_bank + i), Rect{i * bw, 0.0, bw, bh});
+    }
+    fp.add(misc_name(instance), Rect{0.0, bh, w, w - bh});
+  }
+  return fp;
+}
+
+namespace {
+
+Layer water_cavity(const std::string& name) {
+  return Layer::cavity(name, mm(0.1), mm(0.05), mm(0.15), mat::silicon(),
+                       microchannel::water(
+                           celsius_to_kelvin(calib::kCoolantInletC)));
+}
+
+void append_die(StackSpec& spec, const std::string& name, int floorplan) {
+  spec.layers.push_back(
+      Layer::solid(name + ".si", mm(0.15), mat::silicon(), floorplan));
+  spec.layers.push_back(Layer::solid(name + ".beol", calib::kWiringThickness,
+                                     mat::wiring()));
+}
+
+void append_air_path(StackSpec& spec) {
+  spec.layers.push_back(
+      Layer::solid("tim", calib::kTimThickness, mat::tim()));
+  spec.layers.push_back(
+      Layer::solid("spreader", calib::kSpreaderThickness, mat::copper()));
+  spec.sink.present = true;
+  spec.sink.conductance_to_ambient = 10.0;  // Table I
+  spec.sink.capacitance = 140.0;            // Table I
+  spec.sink.coupling_conductance = calib::kSinkCouplingW_K;
+}
+
+}  // namespace
+
+StackSpec build_stack(const NiagaraConfig& chip, int tiers,
+                      CoolingKind cooling) {
+  require(tiers == 2 || tiers == 4, "build_stack: tiers must be 2 or 4");
+  StackSpec spec;
+  const bool liquid = cooling == CoolingKind::kLiquidCooled;
+  spec.name = std::to_string(tiers) + "-tier " +
+              (liquid ? "liquid-cooled" : "air-cooled");
+  spec.ambient = celsius_to_kelvin(calib::kAmbientC);
+  spec.coolant_inlet = celsius_to_kelvin(calib::kCoolantInletC);
+
+  const double layer_area =
+      tiers == 2 ? chip.layer_area : chip.layer_area / 2.0;
+  const double w = std::sqrt(layer_area);
+  spec.width = w;
+  spec.length = w;
+
+  if (tiers == 2) {
+    spec.floorplans.push_back(core_tier_floorplan(chip, 8, 0, 0, w));
+    spec.floorplans.push_back(cache_tier_floorplan(chip, 4, 0, 0, w));
+    // Bottom to top: cores (buried), caches (near the sink / top cavity).
+    append_die(spec, "tier0", 0);
+    if (liquid) spec.layers.push_back(water_cavity("cavity0"));
+    append_die(spec, "tier1", 1);
+    if (liquid) {
+      spec.layers.push_back(water_cavity("cavity1"));
+      spec.layers.push_back(
+          Layer::solid("lid", calib::kLidThickness, mat::silicon()));
+    } else {
+      append_air_path(spec);
+    }
+  } else {
+    // cache A / core A / cache B / core B, bottom to top; cores 0-3 on
+    // tier 1, cores 4-7 on tier 3.
+    spec.floorplans.push_back(cache_tier_floorplan(chip, 2, 0, 0, w));
+    spec.floorplans.push_back(core_tier_floorplan(chip, 4, 0, 0, w));
+    spec.floorplans.push_back(cache_tier_floorplan(chip, 2, 2, 1, w));
+    spec.floorplans.push_back(core_tier_floorplan(chip, 4, 4, 1, w));
+    for (int t = 0; t < 4; ++t) {
+      append_die(spec, "tier" + std::to_string(t), t);
+      if (liquid) {
+        spec.layers.push_back(
+            water_cavity("cavity" + std::to_string(t)));
+      } else if (t < 3) {
+        spec.layers.push_back(Layer::solid("bond" + std::to_string(t),
+                                           mm(0.1), mat::wiring()));
+      }
+    }
+    if (liquid) {
+      spec.layers.push_back(
+          Layer::solid("lid", calib::kLidThickness, mat::silicon()));
+    } else {
+      append_air_path(spec);
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+StackSpec build_scalability_stack(int active_tiers, bool inter_tier_cooling,
+                                  double hotspot_flux,
+                                  double background_flux) {
+  require(active_tiers >= 1, "build_scalability_stack: need tiers");
+  (void)hotspot_flux;
+  (void)background_flux;
+  StackSpec spec;
+  spec.name = std::to_string(active_tiers) + "-tier scalability (" +
+              (inter_tier_cooling ? "inter-tier" : "back-side") + ")";
+  spec.width = mm(10.0);
+  spec.length = mm(10.0);
+  spec.ambient = celsius_to_kelvin(calib::kCoolantInletC);
+  spec.coolant_inlet = celsius_to_kelvin(calib::kCoolantInletC);
+
+  // Per-tier floorplan: centered 2x2 mm hot spot + 4 background blocks.
+  for (int t = 0; t < active_tiers; ++t) {
+    Floorplan fp;
+    const std::string s = std::to_string(t);
+    fp.add("hs" + s, Rect{mm(4.0), mm(4.0), mm(2.0), mm(2.0)});
+    fp.add("bgl" + s, Rect{0.0, 0.0, mm(4.0), mm(10.0)});
+    fp.add("bgr" + s, Rect{mm(6.0), 0.0, mm(4.0), mm(10.0)});
+    fp.add("bgb" + s, Rect{mm(4.0), 0.0, mm(2.0), mm(4.0)});
+    fp.add("bgt" + s, Rect{mm(4.0), mm(6.0), mm(2.0), mm(4.0)});
+    spec.floorplans.push_back(fp);
+  }
+
+  if (inter_tier_cooling) {
+    // tiers + 1 cavities: one below the bottom tier, one between each
+    // pair, one above the top tier ("four fluid cavities" for 3 tiers).
+    spec.layers.push_back(
+        Layer::solid("base", mm(0.3), mat::silicon()));
+    spec.layers.push_back(water_cavity("cavity0"));
+    for (int t = 0; t < active_tiers; ++t) {
+      append_die(spec, "tier" + std::to_string(t), t);
+      spec.layers.push_back(
+          water_cavity("cavity" + std::to_string(t + 1)));
+    }
+    spec.layers.push_back(
+        Layer::solid("lid", calib::kLidThickness, mat::silicon()));
+  } else {
+    for (int t = 0; t < active_tiers; ++t) {
+      append_die(spec, "tier" + std::to_string(t), t);
+      if (t + 1 < active_tiers) {
+        spec.layers.push_back(Layer::solid("bond" + std::to_string(t),
+                                           mm(0.1), mat::wiring()));
+      }
+    }
+    // Back-side cold plate: a strong single-sided attach (cold-plate
+    // conductance chosen as a high-performance 2D solution).
+    spec.layers.push_back(
+        Layer::solid("tim", calib::kTimThickness, mat::tim()));
+    spec.layers.push_back(
+        Layer::solid("coldplate", mm(2.0), mat::copper()));
+    spec.sink.present = true;
+    spec.sink.conductance_to_ambient = 20.0;
+    spec.sink.capacitance = 300.0;
+    spec.sink.coupling_conductance = 200.0;
+  }
+  spec.validate();
+  return spec;
+}
+
+std::vector<double> scalability_element_powers(
+    const thermal::ThermalGrid& grid, double hotspot_flux,
+    double background_flux) {
+  std::vector<double> p(grid.element_count(), 0.0);
+  for (int e = 0; e < grid.element_count(); ++e) {
+    const auto& info = grid.element(e);
+    const double flux =
+        info.name.rfind("hs", 0) == 0 ? hotspot_flux : background_flux;
+    p[e] = flux * info.rect.area();
+  }
+  return p;
+}
+
+}  // namespace tac3d::arch

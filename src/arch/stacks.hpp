@@ -1,0 +1,60 @@
+#pragma once
+/// \file stacks.hpp
+/// \brief Builders for the paper's 3D MPSoC stacks (Fig. 1): 2-tier and
+/// 4-tier UltraSPARC T1 stacks in air-cooled and liquid-cooled variants,
+/// plus the Section II-C scalability-study stack.
+
+#include "arch/niagara.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/stackup.hpp"
+
+namespace tac3d::arch {
+
+/// Cooling configuration of a stack.
+enum class CoolingKind {
+  kAirCooled,     ///< TIM + spreader + lumped sink (Table I air values)
+  kLiquidCooled,  ///< inter-tier water cavities (Table I channel values)
+};
+
+/// Floorplan of one core tier (cores + crossbar slice).
+/// \param cores_per_tier 8 (2-tier) or 4 (4-tier)
+/// \param first_core index of the first core on this tier
+/// \param instance crossbar instance number (unique names)
+thermal::Floorplan core_tier_floorplan(const NiagaraConfig& chip,
+                                       int cores_per_tier, int first_core,
+                                       int instance, double tier_width);
+
+/// Floorplan of one cache tier (L2 banks + misc slice).
+thermal::Floorplan cache_tier_floorplan(const NiagaraConfig& chip,
+                                        int banks_per_tier, int first_bank,
+                                        int instance, double tier_width);
+
+/// Build the 2- or 4-tier stack.
+///
+/// 2-tier: cores (bottom) / caches (top), 115 mm^2 layers; liquid
+/// variant has a cavity above each tier (2 cavities). 4-tier: the same
+/// chip split finer — cache/core/cache/core bottom-to-top on 57.5 mm^2
+/// layers with 4 cavities, so every core tier touches two cavities.
+/// Air-cooled variants replace cavities with the Table I inter-tier
+/// bond material and add TIM + copper spreader + the 10 W/K lumped sink.
+thermal::StackSpec build_stack(const NiagaraConfig& chip, int tiers,
+                               CoolingKind cooling);
+
+/// Section II-C scalability stack: \p active_tiers tiers of 1 cm^2 with
+/// a centered hot spot of \p hotspot_flux [W/m^2] over 2x2 mm on a
+/// \p background_flux [W/m^2] background. The inter-tier variant has
+/// tiers+1 cavities ("four fluid cavities" for three tiers); the
+/// back-side variant conducts everything to a cold plate on top.
+thermal::StackSpec build_scalability_stack(int active_tiers,
+                                           bool inter_tier_cooling,
+                                           double hotspot_flux,
+                                           double background_flux);
+
+/// Element powers for the scalability stack's floorplans (same order as
+/// the grid's element list): hot-spot and background blocks at their
+/// respective fluxes.
+std::vector<double> scalability_element_powers(
+    const thermal::ThermalGrid& grid, double hotspot_flux,
+    double background_flux);
+
+}  // namespace tac3d::arch

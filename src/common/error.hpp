@@ -1,0 +1,42 @@
+#pragma once
+/// \file error.hpp
+/// \brief Exception types and precondition helpers for tac3d.
+
+#include <stdexcept>
+#include <string>
+
+namespace tac3d {
+
+/// Base class for all tac3d errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or produces
+/// non-finite values.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a model is driven outside its validity envelope
+/// (e.g. refrigerant properties queried far off the fitted range,
+/// or channel dry-out in a two-phase march).
+class ModelRangeError : public Error {
+ public:
+  explicit ModelRangeError(const std::string& what) : Error(what) {}
+};
+
+/// Check a precondition and throw InvalidArgument with \p msg if violated.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace tac3d

@@ -1,0 +1,20 @@
+#include "common/geometry.hpp"
+
+namespace tac3d {
+
+Rect bounding_box(const Rect& a, const Rect& b) {
+  const double x0 = std::min(a.x, b.x);
+  const double y0 = std::min(a.y, b.y);
+  const double x1 = std::max(a.right(), b.right());
+  const double y1 = std::max(a.top(), b.top());
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+Rect bounding_box(const std::vector<Rect>& rects) {
+  if (rects.empty()) return Rect{};
+  Rect box = rects.front();
+  for (const Rect& r : rects) box = bounding_box(box, r);
+  return box;
+}
+
+}  // namespace tac3d

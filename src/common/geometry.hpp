@@ -1,0 +1,54 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief 2D rectangles and overlap arithmetic used by floorplans and
+/// grid mapping.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace tac3d {
+
+/// Axis-aligned rectangle in meters; origin at lower-left corner.
+struct Rect {
+  double x = 0.0;  ///< left edge [m]
+  double y = 0.0;  ///< bottom edge [m]
+  double w = 0.0;  ///< width [m]
+  double h = 0.0;  ///< height [m]
+
+  double right() const { return x + w; }
+  double top() const { return y + h; }
+  double area() const { return w * h; }
+
+  /// True if the rectangle has strictly positive extent on both axes.
+  bool valid() const { return w > 0.0 && h > 0.0; }
+
+  /// Area of the intersection with \p other (0 if disjoint).
+  double overlap_area(const Rect& other) const {
+    const double ox =
+        std::max(0.0, std::min(right(), other.right()) - std::max(x, other.x));
+    const double oy =
+        std::max(0.0, std::min(top(), other.top()) - std::max(y, other.y));
+    return ox * oy;
+  }
+
+  /// True if the two rectangles overlap on a set of positive area.
+  bool intersects(const Rect& other) const {
+    return overlap_area(other) > 0.0;
+  }
+
+  /// True if \p other is fully contained (boundary contact allowed).
+  bool contains(const Rect& other, double tol = 1e-12) const {
+    return other.x >= x - tol && other.y >= y - tol &&
+           other.right() <= right() + tol && other.top() <= top() + tol;
+  }
+};
+
+/// Smallest rectangle containing both inputs.
+Rect bounding_box(const Rect& a, const Rect& b);
+
+/// Smallest rectangle containing all inputs; empty input yields a
+/// degenerate zero rectangle.
+Rect bounding_box(const std::vector<Rect>& rects);
+
+}  // namespace tac3d

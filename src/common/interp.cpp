@@ -1,0 +1,76 @@
+#include "common/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d {
+
+LinearTable::LinearTable(std::vector<double> x, std::vector<double> y,
+                         OutOfRange policy)
+    : x_(std::move(x)), y_(std::move(y)), policy_(policy) {
+  require(x_.size() == y_.size(), "LinearTable: x/y size mismatch");
+  require(x_.size() >= 2, "LinearTable: need at least two points");
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    require(x_[i] > x_[i - 1], "LinearTable: abscissae must be increasing");
+  }
+}
+
+std::size_t LinearTable::segment(double x) const {
+  // Index i such that the segment [x_[i], x_[i+1]] is used.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  if (it == x_.begin()) return 0;
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  return std::min(i, x_.size() - 2);
+}
+
+double LinearTable::operator()(double x) const {
+  require(!x_.empty(), "LinearTable: empty table");
+  if (x < x_.front() || x > x_.back()) {
+    switch (policy_) {
+      case OutOfRange::kClamp:
+        x = std::clamp(x, x_.front(), x_.back());
+        break;
+      case OutOfRange::kThrow:
+        throw ModelRangeError("LinearTable: query outside table domain");
+      case OutOfRange::kExtrapolate:
+        break;  // fall through to segment extrapolation
+    }
+  }
+  const std::size_t i = segment(x);
+  const double t = (x - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+double LinearTable::derivative(double x) const {
+  require(!x_.empty(), "LinearTable: empty table");
+  const std::size_t i = segment(std::clamp(x, x_.front(), x_.back()));
+  return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+double LinearTable::inverse(double y) const {
+  require(!y_.empty(), "LinearTable: empty table");
+  const bool increasing = y_.back() > y_.front();
+  for (std::size_t i = 1; i < y_.size(); ++i) {
+    const bool step_up = y_[i] > y_[i - 1];
+    require(step_up == increasing && y_[i] != y_[i - 1],
+            "LinearTable::inverse: y must be strictly monotone");
+  }
+  const double lo = increasing ? y_.front() : y_.back();
+  const double hi = increasing ? y_.back() : y_.front();
+  const double yc = std::clamp(y, lo, hi);
+  // Find the segment containing yc.
+  for (std::size_t i = 0; i + 1 < y_.size(); ++i) {
+    const double a = y_[i];
+    const double b = y_[i + 1];
+    if ((increasing && yc >= a && yc <= b) ||
+        (!increasing && yc <= a && yc >= b)) {
+      const double t = (yc - a) / (b - a);
+      return x_[i] + t * (x_[i + 1] - x_[i]);
+    }
+  }
+  return increasing ? x_.back() : x_.front();
+}
+
+}  // namespace tac3d

@@ -1,0 +1,49 @@
+#pragma once
+/// \file interp.hpp
+/// \brief Piecewise-linear lookup tables used by property models
+/// (fluid/refrigerant data, correlation fits).
+
+#include <cstddef>
+#include <vector>
+
+namespace tac3d {
+
+/// Monotone piecewise-linear table y(x).
+///
+/// Abscissae must be strictly increasing. Queries outside the domain are
+/// clamped by default, or throw ModelRangeError when constructed with
+/// OutOfRange::kThrow.
+class LinearTable {
+ public:
+  /// Extrapolation behaviour outside [x.front(), x.back()].
+  enum class OutOfRange { kClamp, kThrow, kExtrapolate };
+
+  LinearTable() = default;
+
+  /// Construct from matching x/y arrays (x strictly increasing).
+  LinearTable(std::vector<double> x, std::vector<double> y,
+              OutOfRange policy = OutOfRange::kClamp);
+
+  /// Interpolated value at \p x.
+  double operator()(double x) const;
+
+  /// Derivative dy/dx of the active segment at \p x.
+  double derivative(double x) const;
+
+  /// Inverse lookup x(y); requires y strictly monotone.
+  double inverse(double y) const;
+
+  bool empty() const { return x_.empty(); }
+  std::size_t size() const { return x_.size(); }
+  double x_min() const { return x_.front(); }
+  double x_max() const { return x_.back(); }
+
+ private:
+  std::size_t segment(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  OutOfRange policy_ = OutOfRange::kClamp;
+};
+
+}  // namespace tac3d

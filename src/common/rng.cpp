@@ -1,0 +1,9 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace tac3d {
+
+double Rng::norm_scale(double s) { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace tac3d

@@ -1,0 +1,86 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generator for workload
+/// synthesis and property tests.
+///
+/// tac3d avoids std::mt19937 in library code so that traces generated on
+/// different standard libraries are bit-identical. The generator is
+/// xoshiro256** seeded via splitmix64.
+
+#include <cstdint>
+
+namespace tac3d {
+
+/// Deterministic, seedable RNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seed deterministically; the same seed always yields the same stream.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = norm_scale(s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double norm_scale(double s);
+
+  std::uint64_t state_[4] = {};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tac3d

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tac3d {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << "  ";
+      os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+}  // namespace tac3d

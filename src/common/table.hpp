@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned ASCII table printer shared by the benchmark harness.
+///
+/// Every bench binary reproduces a paper table or figure as rows of text;
+/// TextTable keeps their formatting consistent.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tac3d {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Set the header row.
+  void set_header(std::vector<std::string> cells);
+
+  /// Append a data row (ragged rows are allowed).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: append a row from doubles formatted with \p precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column separators and a header rule.
+  std::string str() const;
+
+  /// Print to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 2);
+
+/// Format a double as a percentage with fixed precision.
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace tac3d

@@ -1,0 +1,55 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit conversions and physical constants used across tac3d.
+///
+/// All tac3d APIs use SI units internally: meters, kilograms, seconds,
+/// watts, kelvin, pascal, cubic meters per second. The helpers below
+/// convert the engineering units that appear in the paper (mm, um,
+/// Celsius, ml/min, W/cm^2, l/min) at the API boundary, so call sites
+/// can mirror the paper's numbers verbatim.
+
+namespace tac3d {
+
+/// Absolute zero offset between Celsius and Kelvin.
+inline constexpr double kCelsiusOffset = 273.15;
+
+/// Convert a temperature in Celsius to Kelvin.
+constexpr double celsius_to_kelvin(double c) { return c + kCelsiusOffset; }
+
+/// Convert a temperature in Kelvin to Celsius.
+constexpr double kelvin_to_celsius(double k) { return k - kCelsiusOffset; }
+
+/// Convert millimeters to meters.
+constexpr double mm(double v) { return v * 1e-3; }
+
+/// Convert micrometers to meters.
+constexpr double um(double v) { return v * 1e-6; }
+
+/// Convert square millimeters to square meters.
+constexpr double mm2(double v) { return v * 1e-6; }
+
+/// Convert square centimeters to square meters.
+constexpr double cm2(double v) { return v * 1e-4; }
+
+/// Convert a volumetric flow rate in milliliters per minute to m^3/s.
+constexpr double ml_per_min(double v) { return v * 1e-6 / 60.0; }
+
+/// Convert a volumetric flow rate in liters per minute to m^3/s.
+constexpr double l_per_min(double v) { return v * 1e-3 / 60.0; }
+
+/// Convert a volumetric flow rate in m^3/s to milliliters per minute.
+constexpr double to_ml_per_min(double v) { return v * 60.0 * 1e6; }
+
+/// Convert a heat flux in W/cm^2 to W/m^2.
+constexpr double w_per_cm2(double v) { return v * 1e4; }
+
+/// Convert a heat flux in W/m^2 to W/cm^2.
+constexpr double to_w_per_cm2(double v) { return v * 1e-4; }
+
+/// Convert bar to pascal.
+constexpr double bar(double v) { return v * 1e5; }
+
+/// Convert pascal to bar.
+constexpr double to_bar(double v) { return v * 1e-5; }
+
+}  // namespace tac3d

@@ -1,0 +1,55 @@
+#include "microchannel/coolant.hpp"
+
+#include "common/interp.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::microchannel {
+
+namespace {
+
+const LinearTable& water_rho() {
+  static const LinearTable t({273.15, 293.15, 313.15, 333.15, 353.15, 373.15},
+                             {999.8, 998.2, 992.2, 983.2, 971.8, 958.4});
+  return t;
+}
+
+const LinearTable& water_mu() {
+  static const LinearTable t(
+      {273.15, 293.15, 313.15, 333.15, 353.15, 373.15},
+      {1.787e-3, 1.002e-3, 0.653e-3, 0.467e-3, 0.355e-3, 0.282e-3});
+  return t;
+}
+
+const LinearTable& water_cp() {
+  static const LinearTable t({273.15, 293.15, 313.15, 333.15, 353.15, 373.15},
+                             {4217.0, 4182.0, 4179.0, 4185.0, 4197.0, 4216.0});
+  return t;
+}
+
+const LinearTable& water_k() {
+  static const LinearTable t({273.15, 293.15, 313.15, 333.15, 353.15, 373.15},
+                             {0.561, 0.598, 0.631, 0.654, 0.670, 0.679});
+  return t;
+}
+
+}  // namespace
+
+Coolant water(double t_kelvin) {
+  return Coolant{"water", water_rho()(t_kelvin), water_mu()(t_kelvin),
+                 water_cp()(t_kelvin), water_k()(t_kelvin)};
+}
+
+Coolant water_table1() {
+  // Exactly the Table I values, density chosen at ~25 C.
+  return Coolant{"water(table1)", 997.0, 0.89e-3, 4183.0, 0.6};
+}
+
+Coolant dielectric_fc72(double t_kelvin) {
+  // FC-72-like: rho ~1680 kg/m^3, cp ~1100 J/(kg K), k ~0.057 W/(m K),
+  // mu ~0.64 mPa s at 25 C with mild temperature dependence.
+  const double tc = t_kelvin - 298.15;
+  return Coolant{"fc72", 1680.0 - 2.4 * tc, (0.64e-3) * (1.0 - 0.01 * tc),
+                 1100.0 + 1.5 * tc, 0.057 - 1e-4 * tc};
+}
+
+}  // namespace tac3d::microchannel

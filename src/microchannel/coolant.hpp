@@ -1,0 +1,43 @@
+#pragma once
+/// \file coolant.hpp
+/// \brief Coolant (liquid) property bundles and water property fits.
+///
+/// Table I of the paper pins water conductivity at 0.6 W/(m K) and
+/// specific heat at 4183 J/(kg K); the tabulated fits below reproduce
+/// those values near room temperature and extend them over 0-100 C for
+/// property-sensitivity studies.
+
+#include <string>
+
+namespace tac3d::microchannel {
+
+/// Thermophysical properties of a liquid coolant at one temperature.
+struct Coolant {
+  std::string name;
+  double density = 0.0;        ///< rho [kg/m^3]
+  double viscosity = 0.0;      ///< dynamic viscosity mu [Pa s]
+  double specific_heat = 0.0;  ///< c_p [J/(kg K)]
+  double conductivity = 0.0;   ///< k [W/(m K)]
+
+  /// Volumetric heat capacity rho * c_p [J/(m^3 K)].
+  double volumetric_heat_capacity() const { return density * specific_heat; }
+
+  /// Prandtl number mu * c_p / k.
+  double prandtl() const { return viscosity * specific_heat / conductivity; }
+};
+
+/// Liquid water properties at temperature \p t_kelvin (valid 273-373 K,
+/// clamped outside).
+Coolant water(double t_kelvin);
+
+/// Water evaluated at the paper's Table I conditions (k = 0.6 W/(m K),
+/// c_p = 4183 J/(kg K)); use this for runs that must mirror Table I.
+Coolant water_table1();
+
+/// A representative single-phase dielectric coolant (perfluorinated,
+/// FC-72-like): ~4x lower volumetric heat capacity than water and
+/// noticeably lower conductivity. Used to demonstrate why the paper
+/// rejects dielectric liquids for inter-tier cavities.
+Coolant dielectric_fc72(double t_kelvin);
+
+}  // namespace tac3d::microchannel

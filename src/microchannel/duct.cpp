@@ -1,0 +1,84 @@
+#include "microchannel/duct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::microchannel {
+
+double RectDuct::aspect() const {
+  require(width > 0.0 && height > 0.0, "RectDuct: dimensions must be positive");
+  const double lo = std::min(width, height);
+  const double hi = std::max(width, height);
+  return lo / hi;
+}
+
+double fanning_friction_constant(double aspect) {
+  require(aspect > 0.0 && aspect <= 1.0,
+          "fanning_friction_constant: aspect must be in (0, 1]");
+  const double a = aspect;
+  // Shah & London (1978), Table 42: f*Re for rectangular ducts.
+  return 24.0 * (1.0 - 1.3553 * a + 1.9467 * a * a - 1.7012 * a * a * a +
+                 0.9564 * a * a * a * a - 0.2537 * a * a * a * a * a);
+}
+
+double nusselt_h1(double aspect) {
+  require(aspect > 0.0 && aspect <= 1.0, "nusselt_h1: aspect must be in (0,1]");
+  const double a = aspect;
+  // Shah & London (1978): Nu_H1 for rectangular ducts, four walls heated.
+  return 8.235 * (1.0 - 2.0421 * a + 3.0853 * a * a - 2.4765 * a * a * a +
+                  1.0578 * a * a * a * a - 0.1861 * a * a * a * a * a);
+}
+
+double reynolds(const RectDuct& duct, double q_channel, const Coolant& fluid) {
+  require(q_channel >= 0.0, "reynolds: flow must be non-negative");
+  const double v = q_channel / duct.area();
+  return fluid.density * v * duct.hydraulic_diameter() / fluid.viscosity;
+}
+
+double heat_transfer_coefficient(const RectDuct& duct, const Coolant& fluid) {
+  return nusselt_h1(duct.aspect()) * fluid.conductivity /
+         duct.hydraulic_diameter();
+}
+
+double pressure_gradient(const RectDuct& duct, double q_channel,
+                         const Coolant& fluid) {
+  const double re = reynolds(duct, q_channel, fluid);
+  if (re > 2300.0) {
+    throw ModelRangeError(
+        "pressure_gradient: turbulent regime (Re > 2300) outside the "
+        "laminar micro-channel model");
+  }
+  if (q_channel == 0.0) return 0.0;
+  const double v = q_channel / duct.area();
+  const double f_fanning = fanning_friction_constant(duct.aspect()) / re;
+  // dP/dz = 4 f_fanning (1/Dh) (rho v^2 / 2)
+  return 4.0 * f_fanning * fluid.density * v * v /
+         (2.0 * duct.hydraulic_diameter());
+}
+
+double pressure_drop(const RectDuct& duct, double length, double q_channel,
+                     const Coolant& fluid) {
+  require(length >= 0.0, "pressure_drop: length must be non-negative");
+  return pressure_gradient(duct, q_channel, fluid) * length;
+}
+
+double pumping_power(double pressure_drop_pa, double q_total,
+                     double pump_efficiency) {
+  require(pump_efficiency > 0.0 && pump_efficiency <= 1.0,
+          "pumping_power: efficiency must be in (0, 1]");
+  return pressure_drop_pa * q_total / pump_efficiency;
+}
+
+double fin_efficiency(double h, double k_solid, double fin_thickness,
+                      double fin_height) {
+  require(h >= 0.0 && k_solid > 0.0 && fin_thickness > 0.0,
+          "fin_efficiency: invalid parameters");
+  if (fin_height <= 0.0 || h == 0.0) return 1.0;
+  const double m = std::sqrt(2.0 * h / (k_solid * fin_thickness));
+  const double ml = m * fin_height;
+  return ml < 1e-9 ? 1.0 : std::tanh(ml) / ml;
+}
+
+}  // namespace tac3d::microchannel

@@ -1,0 +1,61 @@
+#pragma once
+/// \file duct.hpp
+/// \brief Laminar rectangular-duct correlations (friction and Nusselt)
+/// and pressure-drop/pumping-power arithmetic for micro-channels.
+///
+/// The inter-tier channels of the paper have cross-sections below
+/// 100 x 50 um^2 and Reynolds numbers of a few hundred, so fully
+/// developed laminar correlations (Shah & London polynomial fits) apply.
+
+#include "microchannel/coolant.hpp"
+
+namespace tac3d::microchannel {
+
+/// Rectangular duct cross-section.
+struct RectDuct {
+  double width = 0.0;   ///< [m], in-plane channel width
+  double height = 0.0;  ///< [m], channel (cavity) height
+
+  double area() const { return width * height; }
+  double wetted_perimeter() const { return 2.0 * (width + height); }
+  double hydraulic_diameter() const {
+    return 4.0 * area() / wetted_perimeter();
+  }
+  /// Aspect ratio alpha = short side / long side, in (0, 1].
+  double aspect() const;
+};
+
+/// Fanning friction constant f*Re for a rectangular duct
+/// (Shah & London 5th-order polynomial in the aspect ratio).
+double fanning_friction_constant(double aspect);
+
+/// Fully developed laminar Nusselt number for the H1 (uniform axial heat
+/// flux) boundary condition (Shah & London polynomial).
+double nusselt_h1(double aspect);
+
+/// Reynolds number of a duct carrying volumetric flow \p q_channel.
+double reynolds(const RectDuct& duct, double q_channel, const Coolant& fluid);
+
+/// Convective heat transfer coefficient h = Nu * k / D_h [W/(m^2 K)].
+double heat_transfer_coefficient(const RectDuct& duct, const Coolant& fluid);
+
+/// Laminar pressure gradient dP/dz [Pa/m] of flow \p q_channel.
+/// Throws ModelRangeError if the flow is turbulent (Re > 2300).
+double pressure_gradient(const RectDuct& duct, double q_channel,
+                         const Coolant& fluid);
+
+/// Total pressure drop over a duct of length \p length [Pa].
+double pressure_drop(const RectDuct& duct, double length, double q_channel,
+                     const Coolant& fluid);
+
+/// Hydraulic pumping power P = dP * Q / eta [W].
+double pumping_power(double pressure_drop_pa, double q_total,
+                     double pump_efficiency = 1.0);
+
+/// Straight-fin efficiency tanh(m L)/(m L) for a channel side wall of
+/// height \p fin_height and thickness \p fin_thickness in material with
+/// conductivity \p k_solid facing a film coefficient \p h.
+double fin_efficiency(double h, double k_solid, double fin_thickness,
+                      double fin_height);
+
+}  // namespace tac3d::microchannel

@@ -1,0 +1,124 @@
+#include "microchannel/flow_network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/iterative.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace tac3d::microchannel {
+
+std::int32_t HydraulicNetwork::add_node() {
+  fixed_.push_back(false);
+  fixed_pressure_.push_back(0.0);
+  injection_.push_back(0.0);
+  return node_count() - 1;
+}
+
+std::int32_t HydraulicNetwork::add_fixed_node(double pressure) {
+  fixed_.push_back(true);
+  fixed_pressure_.push_back(pressure);
+  injection_.push_back(0.0);
+  return node_count() - 1;
+}
+
+std::int32_t HydraulicNetwork::add_edge(std::int32_t a, std::int32_t b,
+                                        double conductance) {
+  require(a >= 0 && a < node_count() && b >= 0 && b < node_count() && a != b,
+          "HydraulicNetwork::add_edge: invalid endpoints");
+  require(conductance > 0.0,
+          "HydraulicNetwork::add_edge: conductance must be positive");
+  edges_.push_back(Edge{a, b, conductance});
+  return edge_count() - 1;
+}
+
+void HydraulicNetwork::set_injection(std::int32_t node, double flow) {
+  require(node >= 0 && node < node_count(),
+          "HydraulicNetwork::set_injection: invalid node");
+  require(!fixed_[node],
+          "HydraulicNetwork::set_injection: node has fixed pressure");
+  injection_[node] = flow;
+}
+
+NetworkSolution HydraulicNetwork::solve() const {
+  const std::int32_t n = node_count();
+  require(n > 0, "HydraulicNetwork::solve: empty network");
+
+  // Map interior nodes to unknown indices.
+  std::vector<std::int32_t> unknown_of(static_cast<std::size_t>(n), -1);
+  std::int32_t n_unknown = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (!fixed_[i]) unknown_of[i] = n_unknown++;
+  }
+  require(n_unknown < n || std::any_of(fixed_.begin(), fixed_.end(),
+                                       [](bool f) { return f; }) ||
+              n_unknown == 0,
+          "HydraulicNetwork::solve: network needs at least one fixed node");
+
+  NetworkSolution sol;
+  sol.pressures.assign(static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (fixed_[i]) sol.pressures[i] = fixed_pressure_[i];
+  }
+
+  if (n_unknown > 0) {
+    require(std::any_of(fixed_.begin(), fixed_.end(), [](bool f) { return f; }),
+            "HydraulicNetwork::solve: floating network (no fixed pressure)");
+    std::vector<sparse::Triplet> trips;
+    std::vector<double> rhs(static_cast<std::size_t>(n_unknown), 0.0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (!fixed_[i]) rhs[unknown_of[i]] = injection_[i];
+    }
+    for (const Edge& e : edges_) {
+      const std::int32_t ua = unknown_of[e.a];
+      const std::int32_t ub = unknown_of[e.b];
+      if (ua >= 0) trips.push_back({ua, ua, e.g});
+      if (ub >= 0) trips.push_back({ub, ub, e.g});
+      if (ua >= 0 && ub >= 0) {
+        trips.push_back({ua, ub, -e.g});
+        trips.push_back({ub, ua, -e.g});
+      } else if (ua >= 0) {
+        rhs[ua] += e.g * fixed_pressure_[e.b];
+      } else if (ub >= 0) {
+        rhs[ub] += e.g * fixed_pressure_[e.a];
+      }
+    }
+    const auto laplacian =
+        sparse::CsrMatrix::from_triplets(n_unknown, n_unknown, std::move(trips));
+    std::vector<double> x(static_cast<std::size_t>(n_unknown), 0.0);
+    sparse::JacobiPreconditioner precond(laplacian);
+    sparse::IterativeOptions opts;
+    opts.rel_tolerance = 1e-12;
+    opts.max_iterations = 10000;
+    const auto res = sparse::cg(laplacian, rhs, x, precond, opts);
+    if (!res.converged) {
+      throw NumericalError("HydraulicNetwork::solve: CG did not converge");
+    }
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (!fixed_[i]) sol.pressures[i] = x[unknown_of[i]];
+    }
+  }
+
+  sol.edge_flows.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    sol.edge_flows.push_back(e.g *
+                             (sol.pressures[e.a] - sol.pressures[e.b]));
+  }
+  return sol;
+}
+
+double channel_conductance(const RectDuct& duct, double length,
+                           const Coolant& fluid) {
+  require(length > 0.0, "channel_conductance: length must be positive");
+  // Laminar: dP = (4 f_fanning / Dh) (rho v^2 / 2) L with f = C/Re, so
+  // dP is linear in Q; evaluate the slope with a unit-velocity probe.
+  const double c = fanning_friction_constant(duct.aspect());
+  const double dh = duct.hydraulic_diameter();
+  // dP/Q = 2 c mu L / (A Dh^2)  [Pa s / m^3]
+  const double resistance =
+      2.0 * c * fluid.viscosity * length / (duct.area() * dh * dh);
+  return 1.0 / resistance;
+}
+
+}  // namespace tac3d::microchannel

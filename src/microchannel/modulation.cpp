@@ -1,0 +1,140 @@
+#include "microchannel/modulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::microchannel {
+
+namespace {
+
+/// Thermal conductance per unit length of a channel segment: film
+/// coefficient times effective wetted width (floor plus side walls as
+/// fins).
+double conductance_per_length(double width, double height,
+                              const Coolant& fluid, double k_wall) {
+  const RectDuct duct{width, height};
+  const double h = heat_transfer_coefficient(duct, fluid);
+  const double eta = fin_efficiency(h, k_wall, width /*fin thickness*/,
+                                    height);
+  return h * (width + 2.0 * eta * height);
+}
+
+}  // namespace
+
+ModulationResult evaluate_modulated_channel(const ModulatedChannel& chan,
+                                            std::vector<double> const& q_flux,
+                                            double pitch, double q_channel,
+                                            double t_inlet,
+                                            const Coolant& fluid,
+                                            double k_wall) {
+  const std::size_t n = chan.segment_lengths.size();
+  require(chan.segment_widths.size() == n && q_flux.size() == n,
+          "evaluate_modulated_channel: segment array size mismatch");
+  require(q_channel > 0.0, "evaluate_modulated_channel: flow must be > 0");
+  require(pitch > 0.0, "evaluate_modulated_channel: invalid pitch");
+
+  const double m_dot = fluid.density * q_channel;
+  const double mcp = m_dot * fluid.specific_heat;
+
+  ModulationResult res;
+  res.wall_superheat.resize(n);
+  res.fluid_temp.resize(n);
+
+  double t_fluid = t_inlet;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double len = chan.segment_lengths[i];
+    const double width = chan.segment_widths[i];
+    require(len > 0.0 && width > 0.0,
+            "evaluate_modulated_channel: invalid segment geometry");
+
+    const double q_seg = q_flux[i] * pitch * len;  // heat into this channel
+    const double t_mid = t_fluid + 0.5 * q_seg / mcp;
+    t_fluid += q_seg / mcp;
+    res.fluid_temp[i] = t_fluid;
+
+    const double g_len = conductance_per_length(width, chan.height, fluid,
+                                                k_wall);
+    const double superheat = q_seg / (g_len * len);
+    res.wall_superheat[i] = superheat;
+    res.peak_wall_temperature =
+        std::max(res.peak_wall_temperature, t_mid + superheat);
+
+    const RectDuct duct{width, chan.height};
+    res.pressure_drop += pressure_drop(duct, len, q_channel, fluid);
+  }
+  res.pumping_power = res.pressure_drop * q_channel;
+  return res;
+}
+
+ModulatedChannel design_width_profile(const std::vector<double>& seg_lengths,
+                                      const std::vector<double>& q_flux,
+                                      double height, double pitch,
+                                      double w_min, double w_max,
+                                      double q_channel, double t_inlet,
+                                      double t_limit, const Coolant& fluid,
+                                      double k_wall) {
+  const std::size_t n = seg_lengths.size();
+  require(q_flux.size() == n, "design_width_profile: array size mismatch");
+  require(w_min > 0.0 && w_max >= w_min, "design_width_profile: bad widths");
+
+  ModulatedChannel chan;
+  chan.segment_lengths = seg_lengths;
+  chan.segment_widths.assign(n, w_max);
+  chan.height = height;
+
+  // The bulk fluid profile depends only on flow and heat, not width, so
+  // the per-segment superheat budget is known up front.
+  const double mcp = fluid.density * q_channel * fluid.specific_heat;
+  double t_fluid = t_inlet;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q_seg = q_flux[i] * pitch * seg_lengths[i];
+    const double t_mid = t_fluid + 0.5 * q_seg / mcp;
+    t_fluid += q_seg / mcp;
+    const double budget = t_limit - t_mid;
+    if (budget <= 0.0) continue;  // fluid itself too hot; width cannot help
+
+    auto superheat_at = [&](double w) {
+      return q_seg /
+             (conductance_per_length(w, height, fluid, k_wall) *
+              seg_lengths[i]);
+    };
+    if (superheat_at(w_max) <= budget) continue;  // wide channel suffices
+    if (superheat_at(w_min) > budget) {
+      chan.segment_widths[i] = w_min;  // best effort at this flow
+      continue;
+    }
+    double lo = w_min, hi = w_max;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (superheat_at(mid) <= budget ? lo : hi) = mid;
+    }
+    chan.segment_widths[i] = lo;
+  }
+  return chan;
+}
+
+double min_flow_for_limit(const ModulatedChannel& chan,
+                          const std::vector<double>& q_flux, double pitch,
+                          double t_inlet, double t_limit,
+                          const Coolant& fluid, double k_wall, double q_lo,
+                          double q_hi) {
+  require(q_lo > 0.0 && q_hi > q_lo, "min_flow_for_limit: bad flow bracket");
+  auto peak = [&](double q) {
+    return evaluate_modulated_channel(chan, q_flux, pitch, q, t_inlet, fluid,
+                                      k_wall)
+        .peak_wall_temperature;
+  };
+  require(peak(q_hi) <= t_limit,
+          "min_flow_for_limit: limit unreachable even at maximum flow");
+  if (peak(q_lo) <= t_limit) return q_lo;
+  double lo = q_lo, hi = q_hi;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (peak(mid) <= t_limit ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace tac3d::microchannel

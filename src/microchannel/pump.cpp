@@ -1,0 +1,47 @@
+#include "microchannel/pump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::microchannel {
+
+PumpModel::PumpModel(double q_min_per_cavity, double q_max_per_cavity,
+                     std::int32_t levels, double coeff_w_per_m3s)
+    : q_min_(q_min_per_cavity),
+      q_max_(q_max_per_cavity),
+      levels_(levels),
+      coeff_(coeff_w_per_m3s) {
+  require(q_min_ > 0.0 && q_max_ > q_min_, "PumpModel: invalid flow range");
+  require(levels_ >= 2, "PumpModel: need at least two levels");
+  require(coeff_ > 0.0, "PumpModel: coefficient must be positive");
+}
+
+PumpModel PumpModel::table1(std::int32_t levels) {
+  // 0.173 W/(ml/min) expressed in W/(m^3/s).
+  const double coeff = 11.176 / (2.0 * ml_per_min(32.3));
+  return PumpModel(ml_per_min(10.0), ml_per_min(32.3), levels, coeff);
+}
+
+double PumpModel::flow_per_cavity(std::int32_t level) const {
+  require(level >= 0 && level < levels_, "PumpModel: level out of range");
+  const double t = static_cast<double>(level) / (levels_ - 1);
+  return q_min_ + t * (q_max_ - q_min_);
+}
+
+std::int32_t PumpModel::level_for_flow(double q_per_cavity) const {
+  if (q_per_cavity <= q_min_) return 0;
+  if (q_per_cavity >= q_max_) return levels_ - 1;
+  const double t = (q_per_cavity - q_min_) / (q_max_ - q_min_);
+  return static_cast<std::int32_t>(
+      std::ceil(t * (levels_ - 1) - 1e-12));
+}
+
+double PumpModel::power(std::int32_t level, std::int32_t n_cavities) const {
+  require(n_cavities >= 0, "PumpModel: negative cavity count");
+  return coeff_ * flow_per_cavity(level) * n_cavities;
+}
+
+}  // namespace tac3d::microchannel

@@ -1,0 +1,31 @@
+#include "power/leakage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::power {
+
+LeakageModel::LeakageModel(double p_ref_per_area, double t_ref, double t_beta,
+                           double max_factor)
+    : p_ref_(p_ref_per_area),
+      t_ref_(t_ref),
+      t_beta_(t_beta),
+      max_factor_(max_factor) {
+  require(p_ref_ >= 0.0, "LeakageModel: negative reference density");
+  require(t_ref_ > 0.0, "LeakageModel: reference temperature must be K");
+  require(t_beta_ > 0.0, "LeakageModel: t_beta must be positive");
+  require(max_factor_ >= 1.0, "LeakageModel: max_factor must be >= 1");
+}
+
+double LeakageModel::factor(double t) const {
+  return std::min(std::exp((t - t_ref_) / t_beta_), max_factor_);
+}
+
+double LeakageModel::power(double area, double t) const {
+  require(area >= 0.0, "LeakageModel::power: negative area");
+  return area * p_ref_ * factor(t);
+}
+
+}  // namespace tac3d::power

@@ -1,0 +1,39 @@
+#pragma once
+/// \file leakage.hpp
+/// \brief Temperature-dependent leakage power, computed per unit area
+/// (the paper: "we compute the leakage power of processing cores as a
+/// function of their area and the temperature").
+
+namespace tac3d::power {
+
+/// Exponential-in-temperature leakage model:
+/// P = area * p_ref * exp((T - T_ref)/t_beta), clamped at \p max_factor
+/// times the reference density for numerical robustness in runaway
+/// (air-cooled 4-tier) scenarios.
+class LeakageModel {
+ public:
+  /// \param p_ref_per_area leakage power density at T_ref [W/m^2]
+  /// \param t_ref reference temperature [K]
+  /// \param t_beta exponential slope [K] (leakage doubles every
+  ///        t_beta * ln 2 kelvin)
+  /// \param max_factor clamp on the exponential factor
+  LeakageModel(double p_ref_per_area, double t_ref, double t_beta,
+               double max_factor = 20.0);
+
+  /// Leakage power of a block of \p area [m^2] at temperature \p t [K].
+  double power(double area, double t) const;
+
+  /// Scale factor exp((T - T_ref)/t_beta), clamped.
+  double factor(double t) const;
+
+  double reference_density() const { return p_ref_; }
+  double reference_temperature() const { return t_ref_; }
+
+ private:
+  double p_ref_;
+  double t_ref_;
+  double t_beta_;
+  double max_factor_;
+};
+
+}  // namespace tac3d::power

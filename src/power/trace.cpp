@@ -1,0 +1,112 @@
+#include "power/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tac3d::power {
+
+UtilizationTrace::UtilizationTrace(std::string name, int n_threads,
+                                   int n_seconds)
+    : name_(std::move(name)), n_threads_(n_threads), n_seconds_(n_seconds) {
+  require(n_threads > 0 && n_seconds > 0,
+          "UtilizationTrace: dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(n_threads) * n_seconds, 0.0);
+}
+
+double UtilizationTrace::at(int thread, int t) const {
+  require(thread >= 0 && thread < n_threads_,
+          "UtilizationTrace::at: thread out of range");
+  t = std::clamp(t, 0, n_seconds_ - 1);
+  return data_[static_cast<std::size_t>(t) * n_threads_ + thread];
+}
+
+double UtilizationTrace::sample(int thread, double t) const {
+  if (t <= 0.0) return at(thread, 0);
+  const int t0 = static_cast<int>(t);
+  const double frac = t - t0;
+  if (frac == 0.0 || t0 + 1 >= n_seconds_) return at(thread, t0);
+  return (1.0 - frac) * at(thread, t0) + frac * at(thread, t0 + 1);
+}
+
+void UtilizationTrace::set(int thread, int t, double u) {
+  require(thread >= 0 && thread < n_threads_ && t >= 0 && t < n_seconds_,
+          "UtilizationTrace::set: index out of range");
+  require(u >= 0.0 && u <= 1.0,
+          "UtilizationTrace::set: utilization must be in [0, 1]");
+  data_[static_cast<std::size_t>(t) * n_threads_ + thread] = u;
+}
+
+double UtilizationTrace::mean() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return data_.empty() ? 0.0 : acc / data_.size();
+}
+
+double UtilizationTrace::peak() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, v);
+  return best;
+}
+
+double UtilizationTrace::thread_mean(int thread) const {
+  double acc = 0.0;
+  for (int t = 0; t < n_seconds_; ++t) acc += at(thread, t);
+  return acc / n_seconds_;
+}
+
+void UtilizationTrace::to_csv(std::ostream& os) const {
+  os << "t";
+  for (int th = 0; th < n_threads_; ++th) os << ",thread" << th;
+  os << '\n';
+  for (int t = 0; t < n_seconds_; ++t) {
+    os << t;
+    for (int th = 0; th < n_threads_; ++th) os << ',' << at(th, t);
+    os << '\n';
+  }
+}
+
+UtilizationTrace UtilizationTrace::from_csv(std::istream& is,
+                                            std::string name) {
+  std::string header;
+  require(static_cast<bool>(std::getline(is, header)),
+          "UtilizationTrace::from_csv: empty stream");
+  const int n_threads =
+      static_cast<int>(std::count(header.begin(), header.end(), ','));
+  require(n_threads > 0, "UtilizationTrace::from_csv: no thread columns");
+
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::vector<double> row;
+    bool first = true;
+    while (std::getline(ls, cell, ',')) {
+      if (first) {
+        first = false;
+        continue;  // time column
+      }
+      row.push_back(std::stod(cell));
+    }
+    require(static_cast<int>(row.size()) == n_threads,
+            "UtilizationTrace::from_csv: ragged row");
+    rows.push_back(std::move(row));
+  }
+  require(!rows.empty(), "UtilizationTrace::from_csv: no samples");
+  UtilizationTrace tr(std::move(name), n_threads,
+                      static_cast<int>(rows.size()));
+  for (int t = 0; t < tr.seconds(); ++t) {
+    for (int th = 0; th < n_threads; ++th) {
+      tr.set(th, t, std::clamp(rows[t][th], 0.0, 1.0));
+    }
+  }
+  return tr;
+}
+
+}  // namespace tac3d::power

@@ -1,0 +1,53 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Per-hardware-thread utilization traces (the paper records "the
+/// utilization percentage for each hardware thread at every second for
+/// several minutes for each benchmark").
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tac3d::power {
+
+/// Utilization in [0, 1] for n_threads hardware threads sampled at 1 s.
+class UtilizationTrace {
+ public:
+  UtilizationTrace() = default;
+  UtilizationTrace(std::string name, int n_threads, int n_seconds);
+
+  const std::string& name() const { return name_; }
+  int threads() const { return n_threads_; }
+  int seconds() const { return n_seconds_; }
+
+  /// Utilization of \p thread at integer second \p t (clamped to the
+  /// trace end).
+  double at(int thread, int t) const;
+
+  /// Linearly interpolated utilization at continuous time \p t [s].
+  double sample(int thread, double t) const;
+
+  /// Mutable access used by generators.
+  void set(int thread, int t, double u);
+
+  /// Mean utilization over all threads and samples.
+  double mean() const;
+
+  /// Maximum utilization over all threads and samples.
+  double peak() const;
+
+  /// Mean utilization of one thread.
+  double thread_mean(int thread) const;
+
+  /// CSV round trip: header "t,thread0,..."; one row per second.
+  void to_csv(std::ostream& os) const;
+  static UtilizationTrace from_csv(std::istream& is, std::string name);
+
+ private:
+  std::string name_;
+  int n_threads_ = 0;
+  int n_seconds_ = 0;
+  std::vector<double> data_;  ///< [t * n_threads + thread]
+};
+
+}  // namespace tac3d::power

@@ -1,0 +1,53 @@
+#include "power/vf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tac3d::power {
+
+VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points)) {
+  require(points_.size() >= 1, "VfTable: need at least one point");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    require(points_[i].frequency > points_[i - 1].frequency &&
+                points_[i].voltage >= points_[i - 1].voltage,
+            "VfTable: points must be sorted ascending");
+  }
+  for (const VfPoint& p : points_) {
+    require(p.frequency > 0.0 && p.voltage > 0.0, "VfTable: invalid point");
+  }
+}
+
+VfTable VfTable::ultrasparc_t1() {
+  return VfTable({{0.60e9, 0.90},
+                  {0.75e9, 1.00},
+                  {0.90e9, 1.10},
+                  {1.05e9, 1.15},
+                  {1.20e9, 1.20}});
+}
+
+const VfPoint& VfTable::point(int level) const {
+  require(level >= 0 && level < levels(), "VfTable: level out of range");
+  return points_[level];
+}
+
+double VfTable::power_scale(int level) const {
+  const VfPoint& p = point(level);
+  const VfPoint& nominal = points_.back();
+  const double v = p.voltage / nominal.voltage;
+  return v * v * (p.frequency / nominal.frequency);
+}
+
+double VfTable::speed_scale(int level) const {
+  return point(level).frequency / points_.back().frequency;
+}
+
+int VfTable::level_for_demand(double demand, double margin) const {
+  const double need = std::clamp(demand + margin, 0.0, 1.0);
+  for (int l = 0; l < levels(); ++l) {
+    if (speed_scale(l) >= need) return l;
+  }
+  return max_level();
+}
+
+}  // namespace tac3d::power

@@ -1,0 +1,44 @@
+#pragma once
+/// \file vf.hpp
+/// \brief Voltage/frequency operating points and DVFS power scaling.
+
+#include <cstdint>
+#include <vector>
+
+namespace tac3d::power {
+
+/// One DVFS operating point.
+struct VfPoint {
+  double frequency = 0.0;  ///< [Hz]
+  double voltage = 0.0;    ///< [V]
+};
+
+/// Ordered table of operating points (level 0 = slowest, last = nominal).
+class VfTable {
+ public:
+  explicit VfTable(std::vector<VfPoint> points);
+
+  /// The UltraSPARC T1-like ladder used in the paper's experiments:
+  /// 0.6 GHz/0.9 V up to the nominal 1.2 GHz/1.2 V in 5 steps.
+  static VfTable ultrasparc_t1();
+
+  int levels() const { return static_cast<int>(points_.size()); }
+  int max_level() const { return levels() - 1; }
+  const VfPoint& point(int level) const;
+
+  /// Dynamic-power scale factor (V/V0)^2 * (f/f0) relative to the
+  /// nominal (highest) level.
+  double power_scale(int level) const;
+
+  /// Execution-capacity scale f/f0 relative to nominal.
+  double speed_scale(int level) const;
+
+  /// Smallest level whose speed_scale covers \p demand (plus margin),
+  /// used by utilization-driven DVFS.
+  int level_for_demand(double demand, double margin = 0.05) const;
+
+ private:
+  std::vector<VfPoint> points_;
+};
+
+}  // namespace tac3d::power

@@ -1,0 +1,36 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Closed-loop co-simulation: workload trace -> scheduler (LB) ->
+/// policy (DVFS + flow rate) -> power model -> transient thermal model,
+/// stepped at the control interval.
+
+#include "arch/mpsoc.hpp"
+#include "control/policy.hpp"
+#include "microchannel/pump.hpp"
+#include "power/trace.hpp"
+#include "sim/metrics.hpp"
+
+namespace tac3d::sim {
+
+/// Knobs of a simulation run.
+struct SimulationConfig {
+  double control_dt = 0.25;   ///< control & thermal step [s]
+  double duration = 0.0;      ///< 0 = full trace length
+  microchannel::PumpModel pump = microchannel::PumpModel::table1(16);
+  double hot_threshold_k = 273.15 + 85.0;  ///< hot-spot threshold [K]
+  double lb_imbalance = 0.25;
+  /// Fixed-point iterations when computing the leakage-consistent
+  /// initial steady state.
+  int init_iterations = 4;
+};
+
+/// Run \p trace through \p policy on \p soc and collect metrics.
+///
+/// The simulation starts from the leakage-consistent steady state of
+/// the first trace sample (the paper: "we initialize the simulations
+/// with steady state temperature values").
+SimMetrics simulate(arch::Mpsoc3D& soc, const power::UtilizationTrace& trace,
+                    control::ThermalPolicy& policy,
+                    const SimulationConfig& cfg = {});
+
+}  // namespace tac3d::sim

@@ -1,0 +1,69 @@
+#include "sim/experiment.hpp"
+
+#include "arch/calibration.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::sim {
+
+std::string policy_label(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAcLb:
+      return "AC_LB";
+    case PolicyKind::kAcTdvfsLb:
+      return "AC_TDVFS_LB";
+    case PolicyKind::kLcLb:
+      return "LC_LB";
+    case PolicyKind::kLcFuzzy:
+      return "LC_FUZZY";
+  }
+  throw InvalidArgument("policy_label: unknown policy");
+}
+
+arch::CoolingKind cooling_for(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAcLb:
+    case PolicyKind::kAcTdvfsLb:
+      return arch::CoolingKind::kAirCooled;
+    case PolicyKind::kLcLb:
+    case PolicyKind::kLcFuzzy:
+      return arch::CoolingKind::kLiquidCooled;
+  }
+  throw InvalidArgument("cooling_for: unknown policy");
+}
+
+std::unique_ptr<control::ThermalPolicy> make_policy(
+    PolicyKind kind, const arch::Mpsoc3D& soc,
+    const microchannel::PumpModel& pump) {
+  const int n = soc.n_cores();
+  const power::VfTable& vf = soc.chip().vf;
+  switch (kind) {
+    case PolicyKind::kAcLb:
+      return std::make_unique<control::MaxPerformancePolicy>(n, vf, -1);
+    case PolicyKind::kAcTdvfsLb:
+      return std::make_unique<control::TemperatureTriggeredDvfsPolicy>(
+          n, vf, celsius_to_kelvin(arch::calib::kDvfsTripC),
+          celsius_to_kelvin(arch::calib::kDvfsReleaseC), -1);
+    case PolicyKind::kLcLb:
+      return std::make_unique<control::MaxPerformancePolicy>(
+          n, vf, pump.levels() - 1);
+    case PolicyKind::kLcFuzzy:
+      return std::make_unique<control::FuzzyFlowDvfsPolicy>(
+          n, vf, pump.levels(),
+          celsius_to_kelvin(arch::calib::kHotSpotThresholdC));
+  }
+  throw InvalidArgument("make_policy: unknown policy");
+}
+
+SimMetrics run_experiment(const ExperimentSpec& spec) {
+  arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+      spec.tiers, cooling_for(spec.policy), spec.grid,
+      arch::NiagaraConfig::paper()});
+  const power::UtilizationTrace trace = power::generate_workload(
+      spec.workload, soc.chip().hardware_threads(), spec.trace_seconds,
+      spec.seed);
+  const auto policy = make_policy(spec.policy, soc, spec.sim.pump);
+  return simulate(soc, trace, *policy, spec.sim);
+}
+
+}  // namespace tac3d::sim

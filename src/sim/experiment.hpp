@@ -1,0 +1,46 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Canned experiment runner for the paper's policy/stack matrix
+/// (the seven Fig. 6/7 configurations), shared by benches, examples and
+/// the integration tests.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/mpsoc.hpp"
+#include "control/policy.hpp"
+#include "power/workloads.hpp"
+#include "sim/engine.hpp"
+
+namespace tac3d::sim {
+
+/// The four evaluated policies.
+enum class PolicyKind { kAcLb, kAcTdvfsLb, kLcLb, kLcFuzzy };
+
+/// Display name matching the paper's labels.
+std::string policy_label(PolicyKind kind);
+
+/// Cooling configuration each policy runs on.
+arch::CoolingKind cooling_for(PolicyKind kind);
+
+/// Instantiate a policy for a given MPSoC and pump.
+std::unique_ptr<control::ThermalPolicy> make_policy(
+    PolicyKind kind, const arch::Mpsoc3D& soc,
+    const microchannel::PumpModel& pump);
+
+/// One cell of the evaluation matrix.
+struct ExperimentSpec {
+  int tiers = 2;
+  PolicyKind policy = PolicyKind::kLcFuzzy;
+  power::WorkloadKind workload = power::WorkloadKind::kWebServer;
+  int trace_seconds = 180;
+  std::uint64_t seed = 1;
+  thermal::GridOptions grid{16, 16};
+  SimulationConfig sim;
+};
+
+/// Build the MPSoC, generate the trace, run the policy, return metrics.
+SimMetrics run_experiment(const ExperimentSpec& spec);
+
+}  // namespace tac3d::sim

@@ -1,0 +1,20 @@
+#include "sim/metrics.hpp"
+
+namespace tac3d::sim {
+
+double SimMetrics::hotspot_frac_avg_core() const {
+  if (duration <= 0.0 || core_hot_time.empty()) return 0.0;
+  double acc = 0.0;
+  for (double t : core_hot_time) acc += t / duration;
+  return acc / core_hot_time.size();
+}
+
+double SimMetrics::hotspot_frac_any() const {
+  return duration > 0.0 ? any_hot_time / duration : 0.0;
+}
+
+double SimMetrics::perf_degradation() const {
+  return offered_work > 0.0 ? lost_work / offered_work : 0.0;
+}
+
+}  // namespace tac3d::sim

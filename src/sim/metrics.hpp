@@ -1,0 +1,49 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Metrics accumulated over a closed-loop policy simulation:
+/// hot-spot residency (Fig. 6), energy split and performance
+/// degradation (Fig. 7), peak temperatures (Section IV-A text).
+
+#include <cstdint>
+#include <vector>
+
+namespace tac3d::sim {
+
+/// Results of one simulation run.
+struct SimMetrics {
+  double duration = 0.0;  ///< simulated time [s]
+
+  // Hot-spot accounting against the 85 C threshold.
+  std::vector<double> core_hot_time;  ///< per-core time above threshold [s]
+  double any_hot_time = 0.0;          ///< time any core was hot [s]
+  double peak_temp = 0.0;             ///< hottest observed core temp [K]
+
+  // Energy split.
+  double chip_energy = 0.0;  ///< cores + caches + uncore + leakage [J]
+  double pump_energy = 0.0;  ///< pumping network [J]
+
+  // Performance accounting.
+  double offered_work = 0.0;  ///< integral of demand [work-s]
+  double lost_work = 0.0;     ///< demand beyond DVFS-limited capacity
+  std::int64_t migrations = 0;
+
+  /// Time-average of the commanded flow as a fraction of maximum
+  /// (1.0 for LC_LB; n/a -> 0 for air-cooled runs).
+  double avg_flow_fraction = 0.0;
+
+  // --- derived -----------------------------------------------------------
+  /// Mean over cores of the fraction of time each spent hot
+  /// (Fig. 6 "% averaged per core").
+  double hotspot_frac_avg_core() const;
+
+  /// Fraction of time at least one core was hot (Fig. 6 "% of time hot
+  /// spots are observed").
+  double hotspot_frac_any() const;
+
+  double system_energy() const { return chip_energy + pump_energy; }
+
+  /// Fraction of offered work that missed its interval (Fig. 7 "% delay").
+  double perf_degradation() const;
+};
+
+}  // namespace tac3d::sim

@@ -1,0 +1,76 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tac3d::sim {
+
+Scheduler::Scheduler(int n_threads, int n_cores, int threads_per_core,
+                     double imbalance_threshold)
+    : n_threads_(n_threads),
+      n_cores_(n_cores),
+      threads_per_core_(threads_per_core),
+      threshold_(imbalance_threshold) {
+  require(n_threads > 0 && n_cores > 0 && threads_per_core > 0,
+          "Scheduler: invalid configuration");
+  require(imbalance_threshold > 0.0, "Scheduler: threshold must be > 0");
+  placement_.resize(n_threads);
+  for (int t = 0; t < n_threads; ++t) placement_[t] = t % n_cores;
+}
+
+std::vector<double> Scheduler::balance(std::span<const double> thread_demand) {
+  require(static_cast<int>(thread_demand.size()) == n_threads_,
+          "Scheduler::balance: demand size mismatch");
+
+  std::vector<double> queue(n_cores_, 0.0);
+  for (int t = 0; t < n_threads_; ++t) {
+    queue[placement_[t]] += thread_demand[t];
+  }
+
+  // Greedy LB: repeatedly move the smallest suitable thread from the
+  // most-loaded to the least-loaded core while the imbalance exceeds
+  // the threshold.
+  for (int iter = 0; iter < n_threads_; ++iter) {
+    const auto hi =
+        std::max_element(queue.begin(), queue.end()) - queue.begin();
+    const auto lo =
+        std::min_element(queue.begin(), queue.end()) - queue.begin();
+    const double gap = queue[hi] - queue[lo];
+    if (gap <= threshold_ * threads_per_core_) break;
+
+    // Pick the thread on `hi` whose move best narrows the gap without
+    // overshooting: the largest demand not exceeding gap/2 (fall back
+    // to the smallest).
+    int best = -1;
+    double best_demand = -1.0;
+    int smallest = -1;
+    double smallest_demand = 1e300;
+    for (int t = 0; t < n_threads_; ++t) {
+      if (placement_[t] != hi) continue;
+      const double d = thread_demand[t];
+      if (d <= gap / 2.0 && d > best_demand) {
+        best = t;
+        best_demand = d;
+      }
+      if (d < smallest_demand) {
+        smallest = t;
+        smallest_demand = d;
+      }
+    }
+    const int move = best >= 0 ? best : smallest;
+    if (move < 0 || thread_demand[move] <= 0.0) break;
+    placement_[move] = static_cast<int>(lo);
+    queue[hi] -= thread_demand[move];
+    queue[lo] += thread_demand[move];
+    ++migrations_;
+  }
+
+  std::vector<double> core_demand(n_cores_, 0.0);
+  for (int c = 0; c < n_cores_; ++c) {
+    core_demand[c] = std::min(1.0, queue[c] / threads_per_core_);
+  }
+  return core_demand;
+}
+
+}  // namespace tac3d::sim

@@ -1,0 +1,47 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Thread-to-core scheduler with dynamic load balancing (the
+/// paper's LB: "moves threads from a core's queue to another if the
+/// difference in queue lengths is over a threshold").
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tac3d::sim {
+
+/// Run-queue scheduler for hardware threads over cores.
+class Scheduler {
+ public:
+  /// \param n_threads hardware threads offered by the workload
+  /// \param n_cores physical cores
+  /// \param threads_per_core queue capacity normalization (T1: 4)
+  /// \param imbalance_threshold queue-length difference (in normalized
+  ///        demand units) that triggers a migration
+  Scheduler(int n_threads, int n_cores, int threads_per_core,
+            double imbalance_threshold = 0.25);
+
+  /// Rebalance for the given per-thread demands and return per-core
+  /// normalized demand (sum of thread demands / threads_per_core,
+  /// clamped to 1).
+  std::vector<double> balance(std::span<const double> thread_demand);
+
+  /// Threads currently assigned to each core.
+  const std::vector<int>& placement() const { return placement_; }
+
+  /// Total migrations performed so far.
+  std::int64_t migrations() const { return migrations_; }
+
+  int cores() const { return n_cores_; }
+  int threads() const { return n_threads_; }
+
+ private:
+  int n_threads_;
+  int n_cores_;
+  int threads_per_core_;
+  double threshold_;
+  std::vector<int> placement_;  ///< thread -> core
+  std::int64_t migrations_ = 0;
+};
+
+}  // namespace tac3d::sim

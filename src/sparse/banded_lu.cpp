@@ -1,0 +1,104 @@
+#include "sparse/banded_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/rcm.hpp"
+
+namespace tac3d::sparse {
+
+BandedLu::BandedLu(const CsrMatrix& a, std::vector<std::int32_t> perm) {
+  require(a.rows() == a.cols(), "BandedLu: matrix must be square");
+  n_ = a.rows();
+  perm_ = perm.empty() ? rcm_ordering(a) : std::move(perm);
+  require(static_cast<std::int32_t>(perm_.size()) == n_,
+          "BandedLu: permutation size mismatch");
+  inv_perm_.assign(static_cast<std::size_t>(n_), 0);
+  for (std::int32_t i = 0; i < n_; ++i) inv_perm_[perm_[i]] = i;
+
+  // Band extents of the permuted pattern; elimination without pivoting
+  // creates fill only inside [i - kl, i + ku].
+  kl_ = 0;
+  ku_ = 0;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const std::int32_t pr = inv_perm_[r];
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::int32_t pc = inv_perm_[ci[k]];
+      kl_ = std::max(kl_, pr - pc);
+      ku_ = std::max(ku_, pc - pr);
+    }
+  }
+  stride_ = static_cast<std::size_t>(kl_) + static_cast<std::size_t>(ku_) + 1;
+  data_.assign(static_cast<std::size_t>(n_) * stride_, 0.0);
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+  factor(a);
+}
+
+void BandedLu::load(const CsrMatrix& a) {
+  std::fill(data_.begin(), data_.end(), 0.0);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const std::int32_t pr = inv_perm_[r];
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      band(pr, inv_perm_[ci[k]]) = v[k];
+    }
+  }
+}
+
+void BandedLu::eliminate() {
+  for (std::int32_t i = 1; i < n_; ++i) {
+    const std::int32_t k_lo = std::max(std::int32_t{0}, i - kl_);
+    for (std::int32_t k = k_lo; k < i; ++k) {
+      const double pivot = band(k, k);
+      double& lik = band(i, k);
+      if (lik == 0.0) continue;
+      require(pivot != 0.0 && std::isfinite(pivot),
+              "BandedLu: zero pivot (matrix singular or not diagonally "
+              "dominant)");
+      const double l = lik / pivot;
+      lik = l;
+      const std::int32_t j_hi = std::min(n_ - 1, k + ku_);
+      for (std::int32_t j = k + 1; j <= j_hi; ++j) {
+        band(i, j) -= l * band(k, j);
+      }
+    }
+  }
+}
+
+void BandedLu::factor(const CsrMatrix& a) {
+  require(a.rows() == n_ && a.cols() == n_, "BandedLu::factor: size mismatch");
+  load(a);
+  eliminate();
+}
+
+void BandedLu::solve(std::span<const double> b, std::span<double> x) const {
+  require(static_cast<std::int32_t>(b.size()) == n_ &&
+              static_cast<std::int32_t>(x.size()) == n_,
+          "BandedLu::solve: size mismatch");
+  std::vector<double>& y = work_;
+  // Permute RHS: y = P b.
+  for (std::int32_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::int32_t i = 0; i < n_; ++i) {
+    double acc = y[i];
+    const std::int32_t k_lo = std::max(std::int32_t{0}, i - kl_);
+    for (std::int32_t k = k_lo; k < i; ++k) acc -= band(i, k) * y[k];
+    y[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::int32_t i = n_ - 1; i >= 0; --i) {
+    double acc = y[i];
+    const std::int32_t j_hi = std::min(n_ - 1, i + ku_);
+    for (std::int32_t j = i + 1; j <= j_hi; ++j) acc -= band(i, j) * y[j];
+    y[i] = acc / band(i, i);
+  }
+  // Un-permute: x = P^T y.
+  for (std::int32_t i = 0; i < n_; ++i) x[perm_[i]] = y[i];
+}
+
+}  // namespace tac3d::sparse

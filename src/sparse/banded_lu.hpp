@@ -1,0 +1,58 @@
+#pragma once
+/// \file banded_lu.hpp
+/// \brief Direct banded LU factorization (no pivoting) after RCM
+/// reordering.
+///
+/// The backward-Euler matrices of the RC thermal model are strictly
+/// diagonally dominant, so LU without pivoting is numerically stable.
+/// The band layout is fixed by the sparsity pattern at construction;
+/// refactorizing after an in-place value update (e.g. a flow-rate change)
+/// reuses the same storage and permutation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tac3d::sparse {
+
+/// LU = P A P^T factorization in banded storage.
+class BandedLu {
+ public:
+  /// Analyze the pattern of \p a (using RCM unless \p perm is supplied)
+  /// and factor its values. \p perm maps new index -> old index.
+  explicit BandedLu(const CsrMatrix& a, std::vector<std::int32_t> perm = {});
+
+  /// Refactor with new values; \p a must have the same sparsity pattern
+  /// as the matrix used at construction.
+  void factor(const CsrMatrix& a);
+
+  /// Solve A x = b. \p x and \p b may alias.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  std::int32_t size() const { return n_; }
+  std::int32_t lower_bandwidth() const { return kl_; }
+  std::int32_t upper_bandwidth() const { return ku_; }
+
+ private:
+  double& band(std::int32_t i, std::int32_t j) {
+    return data_[static_cast<std::size_t>(i) * stride_ + (j - i + kl_)];
+  }
+  double band(std::int32_t i, std::int32_t j) const {
+    return data_[static_cast<std::size_t>(i) * stride_ + (j - i + kl_)];
+  }
+  void load(const CsrMatrix& a);
+  void eliminate();
+
+  std::int32_t n_ = 0;
+  std::int32_t kl_ = 0;
+  std::int32_t ku_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::int32_t> perm_;      ///< new -> old
+  std::vector<std::int32_t> inv_perm_;  ///< old -> new
+  std::vector<double> data_;            ///< row-major band, LU in place
+  mutable std::vector<double> work_;
+};
+
+}  // namespace tac3d::sparse

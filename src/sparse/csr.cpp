@@ -1,0 +1,138 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(std::int32_t rows, std::int32_t cols,
+                                   std::vector<Triplet> entries) {
+  require(rows > 0 && cols > 0, "CsrMatrix: dimensions must be positive");
+  for (const Triplet& t : entries) {
+    require(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+            "CsrMatrix: triplet index out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  for (std::size_t i = 0; i < entries.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(sum);
+    ++m.row_ptr_[static_cast<std::size_t>(entries[i].row) + 1];
+    i = j;
+  }
+  for (std::int32_t r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] +=
+        m.row_ptr_[static_cast<std::size_t>(r)];
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  require(static_cast<std::int32_t>(x.size()) == cols_ &&
+              static_cast<std::int32_t>(y.size()) == rows_,
+          "CsrMatrix::multiply: size mismatch");
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  require(static_cast<std::int32_t>(x.size()) == rows_ &&
+              static_cast<std::int32_t>(y.size()) == cols_,
+          "CsrMatrix::multiply_transpose: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * x[r];
+    }
+  }
+}
+
+std::int64_t CsrMatrix::find(std::int32_t row, std::int32_t col) const {
+  if (row < 0 || row >= rows_) return -1;
+  const auto begin = col_idx_.begin() + row_ptr_[row];
+  const auto end = col_idx_.begin() + row_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return -1;
+  return it - col_idx_.begin();
+}
+
+double& CsrMatrix::coeff_ref(std::int32_t row, std::int32_t col) {
+  const std::int64_t k = find(row, col);
+  require(k >= 0, "CsrMatrix::coeff_ref: entry not in sparsity pattern");
+  return values_[static_cast<std::size_t>(k)];
+}
+
+double CsrMatrix::coeff(std::int32_t row, std::int32_t col) const {
+  const std::int64_t k = find(row, col);
+  return k >= 0 ? values_[static_cast<std::size_t>(k)] : 0.0;
+}
+
+bool CsrMatrix::has_entry(std::int32_t row, std::int32_t col) const {
+  return find(row, col) >= 0;
+}
+
+void CsrMatrix::set_zero() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(static_cast<std::size_t>(std::min(rows_, cols_)), 0.0);
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(d.size()); ++r) {
+    d[r] = coeff(r, r);
+  }
+  return d;
+}
+
+double CsrMatrix::norm_inf() const {
+  double best = 0.0;
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += std::abs(values_[k]);
+    }
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+bool CsrMatrix::is_diagonally_dominant(double eps) const {
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) {
+        diag = std::abs(values_[k]);
+      } else {
+        off += std::abs(values_[k]);
+      }
+    }
+    if (diag + eps < off) return false;
+  }
+  return true;
+}
+
+}  // namespace tac3d::sparse

@@ -1,0 +1,82 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrix used by the RC thermal solver.
+///
+/// The RC networks assembled by tac3d::thermal are sparse (<= 7 off-
+/// diagonals per row), strictly diagonally dominant, and non-symmetric
+/// whenever fluid advection is present. CsrMatrix stores them in CSR form
+/// with a stable structure so that numeric values can be updated in place
+/// when a cavity flow rate changes without re-running symbolic analysis.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tac3d::sparse {
+
+/// One assembly contribution: A(row, col) += value.
+struct Triplet {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  double value = 0.0;
+};
+
+/// Square or rectangular CSR matrix with int32 indices.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix from_triplets(std::int32_t rows, std::int32_t cols,
+                                 std::vector<Triplet> entries);
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+  std::span<const std::int32_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::int32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+  std::span<double> values_mut() { return values_; }
+
+  /// y = A x. Sizes must match.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x. Sizes must match.
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Reference to an existing structural entry; throws InvalidArgument if
+  /// (row, col) is not in the sparsity pattern.
+  double& coeff_ref(std::int32_t row, std::int32_t col);
+
+  /// Value at (row, col), or 0 if not present.
+  double coeff(std::int32_t row, std::int32_t col) const;
+
+  /// True if (row, col) is a structural entry.
+  bool has_entry(std::int32_t row, std::int32_t col) const;
+
+  /// Set every stored value to zero, keeping the pattern.
+  void set_zero();
+
+  /// Copy of the diagonal (missing entries contribute 0).
+  std::vector<double> diagonal() const;
+
+  /// Infinity norm ||A||_inf (max absolute row sum).
+  double norm_inf() const;
+
+  /// True if strictly diagonally dominant by rows with margin \p eps.
+  bool is_diagonally_dominant(double eps = 0.0) const;
+
+ private:
+  /// Index into values_ of entry (row, col) or -1.
+  std::int64_t find(std::int32_t row, std::int32_t col) const;
+
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<std::int32_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace tac3d::sparse

@@ -1,0 +1,141 @@
+#include "sparse/iterative.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
+                   std::span<double> x, const Preconditioner& m,
+                   const IterativeOptions& opts) {
+  const std::size_t n = b.size();
+  require(a.rows() == a.cols() &&
+              static_cast<std::size_t>(a.rows()) == n && x.size() == n,
+          "cg: size mismatch");
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double bnorm = std::max(norm2(b), 1e-300);
+  IterativeResult res;
+  res.residual_norm = norm2(r);
+  if (res.residual_norm / bnorm <= opts.rel_tolerance) {
+    res.converged = true;
+    return res;
+  }
+
+  m.apply(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::int32_t it = 1; it <= opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) {
+      throw NumericalError("cg: matrix is not positive definite");
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    res.iterations = it;
+    res.residual_norm = norm2(r);
+    if (res.residual_norm / bnorm <= opts.rel_tolerance) {
+      res.converged = true;
+      return res;
+    }
+    m.apply(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const Preconditioner& m,
+                         const IterativeOptions& opts) {
+  const std::size_t n = b.size();
+  require(a.rows() == a.cols() &&
+              static_cast<std::size_t>(a.rows()) == n && x.size() == n,
+          "bicgstab: size mismatch");
+
+  std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+
+  const double bnorm = std::max(norm2(b), 1e-300);
+  IterativeResult res;
+  res.residual_norm = norm2(r);
+  if (res.residual_norm / bnorm <= opts.rel_tolerance) {
+    res.converged = true;
+    return res;
+  }
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  std::fill(p.begin(), p.end(), 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
+
+  for (std::int32_t it = 1; it <= opts.max_iterations; ++it) {
+    const double rho_new = dot(r0, r);
+    if (rho_new == 0.0) break;  // breakdown; report non-convergence
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    m.apply(p, ph);
+    a.multiply(ph, v);
+    const double r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    res.iterations = it;
+    if (norm2(s) / bnorm <= opts.rel_tolerance) {
+      axpy(alpha, ph, x);
+      a.multiply(x, r);
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+      res.residual_norm = norm2(r);
+      res.converged = true;
+      return res;
+    }
+    m.apply(s, sh);
+    a.multiply(sh, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * ph[i] + omega * sh[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    res.residual_norm = norm2(r);
+    if (res.residual_norm / bnorm <= opts.rel_tolerance) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == 0.0) break;
+  }
+  return res;
+}
+
+}  // namespace tac3d::sparse

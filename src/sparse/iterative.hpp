@@ -1,0 +1,41 @@
+#pragma once
+/// \file iterative.hpp
+/// \brief Krylov solvers: preconditioned CG (symmetric systems) and
+/// BiCGSTAB (the advection-coupled, non-symmetric RC systems).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace tac3d::sparse {
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  bool converged = false;
+  std::int32_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - A x||_2
+};
+
+/// Options shared by the Krylov solvers.
+struct IterativeOptions {
+  double rel_tolerance = 1e-10;    ///< on ||r||_2 / ||b||_2
+  std::int32_t max_iterations = 2000;
+};
+
+/// Preconditioned conjugate gradient; requires A symmetric positive
+/// definite. \p x holds the initial guess on entry and the solution on
+/// exit.
+IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
+                   std::span<double> x, const Preconditioner& m,
+                   const IterativeOptions& opts = {});
+
+/// Preconditioned BiCGSTAB for general square systems. \p x holds the
+/// initial guess on entry and the solution on exit.
+IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const Preconditioner& m,
+                         const IterativeOptions& opts = {});
+
+}  // namespace tac3d::sparse

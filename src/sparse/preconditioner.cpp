@@ -1,0 +1,110 @@
+#include "sparse/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+void IdentityPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
+  std::copy(r.begin(), r.end(), z.begin());
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    require(d != 0.0, "JacobiPreconditioner: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  require(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+          "JacobiPreconditioner: size mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) : lu_(a) {
+  const std::int32_t n = a.rows();
+  require(n == a.cols(), "Ilu0Preconditioner: matrix must be square");
+  diag_.assign(static_cast<std::size_t>(n), -1);
+  const auto rp = lu_.row_ptr();
+  const auto ci = lu_.col_idx();
+  for (std::int32_t r = 0; r < n; ++r) {
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) diag_[r] = k;
+    }
+    require(diag_[r] >= 0, "Ilu0Preconditioner: missing diagonal entry");
+  }
+  refactor(a);
+}
+
+void Ilu0Preconditioner::refactor(const CsrMatrix& a) {
+  require(a.nnz() == lu_.nnz() && a.rows() == lu_.rows(),
+          "Ilu0Preconditioner::refactor: pattern mismatch");
+  std::copy(a.values().begin(), a.values().end(), lu_.values_mut().begin());
+
+  const std::int32_t n = lu_.rows();
+  const auto rp = lu_.row_ptr();
+  const auto ci = lu_.col_idx();
+  auto v = lu_.values_mut();
+
+  // IKJ-variant ILU(0): for each row i, eliminate with previous rows k
+  // that appear in row i's pattern.
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t kk = rp[i]; kk < rp[i + 1]; ++kk) {
+      const std::int32_t k = ci[kk];
+      if (k >= i) break;
+      const double pivot = v[diag_[k]];
+      require(pivot != 0.0 && std::isfinite(pivot),
+              "Ilu0Preconditioner: zero pivot");
+      const double l = v[kk] / pivot;
+      v[kk] = l;
+      // Subtract l * row_k from row_i, restricted to row_i's pattern.
+      std::int32_t pi = kk + 1;
+      for (std::int32_t pk = diag_[k] + 1; pk < rp[k + 1]; ++pk) {
+        const std::int32_t col = ci[pk];
+        while (pi < rp[i + 1] && ci[pi] < col) ++pi;
+        if (pi < rp[i + 1] && ci[pi] == col) v[pi] -= l * v[pk];
+      }
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  const std::int32_t n = lu_.rows();
+  require(static_cast<std::int32_t>(r.size()) == n &&
+              static_cast<std::int32_t>(z.size()) == n,
+          "Ilu0Preconditioner: size mismatch");
+  const auto rp = lu_.row_ptr();
+  const auto ci = lu_.col_idx();
+  const auto v = lu_.values();
+
+  // Forward solve L z = r (unit diagonal).
+  for (std::int32_t i = 0; i < n; ++i) {
+    double acc = r[i];
+    for (std::int32_t k = rp[i]; k < rp[i + 1] && ci[k] < i; ++k) {
+      acc -= v[k] * z[ci[k]];
+    }
+    z[i] = acc;
+  }
+  // Backward solve U z = z.
+  for (std::int32_t i = n - 1; i >= 0; --i) {
+    double acc = z[i];
+    double dii = 0.0;
+    for (std::int32_t k = rp[i + 1] - 1; k >= rp[i] && ci[k] >= i; --k) {
+      if (ci[k] == i) {
+        dii = v[k];
+      } else {
+        acc -= v[k] * z[ci[k]];
+      }
+    }
+    z[i] = acc / dii;
+  }
+}
+
+}  // namespace tac3d::sparse

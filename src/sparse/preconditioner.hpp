@@ -1,0 +1,52 @@
+#pragma once
+/// \file preconditioner.hpp
+/// \brief Jacobi and ILU(0) preconditioners for the iterative solvers.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace tac3d::sparse {
+
+/// Applies z = M^{-1} r for some approximation M of A.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+/// Identity preconditioner (no-op).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(std::span<const double> r, std::span<double> z) const override;
+};
+
+/// Diagonal (Jacobi) preconditioner.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Zero-fill incomplete LU factorization; the factors live on the
+/// sparsity pattern of A. Stable for the diagonally dominant RC systems.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  explicit Ilu0Preconditioner(const CsrMatrix& a);
+
+  /// Recompute factors for new values on the same pattern.
+  void refactor(const CsrMatrix& a);
+
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  CsrMatrix lu_;                     ///< combined factors on A's pattern
+  std::vector<std::int32_t> diag_;   ///< index of diagonal entry per row
+};
+
+}  // namespace tac3d::sparse

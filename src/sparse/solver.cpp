@@ -1,0 +1,74 @@
+#include "sparse/solver.hpp"
+
+#include "common/error.hpp"
+#include "sparse/banded_lu.hpp"
+#include "sparse/iterative.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace tac3d::sparse {
+
+namespace {
+
+class BandedLuSolver final : public LinearSolver {
+ public:
+  explicit BandedLuSolver(const CsrMatrix& a) : lu_(a) {}
+
+  void update_values(const CsrMatrix& a) override { lu_.factor(a); }
+
+  void solve(std::span<const double> b, std::span<double> x) override {
+    lu_.solve(b, x);
+  }
+
+  const char* name() const override { return "banded-lu(rcm)"; }
+
+ private:
+  BandedLu lu_;
+};
+
+template <typename Precond>
+class BicgstabSolver final : public LinearSolver {
+ public:
+  explicit BicgstabSolver(const CsrMatrix& a, const char* name)
+      : a_(&a), precond_(a), name_(name) {}
+
+  void update_values(const CsrMatrix& a) override {
+    a_ = &a;
+    precond_ = Precond(a);
+  }
+
+  void solve(std::span<const double> b, std::span<double> x) override {
+    IterativeOptions opts;
+    opts.rel_tolerance = 1e-12;
+    opts.max_iterations = 5000;
+    const IterativeResult res = bicgstab(*a_, b, x, precond_, opts);
+    if (!res.converged) {
+      throw NumericalError("BicgstabSolver: failed to converge");
+    }
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  const CsrMatrix* a_;
+  Precond precond_;
+  const char* name_;
+};
+
+}  // namespace
+
+std::unique_ptr<LinearSolver> make_solver(SolverKind kind,
+                                          const CsrMatrix& a) {
+  switch (kind) {
+    case SolverKind::kBandedLu:
+      return std::make_unique<BandedLuSolver>(a);
+    case SolverKind::kBicgstabIlu0:
+      return std::make_unique<BicgstabSolver<Ilu0Preconditioner>>(
+          a, "bicgstab+ilu0");
+    case SolverKind::kBicgstabJacobi:
+      return std::make_unique<BicgstabSolver<JacobiPreconditioner>>(
+          a, "bicgstab+jacobi");
+  }
+  throw InvalidArgument("make_solver: unknown solver kind");
+}
+
+}  // namespace tac3d::sparse

@@ -1,0 +1,41 @@
+#pragma once
+/// \file solver.hpp
+/// \brief Facade over the direct and iterative solvers so the thermal
+/// module can switch strategies via configuration.
+
+#include <memory>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace tac3d::sparse {
+
+/// Solver strategy.
+enum class SolverKind {
+  kBandedLu,        ///< RCM + banded direct LU, cached factorization
+  kBicgstabIlu0,    ///< BiCGSTAB with ILU(0)
+  kBicgstabJacobi,  ///< BiCGSTAB with Jacobi
+};
+
+/// A linear solver bound to one matrix; update_values() refreshes the
+/// factorization/preconditioner after in-place value changes on the same
+/// sparsity pattern.
+class LinearSolver {
+ public:
+  virtual ~LinearSolver() = default;
+
+  /// Refresh internal state after the bound matrix's values changed.
+  virtual void update_values(const CsrMatrix& a) = 0;
+
+  /// Solve A x = b; \p x may carry a warm-start guess for iterative
+  /// solvers (ignored by direct ones).
+  virtual void solve(std::span<const double> b, std::span<double> x) = 0;
+
+  /// Human-readable solver name for logs and benches.
+  virtual const char* name() const = 0;
+};
+
+/// Create a solver of the requested kind bound to \p a.
+std::unique_ptr<LinearSolver> make_solver(SolverKind kind, const CsrMatrix& a);
+
+}  // namespace tac3d::sparse

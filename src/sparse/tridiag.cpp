@@ -1,0 +1,39 @@
+#include "sparse/tridiag.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  require(lower.size() == n && upper.size() == n && rhs.size() == n,
+          "solve_tridiagonal: size mismatch");
+  require(n >= 1, "solve_tridiagonal: empty system");
+
+  std::vector<double> c(n), d(n);
+  double pivot = diag[0];
+  if (pivot == 0.0 || !std::isfinite(pivot)) {
+    throw NumericalError("solve_tridiagonal: zero pivot at row 0");
+  }
+  c[0] = upper[0] / pivot;
+  d[0] = rhs[0] / pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - lower[i] * c[i - 1];
+    if (pivot == 0.0 || !std::isfinite(pivot)) {
+      throw NumericalError("solve_tridiagonal: zero pivot");
+    }
+    c[i] = upper[i] / pivot;
+    d[i] = (rhs[i] - lower[i] * d[i - 1]) / pivot;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    d[i] -= c[i] * d[i + 1];
+  }
+  return d;
+}
+
+}  // namespace tac3d::sparse

@@ -1,0 +1,24 @@
+#pragma once
+/// \file tridiag.hpp
+/// \brief Thomas algorithm for tridiagonal systems (1-D validation
+/// problems and per-channel marching schemes).
+
+#include <span>
+#include <vector>
+
+namespace tac3d::sparse {
+
+/// Solve a tridiagonal system in O(n).
+///
+/// \param lower sub-diagonal, size n (lower[0] unused)
+/// \param diag  main diagonal, size n
+/// \param upper super-diagonal, size n (upper[n-1] unused)
+/// \param rhs   right-hand side, size n
+/// \returns solution vector of size n
+/// \throws NumericalError on zero pivot.
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs);
+
+}  // namespace tac3d::sparse

@@ -1,0 +1,120 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::thermal {
+
+void Floorplan::add(std::string name, Rect rect) {
+  require(!name.empty(), "Floorplan::add: empty element name");
+  require(rect.valid(), "Floorplan::add: degenerate rectangle for " + name);
+  require(!has(name), "Floorplan::add: duplicate element name " + name);
+  elements_.push_back(FloorplanElement{std::move(name), rect});
+}
+
+std::size_t Floorplan::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].name == name) return i;
+  }
+  throw InvalidArgument("Floorplan: no element named " + name);
+}
+
+bool Floorplan::has(const std::string& name) const {
+  return std::any_of(elements_.begin(), elements_.end(),
+                     [&name](const FloorplanElement& e) {
+                       return e.name == name;
+                     });
+}
+
+void Floorplan::validate(double width, double length) const {
+  const Rect chip{0.0, 0.0, width, length};
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    require(chip.contains(elements_[i].rect, 1e-9),
+            "Floorplan: element " + elements_[i].name +
+                " extends outside the tier");
+    for (std::size_t j = i + 1; j < elements_.size(); ++j) {
+      // Tolerate sliver overlaps from rounded coordinates.
+      const double ov = elements_[i].rect.overlap_area(elements_[j].rect);
+      const double min_area =
+          std::min(elements_[i].rect.area(), elements_[j].rect.area());
+      require(ov <= 1e-6 * min_area,
+              "Floorplan: elements " + elements_[i].name + " and " +
+                  elements_[j].name + " overlap");
+    }
+  }
+}
+
+double Floorplan::total_area() const {
+  double a = 0.0;
+  for (const auto& e : elements_) a += e.rect.area();
+  return a;
+}
+
+Floorplan Floorplan::parse(std::istream& in) {
+  Floorplan fp;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name)) continue;  // blank/comment line
+    double x, y, w, h;
+    if (!(ls >> x >> y >> w >> h)) {
+      throw InvalidArgument("Floorplan::parse: malformed line " +
+                            std::to_string(line_no));
+    }
+    fp.add(name, Rect{mm(x), mm(y), mm(w), mm(h)});
+  }
+  return fp;
+}
+
+std::string Floorplan::to_text() const {
+  std::ostringstream os;
+  os << "# name x_mm y_mm w_mm h_mm\n";
+  for (const auto& e : elements_) {
+    os << e.name << ' ' << e.rect.x * 1e3 << ' ' << e.rect.y * 1e3 << ' '
+       << e.rect.w * 1e3 << ' ' << e.rect.h * 1e3 << '\n';
+  }
+  return os.str();
+}
+
+std::string Floorplan::ascii_art(double width, double length,
+                                 int text_cols) const {
+  require(width > 0.0 && length > 0.0, "Floorplan::ascii_art: bad tier size");
+  const int cols = std::max(8, text_cols);
+  const int rows = std::max(
+      4, static_cast<int>(std::lround(cols * (length / width) * 0.5)));
+  std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(cols),
+                                              '.'));
+  for (const auto& e : elements_) {
+    const int c0 = static_cast<int>(e.rect.x / width * cols);
+    const int c1 = static_cast<int>(std::ceil(e.rect.right() / width * cols));
+    const int r0 = static_cast<int>(e.rect.y / length * rows);
+    const int r1 = static_cast<int>(std::ceil(e.rect.top() / length * rows));
+    for (int r = std::max(0, r0); r < std::min(rows, r1); ++r) {
+      for (int c = std::max(0, c0); c < std::min(cols, c1); ++c) {
+        const std::size_t k =
+            static_cast<std::size_t>(c - c0) % e.name.size();
+        canvas[r][c] = e.name[k];
+      }
+    }
+  }
+  std::string out;
+  // Draw with row 0 (y = 0) at the bottom, like a floorplan figure.
+  for (int r = rows - 1; r >= 0; --r) {
+    out += canvas[r];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tac3d::thermal

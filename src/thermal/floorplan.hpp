@@ -1,0 +1,61 @@
+#pragma once
+/// \file floorplan.hpp
+/// \brief Named rectangular power elements on one tier of the stack.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace tac3d::thermal {
+
+/// One named block of a floorplan.
+struct FloorplanElement {
+  std::string name;
+  Rect rect;  ///< position within the tier [m]
+};
+
+/// Collection of non-overlapping named blocks.
+class Floorplan {
+ public:
+  Floorplan() = default;
+
+  /// Append an element; names must be unique within the floorplan.
+  void add(std::string name, Rect rect);
+
+  std::size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const FloorplanElement& operator[](std::size_t i) const {
+    return elements_[i];
+  }
+  const std::vector<FloorplanElement>& elements() const { return elements_; }
+
+  /// Index of the element named \p name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// True if an element named \p name exists.
+  bool has(const std::string& name) const;
+
+  /// Verify elements do not overlap and fit in a width x length tier.
+  void validate(double width, double length) const;
+
+  /// Sum of element areas [m^2].
+  double total_area() const;
+
+  /// Parse the text format: one element per line,
+  /// `name x_mm y_mm w_mm h_mm`, '#' comments, blank lines ignored.
+  static Floorplan parse(std::istream& in);
+
+  /// Serialize to the same text format.
+  std::string to_text() const;
+
+  /// Coarse ASCII rendering (for the Fig. 1 layout bench); each element
+  /// is drawn with the first letters of its name.
+  std::string ascii_art(double width, double length, int text_cols = 48) const;
+
+ private:
+  std::vector<FloorplanElement> elements_;
+};
+
+}  // namespace tac3d::thermal

@@ -1,0 +1,11 @@
+#include "thermal/material.hpp"
+
+namespace tac3d::thermal::materials {
+
+Material silicon() { return {"silicon", 130.0, 1.635660e6}; }
+Material wiring() { return {"wiring", 2.25, 2.174502e6}; }
+Material copper() { return {"copper", 400.0, 3.45e6}; }
+Material tim() { return {"tim", 2.5, 2.0e6}; }
+Material pyrex() { return {"pyrex", 1.1, 1.672e6}; }
+
+}  // namespace tac3d::thermal::materials

@@ -1,0 +1,37 @@
+#pragma once
+/// \file material.hpp
+/// \brief Solid material properties for the RC thermal model.
+
+#include <string>
+
+namespace tac3d::thermal {
+
+/// Homogeneous isotropic solid.
+struct Material {
+  std::string name;
+  double conductivity = 0.0;              ///< k [W/(m K)]
+  double volumetric_heat_capacity = 0.0;  ///< rho*c [J/(m^3 K)]
+};
+
+/// Standard materials; silicon and wiring match Table I of the paper.
+namespace materials {
+
+/// Bulk silicon: k = 130 W/(m K), cv = 1.63566e6 J/(m^3 K) (Table I).
+Material silicon();
+
+/// BEOL/wiring and inter-tier bond material: k = 2.25 W/(m K),
+/// cv = 2.174502e6 J/(m^3 K) (Table I).
+Material wiring();
+
+/// Copper (heat spreader).
+Material copper();
+
+/// Thermal interface material between die stack and spreader.
+Material tim();
+
+/// Pyrex lid used on the two-phase test vehicles.
+Material pyrex();
+
+}  // namespace materials
+
+}  // namespace tac3d::thermal

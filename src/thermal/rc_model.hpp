@@ -1,0 +1,125 @@
+#pragma once
+/// \file rc_model.hpp
+/// \brief RC thermal network assembled from a ThermalGrid: conduction,
+/// convective wall-fluid coupling, fluid advection, heat-sink path.
+///
+/// The network follows the compact-transient-model lineage of the
+/// paper's Section II-D (3D-ICE): every grid cell is one node with a
+/// capacitance; conductances connect vertical and lateral neighbors;
+/// cavity fluid nodes couple to the adjacent solid layers through an
+/// effective convective conductance (with wall-fin augmentation in the
+/// homogenized mode) plus a wall-bypass conduction path, and to their
+/// upstream neighbors through first-order upwind advection terms that
+/// scale linearly with the cavity flow rate. Only the advection entries
+/// depend on the flow rate (fully developed laminar Nusselt number is
+/// flow-independent), so a flow change is an in-place value update.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/solver.hpp"
+#include "thermal/grid.hpp"
+
+namespace tac3d::thermal {
+
+/// Assembled RC network with runtime-adjustable power and flow.
+class RcModel {
+ public:
+  RcModel(StackSpec spec, GridOptions opts);
+
+  const ThermalGrid& grid() const { return grid_; }
+  std::int32_t node_count() const { return grid_.node_count(); }
+  int n_cavities() const { return grid_.spec().n_cavities(); }
+
+  // --- power ---------------------------------------------------------
+  /// Set the power [W] of every floorplan element (order of
+  /// grid().element(e)).
+  void set_element_powers(std::span<const double> watts);
+
+  /// Set one element's power [W].
+  void set_element_power(int element, double watts);
+
+  /// Sum of all element powers [W].
+  double total_power() const;
+
+  // --- coolant flow ----------------------------------------------------
+  /// Set the volumetric flow of one cavity [m^3/s]. Flow starts at 0.
+  void set_cavity_flow(int cavity, double q_m3s);
+
+  /// Set the same flow on all cavities [m^3/s].
+  void set_all_flows(double q_m3s);
+
+  double cavity_flow(int cavity) const { return cavity_flow_[cavity]; }
+
+  /// Monotone counter bumped whenever the system matrix changes
+  /// (i.e. on flow-rate updates); lets cached factorizations detect
+  /// staleness.
+  std::uint64_t version() const { return version_; }
+
+  // --- system access ---------------------------------------------------
+  /// Current conductance matrix G (advection included).
+  const sparse::CsrMatrix& conductance() const { return g_; }
+
+  /// Nodal heat capacities [J/K].
+  std::span<const double> capacitance() const { return c_; }
+
+  /// Current right-hand side: injected power plus boundary terms.
+  std::vector<double> rhs() const;
+
+  // --- solves ----------------------------------------------------------
+  /// Steady-state temperatures [K] for the current power and flows.
+  std::vector<double> steady_state(
+      sparse::SolverKind kind = sparse::SolverKind::kBicgstabIlu0) const;
+
+  // --- sensors / diagnostics -------------------------------------------
+  /// Power-weighted maximum cell temperature of an element [K].
+  double element_max(std::span<const double> temps, int element) const;
+
+  /// Area-weighted mean temperature of an element [K].
+  double element_avg(std::span<const double> temps, int element) const;
+
+  /// Maximum temperature over all grid cells (sink node excluded) [K].
+  double max_temperature(std::span<const double> temps) const;
+
+  /// Maximum cell temperature within one grid layer [K].
+  double layer_max(std::span<const double> temps, int grid_layer) const;
+
+  /// Flow-weighted outlet fluid temperature of a cavity [K].
+  double cavity_outlet_temp(std::span<const double> temps, int cavity) const;
+
+  /// Heat carried away by a cavity's coolant [W] (upwind telescoped:
+  /// m_dot c_p (T_outlet - T_inlet) summed over fluid columns).
+  double advective_heat_removal(std::span<const double> temps,
+                                int cavity) const;
+
+  /// Heat leaving through the air-cooled sink [W] (0 if no sink).
+  double sink_heat_removal(std::span<const double> temps) const;
+
+ private:
+  struct AdvectionEntry {
+    std::int32_t node;
+    std::int32_t upstream;  ///< -1 = inlet boundary
+    double unit;            ///< coefficient per unit cavity flow [W s/(K m^3)]
+  };
+
+  void assemble();
+  void apply_flows();
+  /// Grid layer index of a cavity with the given id.
+  int cavity_grid_layer(int cavity) const;
+
+  ThermalGrid grid_;
+  sparse::CsrMatrix g_static_;  ///< flow-independent part
+  sparse::CsrMatrix g_;         ///< current matrix (static + advection)
+  std::vector<double> c_;
+  std::vector<double> rhs_static_;  ///< ambient/sink boundary terms
+  std::vector<double> rhs_flow_;    ///< inlet advection terms
+  std::vector<double> power_rhs_;   ///< injected element power per node
+  std::vector<double> element_power_;
+  std::vector<std::vector<AdvectionEntry>> cavity_adv_;
+  std::vector<double> cavity_flow_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace tac3d::thermal

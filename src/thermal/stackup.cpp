@@ -1,0 +1,81 @@
+#include "thermal/stackup.hpp"
+
+#include "common/error.hpp"
+
+namespace tac3d::thermal {
+
+Layer Layer::solid(std::string name, double thickness, Material material,
+                   int floorplan_index) {
+  require(thickness > 0.0, "Layer::solid: thickness must be positive");
+  Layer l;
+  l.kind = LayerKind::kSolid;
+  l.name = std::move(name);
+  l.thickness = thickness;
+  l.material = std::move(material);
+  l.floorplan_index = floorplan_index;
+  return l;
+}
+
+Layer Layer::cavity(std::string name, double height, double channel_width,
+                    double channel_pitch, Material wall,
+                    microchannel::Coolant coolant) {
+  require(height > 0.0, "Layer::cavity: height must be positive");
+  require(channel_width > 0.0 && channel_pitch > channel_width,
+          "Layer::cavity: need 0 < channel_width < channel_pitch");
+  Layer l;
+  l.kind = LayerKind::kCavity;
+  l.name = std::move(name);
+  l.thickness = height;
+  l.material = std::move(wall);
+  l.channel_width = channel_width;
+  l.channel_pitch = channel_pitch;
+  l.coolant = std::move(coolant);
+  return l;
+}
+
+int StackSpec::n_cavities() const {
+  int n = 0;
+  for (const Layer& l : layers) {
+    if (l.kind == LayerKind::kCavity) ++n;
+  }
+  return n;
+}
+
+StackSpec& StackSpec::validate() {
+  require(width > 0.0 && length > 0.0, "StackSpec: chip extent must be > 0");
+  require(layers.size() >= 1, "StackSpec: empty stack");
+  int cavity_id = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Layer& l = layers[i];
+    require(l.thickness > 0.0, "StackSpec: layer " + l.name +
+                                   " has non-positive thickness");
+    if (l.kind == LayerKind::kCavity) {
+      require(i != 0 && i + 1 != layers.size(),
+              "StackSpec: cavity " + l.name +
+                  " must be enclosed by solid layers");
+      require(layers[i - 1].kind == LayerKind::kSolid &&
+                  layers[i + 1].kind == LayerKind::kSolid,
+              "StackSpec: cavity " + l.name +
+                  " must be adjacent to solid layers");
+      l.cavity_id = cavity_id++;
+      require(l.floorplan_index < 0,
+              "StackSpec: cavities cannot dissipate power");
+    }
+    if (l.floorplan_index >= 0) {
+      require(l.kind == LayerKind::kSolid,
+              "StackSpec: only solid layers can carry floorplans");
+      require(static_cast<std::size_t>(l.floorplan_index) <
+                  floorplans.size(),
+              "StackSpec: floorplan index of layer " + l.name +
+                  " out of range");
+    }
+  }
+  for (const Floorplan& fp : floorplans) {
+    fp.validate(width, length);
+  }
+  require(ambient > 0.0 && coolant_inlet > 0.0,
+          "StackSpec: boundary temperatures must be absolute (K)");
+  return *this;
+}
+
+}  // namespace tac3d::thermal

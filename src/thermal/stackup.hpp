@@ -1,0 +1,83 @@
+#pragma once
+/// \file stackup.hpp
+/// \brief Vertical composition of a 3D stack: solid layers, liquid
+/// cavities, optional air-cooled heat-sink path, boundary temperatures.
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/material.hpp"
+
+namespace tac3d::thermal {
+
+/// What a layer is made of.
+enum class LayerKind {
+  kSolid,   ///< homogeneous solid
+  kCavity,  ///< inter-tier liquid-cooling cavity (micro-channels)
+};
+
+/// One layer of the vertical stack (bottom to top ordering in StackSpec).
+struct Layer {
+  LayerKind kind = LayerKind::kSolid;
+  std::string name;
+  double thickness = 0.0;  ///< [m]; for cavities this is the channel height
+
+  /// Solid material, or the channel wall material for cavities.
+  Material material;
+
+  /// Index into StackSpec::floorplans if this solid layer dissipates
+  /// power (the die's active surface), else -1.
+  int floorplan_index = -1;
+
+  // Cavity-only parameters:
+  double channel_width = 0.0;  ///< [m]
+  double channel_pitch = 0.0;  ///< [m] channel + wall repeat distance
+  microchannel::Coolant coolant;  ///< properties at inlet conditions
+
+  /// Sequential cavity number, assigned by StackSpec::validate().
+  int cavity_id = -1;
+
+  /// Make a solid layer.
+  static Layer solid(std::string name, double thickness, Material material,
+                     int floorplan_index = -1);
+
+  /// Make a liquid-cooling cavity layer.
+  static Layer cavity(std::string name, double height, double channel_width,
+                      double channel_pitch, Material wall,
+                      microchannel::Coolant coolant);
+};
+
+/// Lumped air-cooled path on top of the stack (Table I: 10 W/K, 140 J/K).
+struct HeatSinkSpec {
+  bool present = false;
+  double conductance_to_ambient = 10.0;  ///< [W/K]
+  double capacitance = 140.0;            ///< [J/K]
+  /// Conductance spreading the top-layer cells into the lumped sink node
+  /// (sink-base/attach conductance) [W/K].
+  double coupling_conductance = 250.0;
+};
+
+/// Complete stack description consumed by the thermal grid.
+struct StackSpec {
+  std::string name;
+  double width = 0.0;   ///< x extent [m], perpendicular to the flow
+  double length = 0.0;  ///< y extent [m], along the flow (row 0 = inlet)
+  std::vector<Layer> layers;           ///< bottom -> top
+  std::vector<Floorplan> floorplans;   ///< indexed by Layer::floorplan_index
+  HeatSinkSpec sink;
+  double ambient = celsius_to_kelvin(45.0);        ///< [K]
+  double coolant_inlet = celsius_to_kelvin(27.0);  ///< [K]
+
+  /// Number of cavity layers.
+  int n_cavities() const;
+
+  /// Check invariants (cavities not on the boundary, floorplan indices
+  /// valid, floorplans fit the tier) and assign cavity ids. Must be
+  /// called before building a grid; returns *this for chaining.
+  StackSpec& validate();
+};
+
+}  // namespace tac3d::thermal

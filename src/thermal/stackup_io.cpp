@@ -1,0 +1,215 @@
+#include "thermal/stackup_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+
+namespace tac3d::thermal {
+
+namespace {
+
+std::string strip_comment(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  return line;
+}
+
+}  // namespace
+
+StackSpec parse_stack(std::istream& in) {
+  StackSpec spec;
+  std::map<std::string, Material> mats;
+  mats["silicon"] = materials::silicon();
+  mats["wiring"] = materials::wiring();
+  mats["copper"] = materials::copper();
+  mats["tim"] = materials::tim();
+  mats["pyrex"] = materials::pyrex();
+
+  auto material_of = [&mats](const std::string& name) {
+    const auto it = mats.find(name);
+    require(it != mats.end(), "parse_stack: unknown material " + name);
+    return it->second;
+  };
+
+  std::string line;
+  int line_no = 0;
+  bool in_floorplan = false;
+  Floorplan current_fp;
+  auto fail = [&line_no](const std::string& what) -> void {
+    throw InvalidArgument("parse_stack: " + what + " at line " +
+                          std::to_string(line_no));
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(strip_comment(line));
+    std::string kw;
+    if (!(ls >> kw)) continue;
+
+    if (in_floorplan) {
+      if (kw == "floorplan") {
+        std::string sub;
+        ls >> sub;
+        if (sub != "end") fail("expected 'floorplan end'");
+        spec.floorplans.push_back(std::move(current_fp));
+        current_fp = Floorplan{};
+        in_floorplan = false;
+      } else {
+        double x, y, w, h;
+        if (!(ls >> x >> y >> w >> h)) fail("malformed floorplan element");
+        current_fp.add(kw, Rect{mm(x), mm(y), mm(w), mm(h)});
+      }
+      continue;
+    }
+
+    if (kw == "stack") {
+      std::getline(ls >> std::ws, spec.name);
+    } else if (kw == "dimensions") {
+      double w, l;
+      if (!(ls >> w >> l)) fail("malformed dimensions");
+      spec.width = mm(w);
+      spec.length = mm(l);
+    } else if (kw == "ambient") {
+      double c;
+      if (!(ls >> c)) fail("malformed ambient");
+      spec.ambient = celsius_to_kelvin(c);
+    } else if (kw == "coolant_inlet") {
+      double c;
+      if (!(ls >> c)) fail("malformed coolant_inlet");
+      spec.coolant_inlet = celsius_to_kelvin(c);
+    } else if (kw == "material") {
+      std::string name;
+      double k, cv;
+      if (!(ls >> name >> k >> cv)) fail("malformed material");
+      mats[name] = Material{name, k, cv};
+    } else if (kw == "layer") {
+      std::string name, mat, opt;
+      double t;
+      if (!(ls >> name >> t >> mat)) fail("malformed layer");
+      int fp_index = -1;
+      if (ls >> opt) {
+        if (opt != "floorplan" || !(ls >> fp_index)) {
+          fail("malformed layer floorplan reference");
+        }
+      }
+      spec.layers.push_back(
+          Layer::solid(name, mm(t), material_of(mat), fp_index));
+    } else if (kw == "cavity") {
+      std::string name, wall;
+      double h, wc, pitch;
+      if (!(ls >> name >> h >> wc >> pitch >> wall)) {
+        fail("malformed cavity");
+      }
+      spec.layers.push_back(
+          Layer::cavity(name, mm(h), mm(wc), mm(pitch), material_of(wall),
+                        microchannel::water(spec.coolant_inlet)));
+    } else if (kw == "sink") {
+      double g, c, couple;
+      if (!(ls >> g >> c >> couple)) fail("malformed sink");
+      spec.sink.present = true;
+      spec.sink.conductance_to_ambient = g;
+      spec.sink.capacitance = c;
+      spec.sink.coupling_conductance = couple;
+    } else if (kw == "floorplan") {
+      std::string sub;
+      ls >> sub;
+      if (sub != "begin") fail("expected 'floorplan begin'");
+      in_floorplan = true;
+    } else {
+      fail("unknown keyword '" + kw + "'");
+    }
+  }
+  require(!in_floorplan, "parse_stack: unterminated floorplan block");
+  spec.validate();
+  return spec;
+}
+
+std::string stack_to_text(const StackSpec& spec) {
+  std::ostringstream os;
+  os.precision(12);  // geometry must survive the text round trip
+  os << "stack " << spec.name << '\n';
+  os << "dimensions " << spec.width * 1e3 << ' ' << spec.length * 1e3
+     << '\n';
+  os << "ambient " << kelvin_to_celsius(spec.ambient) << '\n';
+  os << "coolant_inlet " << kelvin_to_celsius(spec.coolant_inlet) << '\n';
+
+  // Emit material definitions for everything the layers reference.
+  std::map<std::string, Material> emitted;
+  for (const Layer& l : spec.layers) {
+    if (!emitted.count(l.material.name)) {
+      emitted[l.material.name] = l.material;
+      os << "material " << l.material.name << ' '
+         << l.material.conductivity << ' '
+         << l.material.volumetric_heat_capacity << '\n';
+    }
+  }
+  if (spec.sink.present) {
+    os << "sink " << spec.sink.conductance_to_ambient << ' '
+       << spec.sink.capacitance << ' ' << spec.sink.coupling_conductance
+       << '\n';
+  }
+  for (const Floorplan& fp : spec.floorplans) {
+    os << "floorplan begin\n";
+    for (const auto& e : fp.elements()) {
+      os << "  " << e.name << ' ' << e.rect.x * 1e3 << ' '
+         << e.rect.y * 1e3 << ' ' << e.rect.w * 1e3 << ' '
+         << e.rect.h * 1e3 << '\n';
+    }
+    os << "floorplan end\n";
+  }
+  for (const Layer& l : spec.layers) {
+    if (l.kind == LayerKind::kCavity) {
+      os << "cavity " << l.name << ' ' << l.thickness * 1e3 << ' '
+         << l.channel_width * 1e3 << ' ' << l.channel_pitch * 1e3 << ' '
+         << l.material.name << '\n';
+    } else {
+      os << "layer " << l.name << ' ' << l.thickness * 1e3 << ' '
+         << l.material.name;
+      if (l.floorplan_index >= 0) os << " floorplan " << l.floorplan_index;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+void write_layer_csv(const RcModel& model, std::span<const double> temps,
+                     int grid_layer, std::ostream& os) {
+  const ThermalGrid& grid = model.grid();
+  require(grid_layer >= 0 && grid_layer < grid.n_layers(),
+          "write_layer_csv: layer out of range");
+  os << "y_mm\\x_mm";
+  double x = 0.0;
+  for (int c = 0; c < grid.cols(); ++c) {
+    os << ',' << (x + 0.5 * grid.dx(c)) * 1e3;
+    x += grid.dx(c);
+  }
+  os << '\n';
+  double y = 0.0;
+  for (int r = 0; r < grid.rows(); ++r) {
+    os << (y + 0.5 * grid.dy(r)) * 1e3;
+    y += grid.dy(r);
+    for (int c = 0; c < grid.cols(); ++c) {
+      os << ','
+         << kelvin_to_celsius(temps[grid.cell_node(grid_layer, r, c)]);
+    }
+    os << '\n';
+  }
+}
+
+void write_element_csv(const RcModel& model, std::span<const double> temps,
+                       std::ostream& os) {
+  os << "element,layer,t_max_c,t_avg_c\n";
+  for (int e = 0; e < model.grid().element_count(); ++e) {
+    const auto& info = model.grid().element(e);
+    os << info.name << ',' << model.grid().layer(info.grid_layer).name
+       << ',' << kelvin_to_celsius(model.element_max(temps, e)) << ','
+       << kelvin_to_celsius(model.element_avg(temps, e)) << '\n';
+  }
+}
+
+}  // namespace tac3d::thermal

@@ -1,0 +1,50 @@
+#pragma once
+/// \file stackup_io.hpp
+/// \brief Text serialization of stack descriptions (a 3D-ICE-style
+/// .stk format) and CSV export of temperature fields.
+///
+/// The stack format is line-oriented:
+///
+/// ```
+/// stack <name>
+/// dimensions <width_mm> <length_mm>
+/// ambient <celsius>
+/// coolant_inlet <celsius>
+/// material <name> <conductivity_W_mK> <volumetric_heat_capacity_J_m3K>
+/// layer <name> <thickness_mm> <material> [floorplan <index>]
+/// cavity <name> <height_mm> <channel_width_mm> <pitch_mm> <wall_material>
+/// sink <g_amb_W_K> <c_J_K> <coupling_W_K>
+/// floorplan begin
+///   <element> <x_mm> <y_mm> <w_mm> <h_mm>
+/// floorplan end
+/// ```
+///
+/// Floorplans are indexed in file order; cavities use water at the
+/// coolant inlet temperature. '#' starts a comment.
+
+#include <iosfwd>
+#include <string>
+
+#include "thermal/rc_model.hpp"
+#include "thermal/stackup.hpp"
+
+namespace tac3d::thermal {
+
+/// Parse a stack description; throws InvalidArgument on malformed input.
+StackSpec parse_stack(std::istream& in);
+
+/// Serialize \p spec to the text format (round-trips through
+/// parse_stack; coolant properties are regenerated from the inlet
+/// temperature).
+std::string stack_to_text(const StackSpec& spec);
+
+/// Write one grid layer's temperature field as CSV (header row/col
+/// coordinates in mm, values in Celsius) — for plotting thermal maps.
+void write_layer_csv(const RcModel& model, std::span<const double> temps,
+                     int grid_layer, std::ostream& os);
+
+/// Write per-element temperatures (max and average) as CSV.
+void write_element_csv(const RcModel& model, std::span<const double> temps,
+                       std::ostream& os);
+
+}  // namespace tac3d::thermal

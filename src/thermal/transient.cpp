@@ -1,0 +1,67 @@
+#include "thermal/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::thermal {
+
+TransientSolver::TransientSolver(RcModel& model, double dt,
+                                 sparse::SolverKind kind)
+    : model_(model), dt_(dt), kind_(kind) {
+  require(dt > 0.0, "TransientSolver: dt must be positive");
+  state_.assign(model_.node_count(),
+                std::max(model_.grid().spec().ambient,
+                         model_.grid().spec().coolant_inlet));
+  rhs_.assign(model_.node_count(), 0.0);
+  rebuild_matrix();
+  solver_ = sparse::make_solver(kind_, a_);
+  model_version_ = model_.version();
+}
+
+void TransientSolver::rebuild_matrix() {
+  const sparse::CsrMatrix& g = model_.conductance();
+  const std::span<const double> c = model_.capacitance();
+  if (a_.nnz() == 0) {
+    a_ = g;  // copy pattern and values once
+  } else {
+    std::copy(g.values().begin(), g.values().end(), a_.values_mut().begin());
+  }
+  for (std::int32_t i = 0; i < a_.rows(); ++i) {
+    a_.coeff_ref(i, i) += c[i] / dt_;
+  }
+}
+
+void TransientSolver::set_state(std::vector<double> temps) {
+  require(static_cast<std::int32_t>(temps.size()) == model_.node_count(),
+          "TransientSolver::set_state: size mismatch");
+  state_ = std::move(temps);
+}
+
+void TransientSolver::initialize_steady() {
+  set_state(model_.steady_state());
+}
+
+void TransientSolver::step() {
+  if (model_.version() != model_version_) {
+    rebuild_matrix();
+    solver_->update_values(a_);
+    model_version_ = model_.version();
+  }
+  const std::vector<double> p = model_.rhs();
+  const std::span<const double> c = model_.capacitance();
+  for (std::size_t i = 0; i < rhs_.size(); ++i) {
+    rhs_[i] = p[i] + c[i] / dt_ * state_[i];
+  }
+  solver_->solve(rhs_, state_);
+  time_ += dt_;
+}
+
+void TransientSolver::advance(double duration) {
+  require(duration >= 0.0, "TransientSolver::advance: negative duration");
+  const int steps = static_cast<int>(std::ceil(duration / dt_ - 1e-12));
+  for (int s = 0; s < steps; ++s) step();
+}
+
+}  // namespace tac3d::thermal

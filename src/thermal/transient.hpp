@@ -1,0 +1,65 @@
+#pragma once
+/// \file transient.hpp
+/// \brief Backward-Euler transient integration of an RcModel.
+///
+/// Each step solves (C/dt + G) T_{n+1} = (C/dt) T_n + P. The system
+/// matrix only changes when a cavity flow rate changes (tracked via
+/// RcModel::version()), in which case the solver's factorization or
+/// preconditioner is refreshed. The previous temperature field warm-
+/// starts the iterative solvers.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sparse/solver.hpp"
+#include "thermal/rc_model.hpp"
+
+namespace tac3d::thermal {
+
+/// Fixed-step backward-Euler integrator bound to one RcModel.
+class TransientSolver {
+ public:
+  /// \param model the RC network (power/flows mutated externally)
+  /// \param dt time step [s]
+  /// \param kind linear solver strategy
+  TransientSolver(RcModel& model, double dt,
+                  sparse::SolverKind kind =
+                      sparse::SolverKind::kBicgstabIlu0);
+
+  double dt() const { return dt_; }
+
+  /// Replace the temperature state (e.g. with a steady-state solution).
+  void set_state(std::vector<double> temps);
+
+  /// Initialize the state to the steady-state field for the current
+  /// power and flows.
+  void initialize_steady();
+
+  /// Current temperature field [K].
+  std::span<const double> temperatures() const { return state_; }
+
+  /// Advance one time step with the model's current power and flows.
+  void step();
+
+  /// Advance ceil(duration/dt) steps.
+  void advance(double duration);
+
+  /// Elapsed simulated time [s].
+  double time() const { return time_; }
+
+ private:
+  void rebuild_matrix();
+
+  RcModel& model_;
+  double dt_;
+  sparse::SolverKind kind_;
+  sparse::CsrMatrix a_;  ///< G + C/dt (same pattern as G)
+  std::unique_ptr<sparse::LinearSolver> solver_;
+  std::vector<double> state_;
+  std::vector<double> rhs_;
+  std::uint64_t model_version_ = 0;
+  double time_ = 0.0;
+};
+
+}  // namespace tac3d::thermal

@@ -1,0 +1,60 @@
+#pragma once
+/// \file boiling.hpp
+/// \brief Flow-boiling heat transfer and two-phase pressure-drop
+/// correlations for micro-channels.
+///
+/// The local boiling coefficient combines Cooper's pool-boiling
+/// correlation (dominant in micro-channels: h ~ q''^0.67, which is what
+/// produces the paper's "8x higher HTC under a 15x hot spot") with a
+/// convective liquid-film term enhanced by the two-phase multiplier.
+/// Pressure drop uses the homogeneous two-phase model, whose falling
+/// pressure profile makes the local saturation temperature *decrease*
+/// toward the outlet — the distinguishing behaviour highlighted in
+/// Section III.
+
+#include "microchannel/duct.hpp"
+#include "twophase/refrigerant.hpp"
+
+namespace tac3d::twophase {
+
+/// Cooper pool-boiling coefficient [W/(m^2 K)].
+/// h = 55 p_r^0.12 (-log10 p_r)^-0.55 M^-0.5 q''^0.67 with M in g/mol.
+double cooper_pool_boiling_htc(const Refrigerant& ref, double pressure,
+                               double heat_flux);
+
+/// Inputs of the local flow-boiling state.
+///
+/// Heat flux and the resulting HTC use the *base-area* (footprint)
+/// convention of the multi-microchannel experiments the paper builds on
+/// (Agostini [1][2], Costa-Patry [10]): q'' is the heater flux over the
+/// die footprint and h = q'' / (T_wall - T_sat). Fin/wetted-area effects
+/// are absorbed into the correlation coefficients.
+struct BoilingState {
+  double pressure = 0.0;    ///< local pressure [Pa]
+  double quality = 0.0;     ///< vapor quality x in [0, 1)
+  double mass_flux = 0.0;   ///< G [kg/(m^2 s)] over the channel section
+  double heat_flux = 0.0;   ///< base-area heat flux [W/m^2 footprint]
+};
+
+/// Local flow-boiling HTC [W/(m^2 K)], base-area convention.
+///
+/// Nucleate term: Cooper pressure/molar-mass coefficient with the
+/// steeper flux exponent (0.76) observed in 85-um multi-microchannel
+/// R245fa data, combined with a mildly quality-enhanced convective
+/// film term (asymptotic cube blend). This is what produces the paper's
+/// "~8x higher HTC / ~2x higher wall superheat under a 15x hot spot".
+double flow_boiling_htc(const Refrigerant& ref,
+                        const microchannel::RectDuct& duct,
+                        const BoilingState& state);
+
+/// Critical (dry-out) vapor quality; annular-film dry-out sets the
+/// usable quality budget of a micro-evaporator. Decreases mildly with
+/// mass flux (Kim & Mudawar-style trend, clamped to [0.4, 0.95]).
+double dryout_quality(double mass_flux);
+
+/// Homogeneous two-phase frictional pressure gradient [Pa/m].
+double two_phase_pressure_gradient(const Refrigerant& ref,
+                                   const microchannel::RectDuct& duct,
+                                   const BoilingState& state);
+
+}  // namespace tac3d::twophase

@@ -1,0 +1,78 @@
+#include "twophase/channel_march.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::twophase {
+
+ChannelMarchResult march_channel(const ChannelMarchInput& in) {
+  require(in.refrigerant != nullptr, "march_channel: missing refrigerant");
+  require(in.steps >= 2, "march_channel: need at least 2 steps");
+  require(static_cast<int>(in.heat_flux.size()) == in.steps,
+          "march_channel: heat_flux size must equal steps");
+  require(in.mass_flow > 0.0, "march_channel: mass flow must be positive");
+  require(in.inlet_pressure > 0.0 && in.length > 0.0 &&
+              in.heated_width > 0.0,
+          "march_channel: invalid geometry");
+  require(in.inlet_quality >= 0.0 && in.inlet_quality < 1.0,
+          "march_channel: inlet quality must be in [0, 1)");
+
+  const Refrigerant& ref = *in.refrigerant;
+  const double dz = in.length / in.steps;
+  const double g_flux = in.mass_flow / in.duct.area();
+  const double x_crit = dryout_quality(g_flux);
+
+  ChannelMarchResult res;
+  res.z.resize(in.steps);
+  res.pressure.resize(in.steps);
+  res.t_sat.resize(in.steps);
+  res.quality.resize(in.steps);
+  res.htc.resize(in.steps);
+  res.wall_superheat.resize(in.steps);
+  res.t_wall.resize(in.steps);
+
+  double p = in.inlet_pressure;
+  double x = in.inlet_quality;
+
+  for (int i = 0; i < in.steps; ++i) {
+    res.z[i] = (i + 0.5) * dz;
+    const double t_sat = ref.saturation_temperature(p);
+    const double q_seg = in.heat_flux[i] * in.heated_width * dz;  // [W]
+
+    // Base-area convention (see BoilingState): the local HTC and wall
+    // superheat are defined against the footprint heat flux.
+    const BoilingState state{p, std::min(x, 0.999), g_flux,
+                             in.heat_flux[i]};
+    const double h = flow_boiling_htc(ref, in.duct, state);
+    res.pressure[i] = p;
+    res.t_sat[i] = t_sat;
+    res.quality[i] = x;
+    res.htc[i] = h;
+    res.wall_superheat[i] = h > 0.0 ? in.heat_flux[i] / h : 0.0;
+    res.t_wall[i] = t_sat + res.wall_superheat[i];
+
+    // Advance state to the end of the step.
+    const double hfg = ref.latent_heat(t_sat);
+    x += q_seg / (in.mass_flow * hfg);
+    const BoilingState s{p, std::min(x, 0.999), g_flux, in.heat_flux[i]};
+    p -= two_phase_pressure_gradient(ref, in.duct, s) * dz;
+    require(p > 0.0, "march_channel: pressure fell below zero");
+
+    if (!res.dryout && x > x_crit) {
+      res.dryout = true;
+      res.dryout_position = res.z[i];
+      if (in.throw_on_dryout) {
+        throw ModelRangeError(
+            "march_channel: dry-out at z = " + std::to_string(res.z[i]) +
+            " m (quality " + std::to_string(x) + ")");
+      }
+    }
+  }
+  res.pressure_drop = in.inlet_pressure - p;
+  res.outlet_t_sat = ref.saturation_temperature(p);
+  return res;
+}
+
+}  // namespace tac3d::twophase

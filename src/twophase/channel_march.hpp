@@ -1,0 +1,49 @@
+#pragma once
+/// \file channel_march.hpp
+/// \brief Axial march of a flow-boiling micro-channel: pressure, local
+/// saturation temperature, vapor quality, HTC and wall temperature.
+
+#include <vector>
+
+#include "microchannel/duct.hpp"
+#include "twophase/boiling.hpp"
+#include "twophase/refrigerant.hpp"
+
+namespace tac3d::twophase {
+
+/// Inputs of a single-channel march.
+struct ChannelMarchInput {
+  const Refrigerant* refrigerant = nullptr;
+  microchannel::RectDuct duct;    ///< channel cross-section
+  double length = 0.0;            ///< [m]
+  int steps = 100;                ///< axial discretization
+  double mass_flow = 0.0;         ///< per-channel [kg/s]
+  double inlet_pressure = 0.0;    ///< [Pa] (saturated inlet)
+  double inlet_quality = 0.0;     ///< x at the inlet, in [0, 1)
+  /// Applied heat flux on the channel's footprint per step [W/m^2];
+  /// size must equal \p steps. The footprint width is \p heated_width.
+  std::vector<double> heat_flux;
+  double heated_width = 0.0;      ///< channel pitch (footprint share) [m]
+  bool throw_on_dryout = false;
+};
+
+/// Axial profiles produced by the march (size = steps).
+struct ChannelMarchResult {
+  std::vector<double> z;         ///< step mid positions [m]
+  std::vector<double> pressure;  ///< [Pa]
+  std::vector<double> t_sat;     ///< local saturation temperature [K]
+  std::vector<double> quality;   ///< vapor quality
+  std::vector<double> htc;       ///< local boiling HTC [W/(m^2 K)]
+  std::vector<double> wall_superheat;  ///< T_wall - T_sat [K]
+  std::vector<double> t_wall;    ///< channel wall temperature [K]
+  double pressure_drop = 0.0;    ///< inlet - outlet [Pa]
+  double outlet_t_sat = 0.0;     ///< [K]
+  bool dryout = false;           ///< quality exceeded the dry-out limit
+  double dryout_position = -1.0; ///< [m] (-1 if no dry-out)
+};
+
+/// March the channel from inlet to outlet.
+/// Throws ModelRangeError on dry-out when input.throw_on_dryout is set.
+ChannelMarchResult march_channel(const ChannelMarchInput& input);
+
+}  // namespace tac3d::twophase

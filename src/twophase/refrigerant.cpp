@@ -1,0 +1,132 @@
+#include "twophase/refrigerant.hpp"
+
+#include "common/error.hpp"
+#include "common/interp.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::twophase {
+
+namespace {
+
+/// Temperature grid of the property tables: 0..60 C.
+std::vector<double> t_grid() {
+  return {273.15, 283.15, 293.15, 303.15, 313.15, 323.15, 333.15};
+}
+
+}  // namespace
+
+struct Refrigerant::Tables {
+  LinearTable psat;   ///< [Pa] vs T [K]
+  LinearTable hfg;    ///< [J/kg]
+  LinearTable rho_l;  ///< [kg/m^3]
+  LinearTable rho_v;  ///< [kg/m^3]
+  LinearTable mu_l;   ///< [Pa s]
+  LinearTable mu_v;   ///< [Pa s]
+  LinearTable cp_l;   ///< [J/(kg K)]
+  LinearTable k_l;    ///< [W/(m K)]
+};
+
+Refrigerant::Refrigerant(std::string name, double molar_mass,
+                         double p_critical, const Tables& tables)
+    : name_(std::move(name)),
+      molar_mass_(molar_mass),
+      p_critical_(p_critical),
+      tables_(&tables) {}
+
+const Refrigerant& Refrigerant::r134a() {
+  static const Tables tables{
+      LinearTable(t_grid(), {2.928e5, 4.146e5, 5.717e5, 7.702e5, 10.17e5,
+                             13.18e5, 16.82e5},
+                  LinearTable::OutOfRange::kThrow),
+      LinearTable(t_grid(), {198.6e3, 190.7e3, 182.3e3, 173.1e3, 163.0e3,
+                             151.8e3, 139.1e3}),
+      LinearTable(t_grid(), {1295.0, 1261.0, 1225.0, 1187.0, 1147.0, 1102.0,
+                             1053.0}),
+      LinearTable(t_grid(), {14.4, 20.2, 27.8, 37.5, 50.1, 66.3, 87.4}),
+      LinearTable(t_grid(), {267e-6, 235e-6, 207e-6, 183e-6, 161e-6, 142e-6,
+                             124e-6}),
+      LinearTable(t_grid(), {10.7e-6, 11.1e-6, 11.5e-6, 11.9e-6, 12.4e-6,
+                             12.9e-6, 13.6e-6}),
+      LinearTable(t_grid(), {1335.0, 1367.0, 1405.0, 1447.0, 1500.0, 1569.0,
+                             1660.0}),
+      LinearTable(t_grid(), {0.0920, 0.0885, 0.0850, 0.0815, 0.0780, 0.0744,
+                             0.0708})};
+  static const Refrigerant r("R134a", 0.10203, 40.59e5, tables);
+  return r;
+}
+
+const Refrigerant& Refrigerant::r236fa() {
+  static const Tables tables{
+      LinearTable(t_grid(), {1.10e5, 1.60e5, 2.29e5, 3.20e5, 4.36e5, 5.80e5,
+                             7.58e5},
+                  LinearTable::OutOfRange::kThrow),
+      LinearTable(t_grid(), {160.1e3, 154.6e3, 148.8e3, 142.4e3, 135.4e3,
+                             127.7e3, 119.0e3}),
+      LinearTable(t_grid(), {1440.0, 1413.0, 1385.0, 1355.0, 1324.0, 1291.0,
+                             1255.0}),
+      LinearTable(t_grid(), {7.9, 11.2, 15.5, 21.2, 28.4, 37.6, 49.2}),
+      LinearTable(t_grid(), {394e-6, 352e-6, 316e-6, 284e-6, 256e-6, 231e-6,
+                             208e-6}),
+      LinearTable(t_grid(), {9.9e-6, 10.2e-6, 10.6e-6, 11.0e-6, 11.4e-6,
+                             11.8e-6, 12.3e-6}),
+      LinearTable(t_grid(), {1184.0, 1207.0, 1232.0, 1260.0, 1291.0, 1327.0,
+                             1370.0}),
+      LinearTable(t_grid(), {0.0790, 0.0763, 0.0736, 0.0709, 0.0682, 0.0654,
+                             0.0626})};
+  static const Refrigerant r("R236fa", 0.15204, 32.00e5, tables);
+  return r;
+}
+
+const Refrigerant& Refrigerant::r245fa() {
+  static const Tables tables{
+      LinearTable(t_grid(), {0.530e5, 0.824e5, 1.236e5, 1.784e5, 2.510e5,
+                             3.441e5, 4.610e5},
+                  LinearTable::OutOfRange::kThrow),
+      LinearTable(t_grid(), {204.4e3, 199.5e3, 194.3e3, 188.7e3, 182.5e3,
+                             175.8e3, 168.4e3}),
+      LinearTable(t_grid(), {1404.0, 1385.0, 1366.0, 1339.0, 1313.0, 1285.0,
+                             1256.0}),
+      LinearTable(t_grid(), {3.2, 4.9, 7.1, 10.1, 14.1, 19.2, 25.8}),
+      LinearTable(t_grid(), {480e-6, 438e-6, 400e-6, 365e-6, 334e-6, 306e-6,
+                             280e-6}),
+      LinearTable(t_grid(), {9.5e-6, 9.8e-6, 10.2e-6, 10.6e-6, 11.0e-6,
+                             11.4e-6, 11.8e-6}),
+      LinearTable(t_grid(), {1261.0, 1280.0, 1302.0, 1326.0, 1353.0, 1384.0,
+                             1419.0}),
+      LinearTable(t_grid(), {0.0940, 0.0913, 0.0886, 0.0859, 0.0832, 0.0805,
+                             0.0778})};
+  static const Refrigerant r("R245fa", 0.13405, 36.51e5, tables);
+  return r;
+}
+
+double Refrigerant::saturation_pressure(double t) const {
+  return tables_->psat(t);
+}
+
+double Refrigerant::saturation_temperature(double p) const {
+  return tables_->psat.inverse(p);
+}
+
+double Refrigerant::latent_heat(double t) const { return tables_->hfg(t); }
+double Refrigerant::liquid_density(double t) const {
+  return tables_->rho_l(t);
+}
+double Refrigerant::vapor_density(double t) const { return tables_->rho_v(t); }
+double Refrigerant::liquid_viscosity(double t) const {
+  return tables_->mu_l(t);
+}
+double Refrigerant::vapor_viscosity(double t) const { return tables_->mu_v(t); }
+double Refrigerant::liquid_specific_heat(double t) const {
+  return tables_->cp_l(t);
+}
+double Refrigerant::liquid_conductivity(double t) const {
+  return tables_->k_l(t);
+}
+
+microchannel::Coolant Refrigerant::liquid_coolant(double t) const {
+  return microchannel::Coolant{name_ + "(liquid)", liquid_density(t),
+                               liquid_viscosity(t), liquid_specific_heat(t),
+                               liquid_conductivity(t)};
+}
+
+}  // namespace tac3d::twophase

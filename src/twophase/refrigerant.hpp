@@ -1,0 +1,67 @@
+#pragma once
+/// \file refrigerant.hpp
+/// \brief Saturation and transport property fits for the refrigerants
+/// used in the paper's two-phase experiments (R134a, R236fa, R245fa).
+///
+/// Properties are piecewise-linear fits against published saturation
+/// tables over 0-60 C (the operating window of inter-tier flow boiling;
+/// the paper's micro-evaporator runs near 30 C). The fits are accurate
+/// to a few percent in that window, which is what the Fig. 8 shapes
+/// require; queries outside the window throw ModelRangeError.
+
+#include <string>
+
+#include "microchannel/coolant.hpp"
+
+namespace tac3d::twophase {
+
+/// A two-phase working fluid with temperature-indexed property fits.
+class Refrigerant {
+ public:
+  /// R-134a: the paper's reference for latent heat (~150 kJ/kg hot).
+  static const Refrigerant& r134a();
+  /// R-236fa: the fluid of Agostini et al. [1] (once-through/split flow).
+  static const Refrigerant& r236fa();
+  /// R-245fa: the fluid of the 85-um multi-microchannel hot-spot test
+  /// of Costa-Patry et al. [10] reproduced in Fig. 8.
+  static const Refrigerant& r245fa();
+
+  const std::string& name() const { return name_; }
+  double molar_mass() const { return molar_mass_; }            ///< [kg/mol]
+  double critical_pressure() const { return p_critical_; }     ///< [Pa]
+
+  /// Saturation pressure at temperature \p t [K] -> [Pa].
+  double saturation_pressure(double t) const;
+
+  /// Saturation temperature at pressure \p p [Pa] -> [K].
+  double saturation_temperature(double p) const;
+
+  /// Latent heat of vaporization at \p t [K] -> [J/kg].
+  double latent_heat(double t) const;
+
+  double liquid_density(double t) const;        ///< [kg/m^3]
+  double vapor_density(double t) const;         ///< [kg/m^3]
+  double liquid_viscosity(double t) const;      ///< [Pa s]
+  double vapor_viscosity(double t) const;       ///< [Pa s]
+  double liquid_specific_heat(double t) const;  ///< [J/(kg K)]
+  double liquid_conductivity(double t) const;   ///< [W/(m K)]
+
+  /// Reduced pressure p / p_critical (Cooper correlation input).
+  double reduced_pressure(double p) const { return p / p_critical_; }
+
+  /// Liquid-phase properties packaged as a Coolant (for single-phase
+  /// sections and liquid-film convection).
+  microchannel::Coolant liquid_coolant(double t) const;
+
+ private:
+  struct Tables;
+  Refrigerant(std::string name, double molar_mass, double p_critical,
+              const Tables& tables);
+
+  std::string name_;
+  double molar_mass_;
+  double p_critical_;
+  const Tables* tables_;
+};
+
+}  // namespace tac3d::twophase

@@ -1,0 +1,87 @@
+#include "twophase/tier_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "thermal/material.hpp"
+
+namespace tac3d::twophase {
+
+TwoPhaseTierResult simulate_twophase_tier(
+    const TwoPhaseTierDesign& d, const thermal::Floorplan& floorplan,
+    std::span<const double> element_powers, int rows) {
+  require(d.refrigerant != nullptr, "simulate_twophase_tier: no refrigerant");
+  require(d.n_channels > 0 && rows >= 2,
+          "simulate_twophase_tier: invalid discretization");
+  require(element_powers.size() == floorplan.size(),
+          "simulate_twophase_tier: one power per floorplan element");
+  require(d.channel_width < d.pitch(),
+          "simulate_twophase_tier: channels overlap");
+  floorplan.validate(d.tier_width, d.tier_length);
+
+  // Flux map [row][channel] from area-weighted element overlap.
+  const double dy = d.tier_length / rows;
+  const double pitch = d.pitch();
+  std::vector<double> flux(static_cast<std::size_t>(rows) * d.n_channels,
+                           0.0);
+  for (std::size_t e = 0; e < floorplan.size(); ++e) {
+    const Rect& r = floorplan[e].rect;
+    const double density = element_powers[e] / r.area();  // W/m^2
+    for (int row = 0; row < rows; ++row) {
+      for (int ch = 0; ch < d.n_channels; ++ch) {
+        const Rect cell{ch * pitch, row * dy, pitch, dy};
+        const double ov = r.overlap_area(cell);
+        if (ov > 0.0) {
+          flux[row * d.n_channels + ch] += density * ov / cell.area();
+        }
+      }
+    }
+  }
+
+  TwoPhaseTierResult res;
+  res.rows = rows;
+  res.channels = d.n_channels;
+  res.wall_temp.assign(flux.size(), 0.0);
+  res.base_temp.assign(flux.size(), 0.0);
+
+  const double k_si = thermal::materials::silicon().conductivity;
+  const double m_dot_ch = d.total_mass_flow / d.n_channels;
+  double t_sat_out_acc = 0.0;
+
+  for (int ch = 0; ch < d.n_channels; ++ch) {
+    ChannelMarchInput in;
+    in.refrigerant = d.refrigerant;
+    in.duct = microchannel::RectDuct{d.channel_width, d.channel_height};
+    in.length = d.tier_length;
+    in.steps = rows;
+    in.mass_flow = m_dot_ch;
+    in.inlet_pressure = d.refrigerant->saturation_pressure(d.inlet_sat_temp);
+    in.heated_width = pitch;
+    in.heat_flux.resize(rows);
+    for (int row = 0; row < rows; ++row) {
+      in.heat_flux[row] = flux[row * d.n_channels + ch];
+    }
+    const ChannelMarchResult march = march_channel(in);
+
+    for (int row = 0; row < rows; ++row) {
+      const double tw = march.t_wall[row];
+      const double tb =
+          tw + in.heat_flux[row] * d.die_thickness / k_si;
+      res.wall_temp[row * d.n_channels + ch] = tw;
+      res.base_temp[row * d.n_channels + ch] = tb;
+      res.peak_base_temp = std::max(res.peak_base_temp, tb);
+    }
+    res.pressure_drop = std::max(res.pressure_drop, march.pressure_drop);
+    res.max_outlet_quality =
+        std::max(res.max_outlet_quality, march.quality.back());
+    res.dryout = res.dryout || march.dryout;
+    t_sat_out_acc += march.outlet_t_sat;
+  }
+  res.outlet_t_sat = t_sat_out_acc / d.n_channels;
+  res.pumping_power = res.pressure_drop * d.total_mass_flow /
+                      d.refrigerant->liquid_density(d.inlet_sat_temp);
+  return res;
+}
+
+}  // namespace tac3d::twophase

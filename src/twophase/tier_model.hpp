@@ -1,0 +1,60 @@
+#pragma once
+/// \file tier_model.hpp
+/// \brief Two-phase inter-tier cooling of a full tier: couples a
+/// floorplan power map to a micro-channel evaporator cavity.
+///
+/// This is the paper's forward-looking step (Section IV-B: "existing
+/// methods and experimental experience must be scaled down to the 50 um
+/// height of micro-channels permissible in between the TSVs"): instead
+/// of a uniform heater array, the evaporator sees the non-uniform power
+/// map of a processor tier, one march per channel.
+
+#include <span>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+#include "twophase/channel_march.hpp"
+#include "twophase/refrigerant.hpp"
+
+namespace tac3d::twophase {
+
+/// Geometry/operating point of a two-phase-cooled tier.
+struct TwoPhaseTierDesign {
+  double tier_width = 0.0;    ///< across the flow [m]
+  double tier_length = 0.0;   ///< along the flow [m]
+  double die_thickness = 0.0; ///< silicon above the channels [m]
+  int n_channels = 0;
+  double channel_width = 0.0;
+  double channel_height = 0.0;
+  const Refrigerant* refrigerant = nullptr;
+  double inlet_sat_temp = 0.0;   ///< [K]
+  double total_mass_flow = 0.0;  ///< [kg/s]
+
+  double pitch() const { return tier_width / n_channels; }
+};
+
+/// Result of a tier simulation: per (row, channel) temperatures.
+struct TwoPhaseTierResult {
+  int rows = 0;
+  int channels = 0;
+  std::vector<double> wall_temp;  ///< row-major [row*channels + ch] [K]
+  std::vector<double> base_temp;  ///< junction-side temperature [K]
+  double peak_base_temp = 0.0;    ///< [K]
+  double outlet_t_sat = 0.0;      ///< flow-averaged [K]
+  double max_outlet_quality = 0.0;
+  double pressure_drop = 0.0;     ///< worst channel [Pa]
+  double pumping_power = 0.0;     ///< dP * volumetric flow [W]
+  bool dryout = false;            ///< any channel dried out
+
+  double wall(int r, int c) const { return wall_temp[r * channels + c]; }
+  double base(int r, int c) const { return base_temp[r * channels + c]; }
+};
+
+/// Simulate a tier: distribute \p element_powers (one per floorplan
+/// element, watts) onto a rows x channels flux map by area overlap, then
+/// march every channel.
+TwoPhaseTierResult simulate_twophase_tier(
+    const TwoPhaseTierDesign& design, const thermal::Floorplan& floorplan,
+    std::span<const double> element_powers, int rows);
+
+}  // namespace tac3d::twophase

@@ -1,0 +1,159 @@
+// Tests of the architecture builders: Niagara floorplans, 2-/4-tier
+// stack composition, the MPSoC power model and the scalability stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/calibration.hpp"
+#include "arch/mpsoc.hpp"
+#include "arch/niagara.hpp"
+#include "arch/stacks.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tac3d::arch {
+namespace {
+
+TEST(Niagara, PaperConfigurationMatchesTable1) {
+  const auto chip = NiagaraConfig::paper();
+  EXPECT_EQ(chip.n_cores, 8);
+  EXPECT_EQ(chip.threads_per_core, 4);
+  EXPECT_EQ(chip.hardware_threads(), 32);
+  EXPECT_DOUBLE_EQ(chip.core_area, mm2(10.0));
+  EXPECT_DOUBLE_EQ(chip.l2_area, mm2(19.0));
+  EXPECT_DOUBLE_EQ(chip.layer_area, mm2(115.0));
+}
+
+TEST(Floorplans, CoreTierAreasAreExact) {
+  const auto chip = NiagaraConfig::paper();
+  const double w = std::sqrt(chip.layer_area);
+  const auto fp = core_tier_floorplan(chip, 8, 0, 0, w);
+  EXPECT_EQ(fp.size(), 9u);  // 8 cores + crossbar
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(fp[fp.index_of(core_name(i))].rect.area(), mm2(10.0),
+                mm2(0.01));
+  }
+  EXPECT_NO_THROW(fp.validate(w, w));
+  EXPECT_NEAR(fp.total_area(), chip.layer_area, mm2(0.1));  // full tier
+}
+
+TEST(Floorplans, CacheTierAreasAreExact) {
+  const auto chip = NiagaraConfig::paper();
+  const double w = std::sqrt(chip.layer_area);
+  const auto fp = cache_tier_floorplan(chip, 4, 0, 0, w);
+  EXPECT_EQ(fp.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fp[fp.index_of(l2_name(i))].rect.area(), mm2(19.0),
+                mm2(0.01));
+  }
+  EXPECT_NO_THROW(fp.validate(w, w));
+}
+
+TEST(Stacks, TwoTierLiquidComposition) {
+  const auto spec = build_stack(NiagaraConfig::paper(), 2,
+                                CoolingKind::kLiquidCooled);
+  EXPECT_EQ(spec.n_cavities(), 2);
+  EXPECT_FALSE(spec.sink.present);
+  EXPECT_NEAR(spec.width * spec.length, mm2(115.0), mm2(0.1));
+  // Layer ordering: tier0 silicon first, lid last.
+  EXPECT_EQ(spec.layers.front().name, "tier0.si");
+  EXPECT_EQ(spec.layers.back().name, "lid");
+}
+
+TEST(Stacks, TwoTierAirComposition) {
+  const auto spec = build_stack(NiagaraConfig::paper(), 2,
+                                CoolingKind::kAirCooled);
+  EXPECT_EQ(spec.n_cavities(), 0);
+  EXPECT_TRUE(spec.sink.present);
+  EXPECT_DOUBLE_EQ(spec.sink.conductance_to_ambient, 10.0);  // Table I
+  EXPECT_DOUBLE_EQ(spec.sink.capacitance, 140.0);            // Table I
+  EXPECT_EQ(spec.layers.back().name, "spreader");
+}
+
+TEST(Stacks, FourTierHasFourCavitiesAndHalfFootprint) {
+  const auto spec = build_stack(NiagaraConfig::paper(), 4,
+                                CoolingKind::kLiquidCooled);
+  EXPECT_EQ(spec.n_cavities(), 4);
+  EXPECT_NEAR(spec.width * spec.length, mm2(57.5), mm2(0.1));
+  // 4 floorplans: cache/core/cache/core.
+  EXPECT_EQ(spec.floorplans.size(), 4u);
+  EXPECT_TRUE(spec.floorplans[0].has(l2_name(0)));
+  EXPECT_TRUE(spec.floorplans[1].has(core_name(0)));
+  EXPECT_TRUE(spec.floorplans[3].has(core_name(7)));
+}
+
+TEST(Stacks, RejectsUnsupportedTierCount) {
+  EXPECT_THROW(build_stack(NiagaraConfig::paper(), 3,
+                           CoolingKind::kLiquidCooled),
+               InvalidArgument);
+}
+
+TEST(Mpsoc, ElementLookupFindsAllUnits) {
+  Mpsoc3D soc(Mpsoc3D::Options{2, CoolingKind::kLiquidCooled,
+                               thermal::GridOptions{12, 12},
+                               NiagaraConfig::paper()});
+  for (int i = 0; i < 8; ++i) EXPECT_GE(soc.core_element(i), 0);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(soc.l2_element(i), 0);
+  EXPECT_EQ(soc.n_cores(), 8);
+}
+
+TEST(Mpsoc, ChipPowerRespondsToActivityAndVf) {
+  Mpsoc3D soc(Mpsoc3D::Options{2, CoolingKind::kLiquidCooled,
+                               thermal::GridOptions{12, 12},
+                               NiagaraConfig::paper()});
+  const int top = soc.chip().vf.max_level();
+  std::vector<CoreState> idle(8, {0.0, top});
+  std::vector<CoreState> busy(8, {1.0, top});
+  std::vector<CoreState> busy_slow(8, {1.0, 0});
+  const double p_idle = soc.chip_power(idle, {});
+  const double p_busy = soc.chip_power(busy, {});
+  const double p_slow = soc.chip_power(busy_slow, {});
+  EXPECT_GT(p_busy, p_idle + 25.0);  // cores swing ~4.7 W each
+  EXPECT_LT(p_slow, p_busy);         // DVFS cuts dynamic power
+  // Full-speed fully-busy chip draws ~70-80 W (the paper's ~70 W).
+  EXPECT_GT(p_busy, 60.0);
+  EXPECT_LT(p_busy, 90.0);
+}
+
+TEST(Mpsoc, LeakageRisesWithTemperature) {
+  Mpsoc3D soc(Mpsoc3D::Options{2, CoolingKind::kLiquidCooled,
+                               thermal::GridOptions{12, 12},
+                               NiagaraConfig::paper()});
+  std::vector<CoreState> idle(8, {0.0, 0});
+  const std::vector<double> cold(soc.model().node_count(),
+                                 celsius_to_kelvin(45.0));
+  const std::vector<double> hot(soc.model().node_count(),
+                                celsius_to_kelvin(100.0));
+  EXPECT_GT(soc.chip_power(idle, hot), soc.chip_power(idle, cold) + 5.0);
+}
+
+TEST(Mpsoc, ElementPowersRequireOneStatePerCore) {
+  Mpsoc3D soc(Mpsoc3D::Options{2, CoolingKind::kLiquidCooled,
+                               thermal::GridOptions{12, 12},
+                               NiagaraConfig::paper()});
+  std::vector<CoreState> wrong(3, {0.5, 0});
+  EXPECT_THROW(soc.element_powers(wrong, {}), InvalidArgument);
+}
+
+TEST(Scalability, StackCompositionAndPowers) {
+  const auto spec = build_scalability_stack(3, true, w_per_cm2(250.0),
+                                            w_per_cm2(50.0));
+  EXPECT_EQ(spec.n_cavities(), 4);  // tiers + 1, the paper's arrangement
+  thermal::ThermalGrid grid(spec, thermal::GridOptions{10, 10});
+  const auto p = scalability_element_powers(grid, w_per_cm2(250.0),
+                                            w_per_cm2(50.0));
+  double total = 0.0;
+  for (double v : p) total += v;
+  // 3 tiers x (50 W background + (250-50)*0.04 hot spot) = 174 W.
+  EXPECT_NEAR(total, 174.0, 1.0);
+}
+
+TEST(Scalability, BacksideVariantHasColdPlate) {
+  const auto spec = build_scalability_stack(3, false, w_per_cm2(250.0),
+                                            w_per_cm2(50.0));
+  EXPECT_EQ(spec.n_cavities(), 0);
+  EXPECT_TRUE(spec.sink.present);
+}
+
+}  // namespace
+}  // namespace tac3d::arch

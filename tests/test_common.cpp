@@ -1,0 +1,181 @@
+// Unit tests for the common utilities: units, geometry, RNG,
+// interpolation tables, text tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "common/interp.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace tac3d {
+namespace {
+
+TEST(Units, TemperatureConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(85.0)), 85.0);
+}
+
+TEST(Units, FlowRateConversions) {
+  EXPECT_NEAR(ml_per_min(60.0), 1e-6, 1e-15);  // 60 ml/min = 1 ml/s
+  EXPECT_NEAR(to_ml_per_min(ml_per_min(32.3)), 32.3, 1e-9);
+  EXPECT_DOUBLE_EQ(l_per_min(1.0), ml_per_min(1000.0));
+}
+
+TEST(Units, AreaAndFluxConversions) {
+  EXPECT_DOUBLE_EQ(mm2(115.0), 115e-6);
+  EXPECT_DOUBLE_EQ(w_per_cm2(250.0), 2.5e6);
+  EXPECT_DOUBLE_EQ(to_w_per_cm2(w_per_cm2(30.2)), 30.2);
+  EXPECT_DOUBLE_EQ(to_bar(bar(0.9)), 0.9);
+}
+
+TEST(Geometry, OverlapArea) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+  EXPECT_TRUE(a.intersects(b));
+  const Rect c{5, 5, 1, 1};
+  EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Geometry, TouchingRectanglesDoNotIntersect) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1, 0, 1, 1};  // shares an edge
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Geometry, Containment) {
+  const Rect chip{0, 0, 10, 10};
+  EXPECT_TRUE(chip.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(chip.contains(Rect{2, 3, 4, 5}));
+  EXPECT_FALSE(chip.contains(Rect{8, 8, 3, 3}));
+}
+
+TEST(Geometry, BoundingBox) {
+  const Rect box = bounding_box({Rect{0, 0, 1, 1}, Rect{3, 4, 2, 1}});
+  EXPECT_DOUBLE_EQ(box.x, 0.0);
+  EXPECT_DOUBLE_EQ(box.right(), 5.0);
+  EXPECT_DOUBLE_EQ(box.top(), 5.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIsInRangeAndRoughlyCentered) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(LinearTable, InterpolatesLinearly) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t.derivative(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(t.derivative(1.5), 30.0);
+}
+
+TEST(LinearTable, ClampsByDefault) {
+  const LinearTable t({0.0, 1.0}, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(t(-10.0), 3.0);
+  EXPECT_DOUBLE_EQ(t(10.0), 5.0);
+}
+
+TEST(LinearTable, ThrowPolicy) {
+  const LinearTable t({0.0, 1.0}, {3.0, 5.0}, LinearTable::OutOfRange::kThrow);
+  EXPECT_THROW(t(2.0), ModelRangeError);
+  EXPECT_NO_THROW(t(0.5));
+}
+
+TEST(LinearTable, ExtrapolatePolicy) {
+  const LinearTable t({0.0, 1.0}, {0.0, 2.0},
+                      LinearTable::OutOfRange::kExtrapolate);
+  EXPECT_DOUBLE_EQ(t(2.0), 4.0);
+}
+
+TEST(LinearTable, InverseOfMonotone) {
+  const LinearTable t({0.0, 1.0, 2.0}, {10.0, 20.0, 50.0});
+  EXPECT_DOUBLE_EQ(t.inverse(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.inverse(35.0), 1.5);
+  // Decreasing table.
+  const LinearTable d({0.0, 1.0}, {5.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.inverse(3.0), 0.5);
+}
+
+TEST(LinearTable, InverseRejectsNonMonotone) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 5.0, 3.0});
+  EXPECT_THROW(t.inverse(1.0), InvalidArgument);
+}
+
+TEST(LinearTable, RejectsUnsortedAbscissae) {
+  EXPECT_THROW(LinearTable({1.0, 0.0}, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(LinearTable({0.0, 0.0}, {0.0, 1.0}), InvalidArgument);
+}
+
+TEST(TextTable, AlignsColumnsAndCountsRows) {
+  TextTable t;
+  t.set_header({"a", "bbbb"});
+  t.add_row({"xxxx", "y"});
+  t.add_row("row", {1.0, 2.5}, 1);
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, FormattersProducePercentAndPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.5), "50.0%");
+  EXPECT_EQ(fmt_pct(0.123456, 2), "12.35%");
+}
+
+TEST(Errors, HierarchyIsCatchable) {
+  try {
+    throw NumericalError("boom");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_THROW(require(false, "msg"), InvalidArgument);
+  EXPECT_NO_THROW(require(true, "msg"));
+}
+
+}  // namespace
+}  // namespace tac3d

@@ -1,0 +1,144 @@
+// Failure-injection tests: what happens when the cooling or control
+// subsystem misbehaves. A thermally-aware design must degrade loudly
+// (threshold violations surface in the metrics), not silently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "arch/mpsoc.hpp"
+#include "common/units.hpp"
+#include "control/policy.hpp"
+#include "power/workloads.hpp"
+#include "sim/engine.hpp"
+#include "thermal/transient.hpp"
+
+namespace tac3d {
+namespace {
+
+/// A policy wrapper that simulates a stuck pump: whatever the wrapped
+/// policy commands, the pump stays at a fixed level.
+class StuckPumpPolicy final : public control::ThermalPolicy {
+ public:
+  StuckPumpPolicy(std::unique_ptr<control::ThermalPolicy> inner,
+                  int stuck_level)
+      : inner_(std::move(inner)), stuck_level_(stuck_level) {}
+
+  control::PolicyActions decide(const control::PolicyInputs& in) override {
+    auto act = inner_->decide(in);
+    act.pump_level = stuck_level_;
+    return act;
+  }
+  std::string name() const override { return inner_->name() + "+stuck"; }
+
+ private:
+  std::unique_ptr<control::ThermalPolicy> inner_;
+  int stuck_level_;
+};
+
+arch::Mpsoc3D make_soc(int tiers) {
+  return arch::Mpsoc3D(arch::Mpsoc3D::Options{
+      tiers, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{12, 12},
+      arch::NiagaraConfig::paper()});
+}
+
+TEST(FailureInjection, PumpStuckAtMinimumViolatesThresholdVisibly) {
+  auto soc = make_soc(2);
+  const auto pump = microchannel::PumpModel::table1(16);
+  auto inner = std::make_unique<control::MaxPerformancePolicy>(
+      8, soc.chip().vf, pump.levels() - 1);
+  StuckPumpPolicy policy(std::move(inner), 0);  // stuck at minimum
+
+  const auto trace =
+      power::generate_workload(power::WorkloadKind::kMaxUtil, 32, 40, 1);
+  sim::SimulationConfig cfg;
+  cfg.pump = pump;
+  const auto m = sim::simulate(soc, trace, policy, cfg);
+
+  // The failure is *visible*: hot spots accumulate in the metrics.
+  EXPECT_GT(kelvin_to_celsius(m.peak_temp), 85.0);
+  EXPECT_GT(m.hotspot_frac_any(), 0.3);
+  // And the pump energy reflects the stuck (minimum) setting.
+  EXPECT_NEAR(m.avg_flow_fraction, pump.q_min() / pump.q_max(), 1e-6);
+}
+
+TEST(FailureInjection, FuzzyCompensatesASinglePumpGlitch) {
+  // A one-interval glitch (pump forced low once) must not leave a
+  // lasting thermal violation when the fuzzy controller resumes.
+  auto soc = make_soc(2);
+  const auto pump = microchannel::PumpModel::table1(16);
+  control::FuzzyFlowDvfsPolicy fuzzy(8, soc.chip().vf, pump.levels(),
+                                     celsius_to_kelvin(85.0));
+
+  // Drive manually: 20 s normal, one glitch, 20 s recovery.
+  const auto trace =
+      power::generate_workload(power::WorkloadKind::kMaxUtil, 32, 60, 1);
+  soc.model().set_all_flows(pump.q_max());
+  std::vector<arch::CoreState> cores(8, {1.0, soc.chip().vf.max_level()});
+  std::vector<double> temps = soc.leakage_consistent_steady(cores, 3);
+  thermal::TransientSolver sim(soc.model(), 0.25);
+  sim.set_state(temps);
+
+  double peak_after_recovery = 0.0;
+  for (int s = 0; s < 160; ++s) {
+    control::PolicyInputs in;
+    in.core_temps.resize(8);
+    for (int c = 0; c < 8; ++c) {
+      in.core_temps[c] = soc.core_temp(sim.temperatures(), c);
+    }
+    in.core_demands.assign(8, 1.0);
+    in.dt = 0.25;
+    auto act = fuzzy.decide(in);
+    if (s == 80) act.pump_level = 0;  // the glitch
+    soc.model().set_all_flows(pump.flow_per_cavity(act.pump_level));
+    for (int c = 0; c < 8; ++c) cores[c].vf_level = act.vf_levels[c];
+    soc.model().set_element_powers(
+        soc.element_powers(cores, sim.temperatures()));
+    sim.step();
+    if (s > 120) {
+      peak_after_recovery = std::max(
+          peak_after_recovery, soc.max_core_temp(sim.temperatures()));
+    }
+  }
+  EXPECT_LT(kelvin_to_celsius(peak_after_recovery), 85.0);
+}
+
+TEST(FailureInjection, LeakageClampPreventsNumericalRunaway) {
+  // Even a 4-tier air-cooled stack at full power must reach a bounded
+  // steady state (the leakage clamp is the physical/numerical guard).
+  arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
+      4, arch::CoolingKind::kAirCooled, thermal::GridOptions{12, 12},
+      arch::NiagaraConfig::paper()});
+  std::vector<arch::CoreState> cores(8, {1.0, soc.chip().vf.max_level()});
+  double prev_peak = 0.0;
+  for (int iters = 1; iters <= 12; iters += 4) {
+    const auto temps = soc.leakage_consistent_steady(cores, iters);
+    const double peak = soc.model().max_temperature(temps);
+    EXPECT_TRUE(std::isfinite(peak));
+    EXPECT_LT(kelvin_to_celsius(peak), 300.0);
+    prev_peak = peak;
+  }
+  EXPECT_GT(kelvin_to_celsius(prev_peak), 140.0);  // still catastrophic
+}
+
+TEST(FailureInjection, ZeroFlowLiquidStackStillSolvesTransient) {
+  // Pump fully off: the advection terms vanish but the transient system
+  // (C/dt + G) remains well-posed; temperatures climb monotonically.
+  auto soc = make_soc(2);
+  soc.model().set_all_flows(0.0);
+  std::vector<arch::CoreState> cores(8, {1.0, soc.chip().vf.max_level()});
+  thermal::TransientSolver sim(soc.model(), 0.25);
+  soc.model().set_element_powers(soc.element_powers(cores, {}));
+  double prev = soc.max_core_temp(sim.temperatures());
+  for (int s = 0; s < 20; ++s) {
+    sim.step();
+    const double cur = soc.max_core_temp(sim.temperatures());
+    EXPECT_GE(cur, prev - 1e-9);
+    EXPECT_TRUE(std::isfinite(cur));
+    prev = cur;
+  }
+  EXPECT_GT(prev, celsius_to_kelvin(60.0));  // heating up fast
+}
+
+}  // namespace
+}  // namespace tac3d

@@ -1,0 +1,188 @@
+// Validation of the rectangular-duct correlations, water properties and
+// the Table I pump model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "microchannel/duct.hpp"
+#include "microchannel/pump.hpp"
+
+namespace tac3d::microchannel {
+namespace {
+
+TEST(Coolant, WaterMatchesTable1NearRoomTemperature) {
+  const Coolant w = water(celsius_to_kelvin(22.0));
+  EXPECT_NEAR(w.conductivity, 0.6, 0.01);
+  EXPECT_NEAR(w.specific_heat, 4183.0, 10.0);
+  EXPECT_NEAR(w.density, 998.0, 2.0);
+  EXPECT_NEAR(w.volumetric_heat_capacity(), 4.17e6, 0.05e6);
+}
+
+TEST(Coolant, WaterViscosityFallsWithTemperature) {
+  EXPECT_GT(water(celsius_to_kelvin(20.0)).viscosity,
+            water(celsius_to_kelvin(60.0)).viscosity);
+}
+
+TEST(Coolant, PrandtlNumberReasonable) {
+  const double pr = water(celsius_to_kelvin(27.0)).prandtl();
+  EXPECT_GT(pr, 4.0);
+  EXPECT_LT(pr, 8.0);
+}
+
+TEST(Coolant, DielectricHasMuchLowerHeatCapacity) {
+  // Section II-C: dielectric fluids are rejected because of their lower
+  // volumetric heat capacity and conductivity.
+  const Coolant w = water(celsius_to_kelvin(27.0));
+  const Coolant fc = dielectric_fc72(celsius_to_kelvin(27.0));
+  EXPECT_LT(fc.volumetric_heat_capacity(),
+            0.6 * w.volumetric_heat_capacity());
+  EXPECT_LT(fc.conductivity, 0.15 * w.conductivity);
+}
+
+TEST(RectDuct, GeometryDerivedQuantities) {
+  const RectDuct d{um(50.0), um(100.0)};
+  EXPECT_DOUBLE_EQ(d.area(), 5e-9);
+  EXPECT_DOUBLE_EQ(d.wetted_perimeter(), 300e-6);
+  EXPECT_NEAR(d.hydraulic_diameter(), 66.67e-6, 0.01e-6);
+  EXPECT_DOUBLE_EQ(d.aspect(), 0.5);
+}
+
+TEST(Correlations, ShahLondonLimitsMatchLiterature) {
+  // Parallel plates (aspect -> 0): f*Re = 24, Nu_H1 = 8.235.
+  EXPECT_NEAR(fanning_friction_constant(1e-6), 24.0, 0.01);
+  EXPECT_NEAR(nusselt_h1(1e-6), 8.235, 0.01);
+  // Square duct: f*Re = 14.23, Nu_H1 = 3.61.
+  EXPECT_NEAR(fanning_friction_constant(1.0), 14.23, 0.05);
+  EXPECT_NEAR(nusselt_h1(1.0), 3.61, 0.05);
+}
+
+TEST(Correlations, RejectInvalidAspect) {
+  EXPECT_THROW(fanning_friction_constant(0.0), InvalidArgument);
+  EXPECT_THROW(fanning_friction_constant(1.5), InvalidArgument);
+  EXPECT_THROW(nusselt_h1(-0.1), InvalidArgument);
+}
+
+class AspectSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AspectSweep, FrictionAndNusseltWithinPhysicalBounds) {
+  const double a = GetParam();
+  const double fre = fanning_friction_constant(a);
+  const double nu = nusselt_h1(a);
+  EXPECT_GT(fre, 14.0);
+  EXPECT_LE(fre, 24.01);
+  EXPECT_GT(nu, 3.5);
+  EXPECT_LE(nu, 8.24);
+}
+
+TEST_P(AspectSweep, FrictionDecreasesTowardSquare) {
+  const double a = GetParam();
+  if (a < 0.95) {
+    EXPECT_GT(fanning_friction_constant(a),
+              fanning_friction_constant(std::min(1.0, a + 0.05)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aspects, AspectSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5, 0.7,
+                                           0.9, 1.0));
+
+TEST(Pressure, PoiseuilleParallelPlateLimit) {
+  // Very wide duct behaves like parallel plates:
+  // dP/dz = 12 mu v / h^2.
+  const RectDuct d{mm(10.0), um(100.0)};
+  const Coolant w = water(celsius_to_kelvin(27.0));
+  const double v = 0.5;  // m/s
+  const double q = v * d.area();
+  const double expected = 12.0 * w.viscosity * v / (d.height * d.height);
+  EXPECT_NEAR(pressure_gradient(d, q, w), expected, 0.05 * expected);
+}
+
+TEST(Pressure, LinearInFlowWhileLaminar) {
+  const RectDuct d{um(50.0), um(100.0)};
+  const Coolant w = water(celsius_to_kelvin(27.0));
+  const double q1 = ml_per_min(0.2);
+  EXPECT_NEAR(pressure_drop(d, mm(10.0), 2.0 * q1, w),
+              2.0 * pressure_drop(d, mm(10.0), q1, w), 1.0);
+}
+
+TEST(Pressure, ThrowsInTurbulentRegime) {
+  const RectDuct d{mm(1.0), mm(1.0)};
+  const Coolant w = water(celsius_to_kelvin(27.0));
+  const double q_fast = 5.0 * d.area();  // 5 m/s in a 1 mm duct
+  EXPECT_THROW(pressure_gradient(d, q_fast, w), ModelRangeError);
+}
+
+TEST(Pressure, ZeroFlowZeroDrop) {
+  const RectDuct d{um(50.0), um(100.0)};
+  const Coolant w = water(celsius_to_kelvin(27.0));
+  EXPECT_DOUBLE_EQ(pressure_drop(d, mm(10.0), 0.0, w), 0.0);
+}
+
+TEST(Pressure, PumpingPowerDefinition) {
+  EXPECT_DOUBLE_EQ(pumping_power(1000.0, 1e-6), 1e-3);
+  EXPECT_DOUBLE_EQ(pumping_power(1000.0, 1e-6, 0.5), 2e-3);
+  EXPECT_THROW(pumping_power(1.0, 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Htc, Table1ChannelFilmCoefficient) {
+  // 50 x 100 um water channel: h = Nu k / Dh ~ 3.6e4 W/(m^2 K).
+  const RectDuct d{um(50.0), um(100.0)};
+  const double h = heat_transfer_coefficient(d, water_table1());
+  EXPECT_GT(h, 3.0e4);
+  EXPECT_LT(h, 4.5e4);
+}
+
+TEST(FinEfficiency, LimitsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(fin_efficiency(0.0, 130.0, 1e-4, 1e-4), 1.0);
+  EXPECT_DOUBLE_EQ(fin_efficiency(1e4, 130.0, 1e-4, 0.0), 1.0);
+  const double tall = fin_efficiency(4e4, 130.0, 1e-4, 500e-6);
+  const double short_fin = fin_efficiency(4e4, 130.0, 1e-4, 50e-6);
+  EXPECT_LT(tall, short_fin);
+  EXPECT_GT(tall, 0.0);
+  EXPECT_LE(short_fin, 1.0);
+}
+
+// --- pump model ---------------------------------------------------------
+
+TEST(Pump, Table1EndpointsReproduced) {
+  const PumpModel pump = PumpModel::table1();
+  // 2-cavity (2-tier) stack: 3.5 - 11.176 W over the flow range.
+  EXPECT_NEAR(pump.power(0, 2), 3.5, 0.05);
+  EXPECT_NEAR(pump.power(pump.levels() - 1, 2), 11.176, 0.001);
+}
+
+TEST(Pump, FlowLevelsSpanTable1Range) {
+  const PumpModel pump = PumpModel::table1(16);
+  EXPECT_NEAR(to_ml_per_min(pump.flow_per_cavity(0)), 10.0, 1e-9);
+  EXPECT_NEAR(to_ml_per_min(pump.flow_per_cavity(15)), 32.3, 1e-9);
+  for (int l = 1; l < pump.levels(); ++l) {
+    EXPECT_GT(pump.flow_per_cavity(l), pump.flow_per_cavity(l - 1));
+  }
+}
+
+TEST(Pump, LevelForFlowRoundsUp) {
+  const PumpModel pump = PumpModel::table1(16);
+  EXPECT_EQ(pump.level_for_flow(0.0), 0);
+  EXPECT_EQ(pump.level_for_flow(pump.q_max() * 2), 15);
+  const double mid = 0.5 * (pump.flow_per_cavity(7) + pump.flow_per_cavity(8));
+  EXPECT_EQ(pump.level_for_flow(mid), 8);  // never under-provision
+  EXPECT_EQ(pump.level_for_flow(pump.flow_per_cavity(5)), 5);
+}
+
+TEST(Pump, PowerScalesWithCavities) {
+  const PumpModel pump = PumpModel::table1();
+  EXPECT_NEAR(pump.power(8, 4), 2.0 * pump.power(8, 2), 1e-12);
+  EXPECT_DOUBLE_EQ(pump.power(8, 0), 0.0);
+}
+
+TEST(Pump, RejectsBadConfiguration) {
+  EXPECT_THROW(PumpModel(0.0, 1.0, 4, 1.0), InvalidArgument);
+  EXPECT_THROW(PumpModel(1.0, 0.5, 4, 1.0), InvalidArgument);
+  EXPECT_THROW(PumpModel(1e-7, 2e-7, 1, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tac3d::microchannel

@@ -1,0 +1,182 @@
+// Tests of the power substrate: VF table, leakage model, utilization
+// traces and the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "power/leakage.hpp"
+#include "power/trace.hpp"
+#include "power/vf.hpp"
+#include "power/workloads.hpp"
+
+namespace tac3d::power {
+namespace {
+
+TEST(VfTable, UltrasparcLadderShape) {
+  const VfTable vf = VfTable::ultrasparc_t1();
+  EXPECT_EQ(vf.levels(), 5);
+  EXPECT_DOUBLE_EQ(vf.point(vf.max_level()).frequency, 1.2e9);
+  EXPECT_DOUBLE_EQ(vf.point(0).voltage, 0.90);
+}
+
+TEST(VfTable, PowerScaleIsVSquaredF) {
+  const VfTable vf = VfTable::ultrasparc_t1();
+  EXPECT_DOUBLE_EQ(vf.power_scale(vf.max_level()), 1.0);
+  // Lowest point: (0.9/1.2)^2 * (0.6/1.2) = 0.28125.
+  EXPECT_NEAR(vf.power_scale(0), 0.28125, 1e-9);
+  for (int l = 1; l < vf.levels(); ++l) {
+    EXPECT_GT(vf.power_scale(l), vf.power_scale(l - 1));
+    EXPECT_GT(vf.speed_scale(l), vf.speed_scale(l - 1));
+  }
+}
+
+TEST(VfTable, LevelForDemandCoversDemand) {
+  const VfTable vf = VfTable::ultrasparc_t1();
+  for (double demand : {0.0, 0.2, 0.45, 0.6, 0.85, 1.0}) {
+    const int l = vf.level_for_demand(demand, 0.05);
+    EXPECT_GE(vf.speed_scale(l) + 1e-12, std::min(1.0, demand + 0.05))
+        << "demand " << demand;
+    if (l > 0) {
+      // One level lower would not cover it.
+      EXPECT_LT(vf.speed_scale(l - 1), std::min(1.0, demand + 0.05));
+    }
+  }
+}
+
+TEST(VfTable, RejectsUnsortedPoints) {
+  EXPECT_THROW(VfTable({{1.2e9, 1.2}, {0.6e9, 0.9}}), InvalidArgument);
+}
+
+TEST(Leakage, ExponentialInTemperatureWithClamp) {
+  const LeakageModel leak(1e4, celsius_to_kelvin(45.0), 50.0, 4.0);
+  EXPECT_DOUBLE_EQ(leak.factor(celsius_to_kelvin(45.0)), 1.0);
+  EXPECT_NEAR(leak.factor(celsius_to_kelvin(45.0 + 50.0 * std::log(2.0))),
+              2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(leak.factor(celsius_to_kelvin(300.0)), 4.0);  // clamped
+}
+
+TEST(Leakage, ScalesWithArea) {
+  const LeakageModel leak(1e4, celsius_to_kelvin(45.0), 50.0);
+  const double t = celsius_to_kelvin(60.0);
+  EXPECT_NEAR(leak.power(2e-5, t), 2.0 * leak.power(1e-5, t), 1e-12);
+  EXPECT_DOUBLE_EQ(leak.power(0.0, t), 0.0);
+  EXPECT_THROW(leak.power(-1.0, t), InvalidArgument);
+}
+
+TEST(Trace, SetGetAndInterpolation) {
+  UtilizationTrace tr("test", 2, 3);
+  tr.set(0, 0, 0.2);
+  tr.set(0, 1, 0.6);
+  tr.set(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ(tr.sample(0, 0.5), 0.4);
+  EXPECT_DOUBLE_EQ(tr.sample(0, 2.9), 1.0);   // clamped at trace end
+  EXPECT_DOUBLE_EQ(tr.sample(0, -1.0), 0.2);  // clamped at start
+}
+
+TEST(Trace, RejectsOutOfRangeValues) {
+  UtilizationTrace tr("test", 1, 2);
+  EXPECT_THROW(tr.set(0, 0, 1.5), InvalidArgument);
+  EXPECT_THROW(tr.set(1, 0, 0.5), InvalidArgument);
+  EXPECT_THROW(tr.at(5, 0), InvalidArgument);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  UtilizationTrace tr("rt", 3, 4);
+  for (int th = 0; th < 3; ++th) {
+    for (int t = 0; t < 4; ++t) {
+      tr.set(th, t, 0.1 * (th + 1) + 0.01 * t);
+    }
+  }
+  std::stringstream ss;
+  tr.to_csv(ss);
+  const UtilizationTrace back = UtilizationTrace::from_csv(ss, "rt");
+  EXPECT_EQ(back.threads(), 3);
+  EXPECT_EQ(back.seconds(), 4);
+  for (int th = 0; th < 3; ++th) {
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_NEAR(back.at(th, t), tr.at(th, t), 1e-12);
+    }
+  }
+}
+
+TEST(Trace, Statistics) {
+  UtilizationTrace tr("s", 2, 2);
+  tr.set(0, 0, 0.0);
+  tr.set(0, 1, 1.0);
+  tr.set(1, 0, 0.5);
+  tr.set(1, 1, 0.5);
+  EXPECT_DOUBLE_EQ(tr.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(tr.peak(), 1.0);
+  EXPECT_DOUBLE_EQ(tr.thread_mean(1), 0.5);
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadSweep, BoundedAndDeterministic) {
+  const auto a = generate_workload(GetParam(), 32, 60, 99);
+  const auto b = generate_workload(GetParam(), 32, 60, 99);
+  for (int th = 0; th < 32; th += 7) {
+    for (int t = 0; t < 60; t += 11) {
+      ASSERT_GE(a.at(th, t), 0.0);
+      ASSERT_LE(a.at(th, t), 1.0);
+      ASSERT_DOUBLE_EQ(a.at(th, t), b.at(th, t));
+    }
+  }
+}
+
+TEST_P(WorkloadSweep, DifferentSeedsGiveDifferentTraces) {
+  if (GetParam() == WorkloadKind::kMaxUtil) {
+    GTEST_SKIP() << "max-util traces are near-constant by design";
+  }
+  const auto a = generate_workload(GetParam(), 8, 60, 1);
+  const auto b = generate_workload(GetParam(), 8, 60, 2);
+  double diff = 0.0;
+  for (int t = 0; t < 60; ++t) diff += std::abs(a.at(0, t) - b.at(0, t));
+  EXPECT_GT(diff, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WorkloadSweep,
+    ::testing::Values(WorkloadKind::kWebServer, WorkloadKind::kDatabase,
+                      WorkloadKind::kMultimedia, WorkloadKind::kMixed,
+                      WorkloadKind::kMaxUtil, WorkloadKind::kIdle));
+
+TEST(Workloads, ClassStatisticsHaveTheRightShape) {
+  const auto web = generate_workload(WorkloadKind::kWebServer, 32, 300, 5);
+  const auto db = generate_workload(WorkloadKind::kDatabase, 32, 300, 5);
+  const auto mm = generate_workload(WorkloadKind::kMultimedia, 32, 300, 5);
+  const auto mx = generate_workload(WorkloadKind::kMaxUtil, 32, 300, 5);
+  const auto idle = generate_workload(WorkloadKind::kIdle, 32, 300, 5);
+
+  // Ordering: idle << web < db/mmedia << maxutil.
+  EXPECT_LT(idle.mean(), 0.1);
+  EXPECT_GT(web.mean(), 0.35);
+  EXPECT_LT(web.mean(), db.mean());
+  EXPECT_GT(mm.mean(), 0.6);
+  EXPECT_GT(mx.mean(), 0.97);
+
+  // Web is bursty: peak far above mean.
+  EXPECT_GT(web.peak(), web.mean() + 0.3);
+}
+
+TEST(Workloads, MixedIsHalfWebHalfDb) {
+  const auto mixed = generate_workload(WorkloadKind::kMixed, 32, 200, 3);
+  double lo = 0.0, hi = 0.0;
+  for (int th = 0; th < 16; ++th) lo += mixed.thread_mean(th) / 16.0;
+  for (int th = 16; th < 32; ++th) hi += mixed.thread_mean(th) / 16.0;
+  EXPECT_LT(lo, hi);  // web half is lighter than the db half
+}
+
+TEST(Workloads, AverageCaseSetMatchesPaper) {
+  const auto set = average_case_workloads();
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(workload_name(set[0]), "web");
+  EXPECT_EQ(workload_name(set[1]), "db");
+}
+
+}  // namespace
+}  // namespace tac3d::power

@@ -1,0 +1,102 @@
+// Unit tests for the CSR matrix container.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace tac3d::sparse {
+namespace {
+
+CsrMatrix small() {
+  // [ 4 -1  0]
+  // [-1  4 -1]
+  // [ 0 -1  4]
+  return CsrMatrix::from_triplets(3, 3,
+                                  {{0, 0, 4.0},
+                                   {0, 1, -1.0},
+                                   {1, 0, -1.0},
+                                   {1, 1, 4.0},
+                                   {1, 2, -1.0},
+                                   {2, 1, -1.0},
+                                   {2, 2, 4.0}});
+}
+
+TEST(CsrMatrix, FromTripletsBuildsSortedRows) {
+  const CsrMatrix m = small();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 7);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.coeff(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 2), 0.0);
+}
+
+TEST(CsrMatrix, DuplicateTripletsAreSummed) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 3.5);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(CsrMatrix, MultiplyMatchesManualComputation) {
+  const CsrMatrix m = small();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0 * 1 - 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 + 8 - 3);
+  EXPECT_DOUBLE_EQ(y[2], -2 + 12);
+}
+
+TEST(CsrMatrix, MultiplyTransposeMatchesForSymmetric) {
+  const CsrMatrix m = small();
+  const std::vector<double> x{0.5, -1.0, 2.0};
+  std::vector<double> y1(3), y2(3);
+  m.multiply(x, y1);
+  m.multiply_transpose(x, y2);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(CsrMatrix, CoeffRefMutatesInPlace) {
+  CsrMatrix m = small();
+  m.coeff_ref(1, 1) = 10.0;
+  EXPECT_DOUBLE_EQ(m.coeff(1, 1), 10.0);
+  EXPECT_THROW(m.coeff_ref(0, 2), InvalidArgument);
+}
+
+TEST(CsrMatrix, HasEntryReflectsPattern) {
+  const CsrMatrix m = small();
+  EXPECT_TRUE(m.has_entry(0, 1));
+  EXPECT_FALSE(m.has_entry(0, 2));
+}
+
+TEST(CsrMatrix, DiagonalAndNormInf) {
+  const CsrMatrix m = small();
+  const auto d = m.diagonal();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 6.0);
+}
+
+TEST(CsrMatrix, DiagonalDominanceCheck) {
+  EXPECT_TRUE(small().is_diagonally_dominant());
+  const CsrMatrix bad = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, -2.0}, {1, 1, 3.0}});
+  EXPECT_FALSE(bad.is_diagonally_dominant());
+}
+
+TEST(CsrMatrix, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               InvalidArgument);
+}
+
+TEST(CsrMatrix, SetZeroKeepsPattern) {
+  CsrMatrix m = small();
+  m.set_zero();
+  EXPECT_EQ(m.nnz(), 7);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 0.0);
+  EXPECT_TRUE(m.has_entry(0, 1));
+}
+
+}  // namespace
+}  // namespace tac3d::sparse

@@ -1,0 +1,115 @@
+// Tests of the stack text format and CSV exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/niagara.hpp"
+#include "arch/stacks.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "thermal/stackup_io.hpp"
+
+namespace tac3d::thermal {
+namespace {
+
+const char* kSampleStack = R"(# two dies around a cavity, sink on top
+stack sample
+dimensions 10 10
+ambient 45
+coolant_inlet 27
+material glue 1.5 2.0e6
+sink 10 140 50
+floorplan begin
+  heater 0 0 10 10
+floorplan end
+layer die0 0.15 silicon floorplan 0
+cavity cav 0.1 0.05 0.15 silicon
+layer die1 0.15 silicon
+layer bond 0.02 glue
+layer cap 0.3 pyrex
+)";
+
+TEST(StackIo, ParsesSampleStack) {
+  std::istringstream in(kSampleStack);
+  const StackSpec spec = parse_stack(in);
+  EXPECT_EQ(spec.name, "sample");
+  EXPECT_NEAR(spec.width, mm(10.0), 1e-12);
+  EXPECT_NEAR(spec.ambient, celsius_to_kelvin(45.0), 1e-9);
+  EXPECT_EQ(spec.layers.size(), 5u);
+  EXPECT_EQ(spec.n_cavities(), 1);
+  EXPECT_TRUE(spec.sink.present);
+  EXPECT_EQ(spec.layers[0].floorplan_index, 0);
+  EXPECT_EQ(spec.layers[3].material.name, "glue");
+  EXPECT_DOUBLE_EQ(spec.layers[3].material.conductivity, 1.5);
+  EXPECT_EQ(spec.floorplans.size(), 1u);
+}
+
+TEST(StackIo, RoundTripsThroughText) {
+  std::istringstream in(kSampleStack);
+  const StackSpec spec = parse_stack(in);
+  std::istringstream in2(stack_to_text(spec));
+  const StackSpec back = parse_stack(in2);
+  EXPECT_EQ(back.layers.size(), spec.layers.size());
+  EXPECT_NEAR(back.width, spec.width, 1e-12);
+  EXPECT_EQ(back.n_cavities(), spec.n_cavities());
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    EXPECT_NEAR(back.layers[i].thickness, spec.layers[i].thickness, 1e-12);
+    EXPECT_EQ(back.layers[i].material.name, spec.layers[i].material.name);
+  }
+}
+
+TEST(StackIo, BuiltStacksRoundTrip) {
+  // The 2-tier liquid stack built by arch serializes and re-parses.
+  const StackSpec spec = arch::build_stack(arch::NiagaraConfig::paper(), 2,
+                                           arch::CoolingKind::kLiquidCooled);
+  std::istringstream in(stack_to_text(spec));
+  const StackSpec back = parse_stack(in);
+  EXPECT_EQ(back.n_cavities(), 2);
+  EXPECT_EQ(back.floorplans.size(), 2u);
+  // And it still builds a working model.
+  RcModel model(back, GridOptions{8, 8});
+  model.set_all_flows(ml_per_min(20.0));
+  model.set_element_power(model.grid().element_id("core0"), 5.0);
+  EXPECT_NO_THROW(model.steady_state());
+}
+
+TEST(StackIo, RejectsMalformedInput) {
+  for (const char* bad :
+       {"layer die 0.15 unobtainium\n",
+        "dimensions 10\n",
+        "floorplan begin\n  heater 0 0 10 10\n",  // unterminated
+        "nonsense 1 2 3\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(parse_stack(in), InvalidArgument) << bad;
+  }
+}
+
+TEST(CsvExport, LayerFieldHasGridShape) {
+  std::istringstream in(kSampleStack);
+  RcModel model(parse_stack(in), GridOptions{6, 5});
+  model.set_all_flows(ml_per_min(20.0));
+  model.set_element_power(0, 10.0);
+  const auto temps = model.steady_state();
+  std::ostringstream os;
+  write_layer_csv(model, temps, 0, os);
+  const std::string csv = os.str();
+  // Header + 6 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+  // 5 columns + label per row -> 5 commas per line.
+  const auto first_line = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(std::count(first_line.begin(), first_line.end(), ','), 5);
+}
+
+TEST(CsvExport, ElementSummaryListsAllElements) {
+  std::istringstream in(kSampleStack);
+  RcModel model(parse_stack(in), GridOptions{6, 5});
+  model.set_all_flows(ml_per_min(20.0));
+  model.set_element_power(0, 10.0);
+  const auto temps = model.steady_state();
+  std::ostringstream os;
+  write_element_csv(model, temps, os);
+  EXPECT_NE(os.str().find("heater,die0,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tac3d::thermal

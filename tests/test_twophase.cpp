@@ -1,0 +1,275 @@
+// Tests of the two-phase substrate: refrigerant property fits, boiling
+// correlations, the channel march and the Fig. 8 micro-evaporator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "twophase/boiling.hpp"
+#include "twophase/channel_march.hpp"
+#include "twophase/evaporator.hpp"
+#include "twophase/refrigerant.hpp"
+
+namespace tac3d::twophase {
+namespace {
+
+class RefrigerantSweep
+    : public ::testing::TestWithParam<const Refrigerant*> {};
+
+TEST_P(RefrigerantSweep, SaturationCurveIsMonotone) {
+  const Refrigerant& r = *GetParam();
+  double prev = 0.0;
+  for (double tc = 0.0; tc <= 60.0; tc += 5.0) {
+    const double p = r.saturation_pressure(celsius_to_kelvin(tc));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_P(RefrigerantSweep, SaturationInverseRoundTrips) {
+  const Refrigerant& r = *GetParam();
+  for (double tc = 5.0; tc <= 55.0; tc += 10.0) {
+    const double t = celsius_to_kelvin(tc);
+    EXPECT_NEAR(r.saturation_temperature(r.saturation_pressure(t)), t, 1e-6);
+  }
+}
+
+TEST_P(RefrigerantSweep, LatentHeatFallsWithTemperature) {
+  const Refrigerant& r = *GetParam();
+  EXPECT_GT(r.latent_heat(celsius_to_kelvin(10.0)),
+            r.latent_heat(celsius_to_kelvin(50.0)));
+  EXPECT_GT(r.latent_heat(celsius_to_kelvin(30.0)), 1e5);  // > 100 kJ/kg
+}
+
+TEST_P(RefrigerantSweep, DensitiesAndTransportArephysical) {
+  const Refrigerant& r = *GetParam();
+  const double t = celsius_to_kelvin(30.0);
+  EXPECT_GT(r.liquid_density(t), 20.0 * r.vapor_density(t));
+  EXPECT_GT(r.liquid_viscosity(t), r.vapor_viscosity(t));
+  EXPECT_GT(r.liquid_specific_heat(t), 1000.0);
+  EXPECT_GT(r.liquid_conductivity(t), 0.05);
+  EXPECT_LT(r.reduced_pressure(r.saturation_pressure(t)), 0.3);
+}
+
+TEST_P(RefrigerantSweep, PropertyQueriesOutsideFitThrow) {
+  const Refrigerant& r = *GetParam();
+  EXPECT_THROW(r.saturation_pressure(celsius_to_kelvin(90.0)),
+               ModelRangeError);
+}
+
+TEST_P(RefrigerantSweep, LiquidCoolantAdapterIsConsistent) {
+  const Refrigerant& r = *GetParam();
+  const double t = celsius_to_kelvin(30.0);
+  const auto c = r.liquid_coolant(t);
+  EXPECT_DOUBLE_EQ(c.density, r.liquid_density(t));
+  EXPECT_DOUBLE_EQ(c.conductivity, r.liquid_conductivity(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRefrigerants, RefrigerantSweep,
+                         ::testing::Values(&Refrigerant::r134a(),
+                                           &Refrigerant::r236fa(),
+                                           &Refrigerant::r245fa()));
+
+TEST(Refrigerant, R134aLatentHeatMatchesPaperQuote) {
+  // "about 150 kJ/kg of R-134a" (Section III, at warm conditions).
+  const double hfg = Refrigerant::r134a().latent_heat(celsius_to_kelvin(50.0));
+  EXPECT_NEAR(hfg, 150e3, 10e3);
+}
+
+TEST(Refrigerant, R245faSaturation30CIsAboveAmbientPressure) {
+  // R245fa at 30 C sits near 1.8 bar: low-pressure, suitable for chips.
+  const double p =
+      Refrigerant::r245fa().saturation_pressure(celsius_to_kelvin(30.0));
+  EXPECT_NEAR(to_bar(p), 1.78, 0.1);
+}
+
+// --- boiling correlations ------------------------------------------------
+
+TEST(Cooper, KnownScalingWithHeatFlux) {
+  const auto& r = Refrigerant::r134a();
+  const double p = r.saturation_pressure(celsius_to_kelvin(30.0));
+  const double h1 = cooper_pool_boiling_htc(r, p, 1e4);
+  const double h2 = cooper_pool_boiling_htc(r, p, 2e4);
+  EXPECT_NEAR(h2 / h1, std::pow(2.0, 0.67), 1e-6);
+}
+
+TEST(Cooper, ZeroFluxZeroTransferAndGuards) {
+  const auto& r = Refrigerant::r134a();
+  const double p = r.saturation_pressure(celsius_to_kelvin(30.0));
+  EXPECT_DOUBLE_EQ(cooper_pool_boiling_htc(r, p, 0.0), 0.0);
+  EXPECT_THROW(cooper_pool_boiling_htc(r, -1.0, 1e4), InvalidArgument);
+}
+
+TEST(FlowBoiling, IncreasesWithHeatFlux) {
+  const auto& r = Refrigerant::r245fa();
+  const microchannel::RectDuct duct{um(85.0), um(560.0)};
+  const double p = r.saturation_pressure(celsius_to_kelvin(30.0));
+  const double h_lo = flow_boiling_htc(r, duct, {p, 0.1, 350.0, w_per_cm2(2)});
+  const double h_hi =
+      flow_boiling_htc(r, duct, {p, 0.1, 350.0, w_per_cm2(30.2)});
+  EXPECT_GT(h_hi, 4.0 * h_lo);  // strong nucleate enhancement
+  EXPECT_LT(h_hi, 12.0 * h_lo);
+}
+
+TEST(FlowBoiling, SuperheatGrowsSubLinearlyWithFlux) {
+  // The key Fig. 8 behaviour: dT ~ q^(1-0.76), so a 15x hot spot only
+  // raises the superheat ~2x (vs 15x for constant-h water cooling).
+  const auto& r = Refrigerant::r245fa();
+  const microchannel::RectDuct duct{um(85.0), um(560.0)};
+  const double p = r.saturation_pressure(celsius_to_kelvin(30.0));
+  const double q1 = w_per_cm2(2.0), q2 = w_per_cm2(30.2);
+  const double dt1 = q1 / flow_boiling_htc(r, duct, {p, 0.05, 350.0, q1});
+  const double dt2 = q2 / flow_boiling_htc(r, duct, {p, 0.05, 350.0, q2});
+  EXPECT_GT(dt2 / dt1, 1.5);
+  EXPECT_LT(dt2 / dt1, 3.5);
+}
+
+TEST(DryoutQuality, BoundedAndDecreasingInMassFlux) {
+  EXPECT_GE(dryout_quality(100.0), dryout_quality(1000.0));
+  EXPECT_LE(dryout_quality(10.0), 0.95);
+  EXPECT_GE(dryout_quality(5000.0), 0.4);
+  EXPECT_THROW(dryout_quality(0.0), InvalidArgument);
+}
+
+TEST(TwoPhasePressure, GradientGrowsWithQuality) {
+  // In the laminar homogeneous model dP/dz ~ mu_h/rho_h, which grows
+  // moderately with quality (vapor accumulation accelerates the flow
+  // while the McAdams viscosity falls).
+  const auto& r = Refrigerant::r245fa();
+  const microchannel::RectDuct duct{um(85.0), um(560.0)};
+  const double p = r.saturation_pressure(celsius_to_kelvin(30.0));
+  const double g0 = two_phase_pressure_gradient(r, duct, {p, 0.05, 200.0, 0});
+  const double g1 = two_phase_pressure_gradient(r, duct, {p, 0.5, 200.0, 0});
+  const double g2 = two_phase_pressure_gradient(r, duct, {p, 0.9, 200.0, 0});
+  EXPECT_GT(g1, 1.2 * g0);
+  EXPECT_GT(g2, g1);
+}
+
+// --- channel march ------------------------------------------------------
+
+ChannelMarchInput basic_march(double q_cm2 = 20.0) {
+  ChannelMarchInput in;
+  in.refrigerant = &Refrigerant::r245fa();
+  in.duct = microchannel::RectDuct{um(85.0), um(560.0)};
+  in.length = mm(12.7);
+  in.steps = 60;
+  in.mass_flow = 350.0 * in.duct.area();
+  in.inlet_pressure =
+      in.refrigerant->saturation_pressure(celsius_to_kelvin(30.0));
+  in.heated_width = um(94.0);
+  in.heat_flux.assign(60, w_per_cm2(q_cm2));
+  return in;
+}
+
+TEST(ChannelMarch, EnergyBalanceSetsOutletQuality) {
+  const auto in = basic_march();
+  const auto res = march_channel(in);
+  const double q_total = w_per_cm2(20.0) * in.heated_width * in.length;
+  const double hfg =
+      in.refrigerant->latent_heat(celsius_to_kelvin(30.0));
+  const double x_expected = q_total / (in.mass_flow * hfg);
+  EXPECT_NEAR(res.quality.back(), x_expected, 0.05 * x_expected);
+}
+
+TEST(ChannelMarch, SaturationTemperatureFallsDownstream) {
+  // Section III: "in flow boiling the exit temperature of the
+  // refrigerant is lower than at the inlet".
+  const auto res = march_channel(basic_march());
+  EXPECT_LT(res.outlet_t_sat, celsius_to_kelvin(30.0));
+  for (std::size_t i = 1; i < res.t_sat.size(); ++i) {
+    EXPECT_LE(res.t_sat[i], res.t_sat[i - 1] + 1e-9);
+  }
+}
+
+TEST(ChannelMarch, PressureDropPositiveAndQualityMonotone) {
+  const auto res = march_channel(basic_march());
+  EXPECT_GT(res.pressure_drop, 0.0);
+  for (std::size_t i = 1; i < res.quality.size(); ++i) {
+    EXPECT_GE(res.quality[i], res.quality[i - 1]);
+  }
+}
+
+TEST(ChannelMarch, DryoutDetectedAtHighFlux) {
+  auto in = basic_march(250.0);
+  in.mass_flow *= 0.3;  // starve the channel
+  const auto res = march_channel(in);
+  EXPECT_TRUE(res.dryout);
+  EXPECT_GT(res.dryout_position, 0.0);
+  in.throw_on_dryout = true;
+  EXPECT_THROW(march_channel(in), ModelRangeError);
+}
+
+TEST(ChannelMarch, ValidatesInputs) {
+  auto in = basic_march();
+  in.heat_flux.resize(10);
+  EXPECT_THROW(march_channel(in), InvalidArgument);
+  auto in2 = basic_march();
+  in2.mass_flow = 0.0;
+  EXPECT_THROW(march_channel(in2), InvalidArgument);
+}
+
+// --- Fig. 8 micro-evaporator ---------------------------------------------
+
+TEST(Evaporator, Fig8HeaterMapShape) {
+  const HeaterMap m = HeaterMap::fig8_hotspot();
+  EXPECT_EQ(m.rows, 5);
+  EXPECT_EQ(m.cols, 7);
+  EXPECT_DOUBLE_EQ(m.row_avg(0), w_per_cm2(2.0));
+  EXPECT_DOUBLE_EQ(m.row_avg(2), w_per_cm2(30.2));
+  EXPECT_NEAR(m.row_avg(2) / m.row_avg(0), 15.1, 1e-9);
+}
+
+TEST(Evaporator, Fig8RatiosMatchPaperBands) {
+  const auto res = simulate_evaporator(EvaporatorDesign::fig8_vehicle(),
+                                       HeaterMap::fig8_hotspot(), 20);
+  ASSERT_EQ(res.rows.size(), 5u);
+  const auto& cold = res.rows[0];
+  const auto& hot = res.rows[2];
+  // HTC under the hot spot ~8x higher (we land ~7x).
+  EXPECT_GT(hot.htc / cold.htc, 5.0);
+  EXPECT_LT(hot.htc / cold.htc, 10.0);
+  // Wall superheat only ~2x higher.
+  const double sh_ratio = (hot.wall_temp - hot.fluid_temp) /
+                          (cold.wall_temp - cold.fluid_temp);
+  EXPECT_GT(sh_ratio, 1.5);
+  EXPECT_LT(sh_ratio, 3.0);
+  // Fluid leaves slightly colder than it entered (30 -> ~29.5 C).
+  EXPECT_LT(res.outlet_t_sat, celsius_to_kelvin(30.0));
+  EXPECT_GT(res.outlet_t_sat, celsius_to_kelvin(28.5));
+  EXPECT_FALSE(res.dryout);
+}
+
+TEST(Evaporator, UniformMapGivesUniformRows) {
+  auto design = EvaporatorDesign::fig8_vehicle();
+  const auto res = simulate_evaporator(
+      design, HeaterMap::uniform(5, 7, w_per_cm2(10.0)), 10);
+  for (const auto& row : res.rows) {
+    EXPECT_NEAR(row.heat_flux, w_per_cm2(10.0), 1e-9);
+  }
+  // Wall superheat is nearly uniform along the channel (the two-phase
+  // advantage for temperature balance).
+  const double sh0 = res.rows.front().wall_temp - res.rows.front().fluid_temp;
+  const double sh4 = res.rows.back().wall_temp - res.rows.back().fluid_temp;
+  EXPECT_NEAR(sh0, sh4, 0.4 * sh0);
+}
+
+TEST(Evaporator, BaseHotterThanWallHotterThanFluid) {
+  const auto res = simulate_evaporator(EvaporatorDesign::fig8_vehicle(),
+                                       HeaterMap::fig8_hotspot(), 10);
+  for (const auto& row : res.rows) {
+    EXPECT_GT(row.base_temp, row.wall_temp);
+    EXPECT_GT(row.wall_temp, row.fluid_temp);
+  }
+}
+
+TEST(Evaporator, RejectsBadGeometry) {
+  auto design = EvaporatorDesign::fig8_vehicle();
+  design.n_channels = 0;
+  EXPECT_THROW(
+      simulate_evaporator(design, HeaterMap::fig8_hotspot(), 10),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tac3d::twophase

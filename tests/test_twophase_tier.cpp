@@ -1,0 +1,104 @@
+// Tests of the two-phase tier model (extension: flow boiling under a
+// full processor floorplan).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "thermal/floorplan.hpp"
+#include "twophase/tier_model.hpp"
+
+namespace tac3d::twophase {
+namespace {
+
+TwoPhaseTierDesign tier_design(double height_um = 400.0) {
+  TwoPhaseTierDesign d;
+  d.tier_width = mm(10.0);
+  d.tier_length = mm(10.0);
+  d.die_thickness = um(150.0);
+  d.channel_width = um(85.0);
+  d.channel_height = um(height_um);
+  d.n_channels = 58;  // ~170 um pitch
+  d.refrigerant = &Refrigerant::r245fa();
+  d.inlet_sat_temp = celsius_to_kelvin(30.0);
+  d.total_mass_flow = 40.0 / (0.5 * d.refrigerant->latent_heat(
+                                        d.inlet_sat_temp));
+  return d;
+}
+
+thermal::Floorplan half_hot_floorplan() {
+  thermal::Floorplan fp;
+  fp.add("hot", Rect{0.0, 0.0, mm(5.0), mm(10.0)});
+  fp.add("cool", Rect{mm(5.0), 0.0, mm(5.0), mm(10.0)});
+  return fp;
+}
+
+TEST(TierModel, OutletQualityMatchesEnergyBalance) {
+  const auto d = tier_design();
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> powers{20.0, 20.0};  // uniform 40 W
+  const auto res = simulate_twophase_tier(d, fp, powers, 20);
+  const double hfg = d.refrigerant->latent_heat(d.inlet_sat_temp);
+  const double x_expected = 40.0 / (d.total_mass_flow * hfg);
+  EXPECT_NEAR(res.max_outlet_quality, x_expected, 0.1 * x_expected);
+}
+
+TEST(TierModel, HotHalfRunsHotter) {
+  const auto d = tier_design();
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> powers{35.0, 5.0};
+  const auto res = simulate_twophase_tier(d, fp, powers, 20);
+  // Channels under the hot half (low channel index) must be hotter.
+  const int mid_row = res.rows / 2;
+  EXPECT_GT(res.base(mid_row, 5), res.base(mid_row, res.channels - 6) + 1.0);
+  EXPECT_GT(res.peak_base_temp, celsius_to_kelvin(30.0));
+}
+
+TEST(TierModel, TemperatureUniformityBeatsFluxContrast) {
+  // The two-phase selling point: a 7x power contrast produces a much
+  // smaller superheat contrast.
+  const auto d = tier_design();
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> powers{35.0, 5.0};
+  const auto res = simulate_twophase_tier(d, fp, powers, 20);
+  const int mid_row = res.rows / 2;
+  const double sh_hot =
+      res.wall(mid_row, 5) - d.inlet_sat_temp;
+  const double sh_cool =
+      res.wall(mid_row, res.channels - 6) - d.inlet_sat_temp;
+  EXPECT_LT(sh_hot / std::max(sh_cool, 0.1), 4.0);  // << 7x
+}
+
+TEST(TierModel, ShallowChannelsRaisePressureDrop) {
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> powers{20.0, 20.0};
+  const auto deep = simulate_twophase_tier(tier_design(500.0), fp, powers,
+                                           16);
+  const auto shallow = simulate_twophase_tier(tier_design(150.0), fp,
+                                              powers, 16);
+  EXPECT_GT(shallow.pressure_drop, 3.0 * deep.pressure_drop);
+  EXPECT_GT(shallow.pumping_power, deep.pumping_power);
+}
+
+TEST(TierModel, DryoutFlaggedWhenStarved) {
+  auto d = tier_design();
+  d.total_mass_flow *= 0.2;
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> powers{30.0, 30.0};
+  const auto res = simulate_twophase_tier(d, fp, powers, 16);
+  EXPECT_TRUE(res.dryout);
+}
+
+TEST(TierModel, ValidatesInputs) {
+  const auto d = tier_design();
+  const auto fp = half_hot_floorplan();
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(simulate_twophase_tier(d, fp, wrong, 16), InvalidArgument);
+  auto bad = tier_design();
+  bad.n_channels = 0;
+  const std::vector<double> powers{20.0, 20.0};
+  EXPECT_THROW(simulate_twophase_tier(bad, fp, powers, 16),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tac3d::twophase
