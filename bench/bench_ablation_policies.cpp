@@ -1,17 +1,14 @@
 // Policy ablation on the liquid-cooled 2-tier stack: what does each
 // ingredient of LC_FUZZY buy? Compares max-flow (LC_LB), temperature-
 // triggered DVFS with max flow (LC_TDVFS_LB, not in the paper's final
-// set), and the fuzzy flow+DVFS controller, on the web workload.
+// set), and the fuzzy flow+DVFS controller, on the web workload — a
+// three-scenario sweep through the parallel runner.
 #include <iostream>
-#include <memory>
 
-#include "arch/mpsoc.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "control/policy.hpp"
-#include "power/workloads.hpp"
-#include "sim/engine.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace tac3d;
@@ -20,42 +17,25 @@ int main() {
       "why joint flow+DVFS control: 'the reason LC_FUZZY outperforms all "
       "other techniques ... is the joint control of flow rate and DVFS'");
 
-  const auto pump = microchannel::PumpModel::table1(16);
-  const auto trace = power::generate_workload(
-      power::WorkloadKind::kWebServer, 32, 180, 1);
-
-  struct Row {
-    std::string name;
-    std::unique_ptr<control::ThermalPolicy> policy;
-  };
+  const auto scenarios =
+      sim::ScenarioMatrix()
+          .tiers({2})
+          .policies({sim::PolicyKind::kLcLb, sim::PolicyKind::kLcTdvfsLb,
+                     sim::PolicyKind::kLcFuzzy})
+          .workloads({power::WorkloadKind::kWebServer})
+          .trace_seconds(180)
+          .build();
+  const auto report = sim::run_sweep(scenarios);
+  for (const auto& err : report.errors()) std::cerr << err << '\n';
 
   TextTable t;
   t.set_header({"Policy", "Peak T [C]", "Hot spots", "Chip E [J]",
                 "Pump E [J]", "System E [J]", "Perf loss"});
-
-  for (int variant = 0; variant < 3; ++variant) {
-    arch::Mpsoc3D soc(arch::Mpsoc3D::Options{
-        2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{16, 16},
-        arch::NiagaraConfig::paper()});
-    std::unique_ptr<control::ThermalPolicy> policy;
-    switch (variant) {
-      case 0:
-        policy = std::make_unique<control::MaxPerformancePolicy>(
-            8, soc.chip().vf, pump.levels() - 1);
-        break;
-      case 1:
-        policy = std::make_unique<control::TemperatureTriggeredDvfsPolicy>(
-            8, soc.chip().vf, celsius_to_kelvin(85.0),
-            celsius_to_kelvin(82.0), pump.levels() - 1);
-        break;
-      default:
-        policy = std::make_unique<control::FuzzyFlowDvfsPolicy>(
-            8, soc.chip().vf, pump.levels(), celsius_to_kelvin(85.0));
-    }
-    sim::SimulationConfig cfg;
-    cfg.pump = pump;
-    const auto m = sim::simulate(soc, trace, *policy, cfg);
-    t.add_row({policy->name(), fmt(kelvin_to_celsius(m.peak_temp), 1),
+  for (const auto& r : report.results()) {
+    if (!r.ok()) continue;
+    const auto& m = r.metrics;
+    t.add_row({sim::policy_label(r.scenario.policy),
+               fmt(kelvin_to_celsius(m.peak_temp), 1),
                fmt_pct(m.hotspot_frac_any()), fmt(m.chip_energy, 0),
                fmt(m.pump_energy, 0), fmt(m.system_energy(), 0),
                fmt_pct(m.perf_degradation(), 3)});
@@ -66,6 +46,8 @@ int main() {
          "below the DVFS trip point) so it cannot save anything; only the\n"
          "fuzzy controller converts the thermal margin into pump and DVFS\n"
          "energy savings, which is the paper's core argument for joint\n"
-         "mechanical-electrical control.\n";
-  return 0;
+         "mechanical-electrical control.\n\n";
+  bench::sweep_footer(report.size(), report.jobs_used(),
+                      report.wall_seconds());
+  return report.all_ok() ? 0 : 1;
 }

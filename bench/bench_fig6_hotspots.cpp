@@ -3,13 +3,17 @@
 // average-case workloads and for the maximum-utilization benchmark,
 // reported per-core-average and any-core. Also prints the Section IV-A
 // peak temperatures.
+//
+// The full 7 x (4 average + 1 max-util) matrix is expanded by
+// ScenarioMatrix and executed by the parallel sweep runner.
+#include <algorithm>
 #include <iostream>
-#include <vector>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace tac3d;
@@ -19,53 +23,56 @@ int main() {
       "peaks: 2-tier AC_LB 87C / AC_TDVFS_LB 85C / LC_LB 56C / LC_FUZZY "
       "68C; 4-tier AC up to 178C");
 
-  struct Combo {
-    int tiers;
-    sim::PolicyKind policy;
+  const auto scenarios = bench::fig67_scenarios(180);
+  const auto report = sim::run_sweep(scenarios);
+  for (const auto& err : report.errors()) std::cerr << err << '\n';
+
+  // Aggregate per stack x policy cell: mean over the average-case
+  // workloads plus the max-util run, in matrix (paper) order.
+  struct Acc {
+    double hot_avg_aw = 0.0, hot_any_aw = 0.0, peak_aw = 0.0;
+    double hot_avg_max = 0.0, hot_any_max = 0.0, peak_max = 0.0;
   };
-  const std::vector<Combo> combos = {
-      {2, sim::PolicyKind::kAcLb},   {2, sim::PolicyKind::kAcTdvfsLb},
-      {2, sim::PolicyKind::kLcLb},   {2, sim::PolicyKind::kLcFuzzy},
-      {4, sim::PolicyKind::kAcLb},   {4, sim::PolicyKind::kLcLb},
-      {4, sim::PolicyKind::kLcFuzzy}};
+  const std::size_t n_avg = power::average_case_workloads().size();
+  bench::ConfigCells<Acc> cells;
+  for (const auto& r : report.results()) {
+    const std::string key = bench::config_key(r.scenario);
+    if (!r.ok()) {
+      cells.mark_failed(key);
+      continue;
+    }
+    Acc& acc = cells.at(key);
+    if (r.scenario.workload == power::WorkloadKind::kMaxUtil) {
+      acc.hot_avg_max = r.metrics.hotspot_frac_avg_core();
+      acc.hot_any_max = r.metrics.hotspot_frac_any();
+      acc.peak_max = r.metrics.peak_temp;
+    } else {
+      acc.hot_avg_aw += r.metrics.hotspot_frac_avg_core() / n_avg;
+      acc.hot_any_aw += r.metrics.hotspot_frac_any() / n_avg;
+      acc.peak_aw = std::max(acc.peak_aw, r.metrics.peak_temp);
+    }
+  }
 
   TextTable t;
   t.set_header({"Config", "avg(avg util)", "max(avg util)", "avg(max util)",
                 "max(max util)", "peakT avg [C]", "peakT max [C]"});
-
-  for (const Combo& c : combos) {
-    double hot_avg_aw = 0.0, hot_any_aw = 0.0, peak_aw = 0.0;
-    const auto workloads = power::average_case_workloads();
-    for (const auto w : workloads) {
-      sim::ExperimentSpec spec;
-      spec.tiers = c.tiers;
-      spec.policy = c.policy;
-      spec.workload = w;
-      spec.trace_seconds = 180;
-      const auto m = sim::run_experiment(spec);
-      hot_avg_aw += m.hotspot_frac_avg_core() / workloads.size();
-      hot_any_aw += m.hotspot_frac_any() / workloads.size();
-      peak_aw = std::max(peak_aw, m.peak_temp);
+  for (const auto& key : cells.order()) {
+    if (cells.failed(key)) {
+      t.add_row({key, "ERROR (scenario failed, see stderr)"});
+      continue;
     }
-    sim::ExperimentSpec spec;
-    spec.tiers = c.tiers;
-    spec.policy = c.policy;
-    spec.workload = power::WorkloadKind::kMaxUtil;
-    spec.trace_seconds = 180;
-    const auto mm = sim::run_experiment(spec);
-
-    t.add_row({std::to_string(c.tiers) + "-tier " +
-                   sim::policy_label(c.policy),
-               fmt_pct(hot_avg_aw), fmt_pct(hot_any_aw),
-               fmt_pct(mm.hotspot_frac_avg_core()),
-               fmt_pct(mm.hotspot_frac_any()),
-               fmt(kelvin_to_celsius(peak_aw), 1),
-               fmt(kelvin_to_celsius(mm.peak_temp), 1)});
+    const Acc& acc = cells.at(key);
+    t.add_row({key, fmt_pct(acc.hot_avg_aw), fmt_pct(acc.hot_any_aw),
+               fmt_pct(acc.hot_avg_max), fmt_pct(acc.hot_any_max),
+               fmt(kelvin_to_celsius(acc.peak_aw), 1),
+               fmt(kelvin_to_celsius(acc.peak_max), 1)});
   }
   std::cout << t << '\n';
   std::cout
       << "Series: 'avg' = % averaged per core, 'max' = % of time any core\n"
          "is hot; '(avg util)' = mean across web/db/mmedia/mixed traces,\n"
-         "'(max util)' = maximum-utilization benchmark.\n";
-  return 0;
+         "'(max util)' = maximum-utilization benchmark.\n\n";
+  bench::sweep_footer(report.size(), report.jobs_used(),
+                      report.wall_seconds());
+  return report.all_ok() ? 0 : 1;
 }

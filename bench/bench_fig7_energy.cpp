@@ -3,14 +3,16 @@
 // normalized to 2-tier AC_LB, averaged across the average-case
 // workloads. Also prints the Section IV-A energy-saving claims
 // (LC_FUZZY vs LC_LB).
+//
+// The full 7 x (4 average + 1 max-util) matrix is expanded by
+// ScenarioMatrix and executed by the parallel sweep runner.
 #include <iostream>
-#include <map>
-#include <vector>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main() {
   using namespace tac3d;
@@ -20,55 +22,45 @@ int main() {
       "50%/52% vs LC_LB; up to 67% cooling / 30% system savings; "
       "LC performance loss < 0.01%");
 
-  struct Combo {
-    int tiers;
-    sim::PolicyKind policy;
-  };
-  const std::vector<Combo> combos = {
-      {2, sim::PolicyKind::kAcLb},   {2, sim::PolicyKind::kAcTdvfsLb},
-      {2, sim::PolicyKind::kLcLb},   {2, sim::PolicyKind::kLcFuzzy},
-      {4, sim::PolicyKind::kAcLb},   {4, sim::PolicyKind::kLcLb},
-      {4, sim::PolicyKind::kLcFuzzy}};
+  const auto scenarios = bench::fig67_scenarios(180);
+  const auto report = sim::run_sweep(scenarios);
+  for (const auto& err : report.errors()) std::cerr << err << '\n';
 
   struct Acc {
     double chip = 0.0, pump = 0.0, perf_max = 0.0, perf_avg = 0.0;
   };
-  std::map<std::string, Acc> results;
-  std::vector<std::string> order;
-
-  const auto workloads = power::average_case_workloads();
-  for (const Combo& c : combos) {
-    Acc acc;
-    for (const auto w : workloads) {
-      sim::ExperimentSpec spec;
-      spec.tiers = c.tiers;
-      spec.policy = c.policy;
-      spec.workload = w;
-      spec.trace_seconds = 180;
-      const auto m = sim::run_experiment(spec);
-      acc.chip += m.chip_energy / workloads.size();
-      acc.pump += m.pump_energy / workloads.size();
-      acc.perf_avg += m.perf_degradation() / workloads.size();
+  const std::size_t n_avg = power::average_case_workloads().size();
+  bench::ConfigCells<Acc> results;
+  for (const auto& r : report.results()) {
+    const std::string key = bench::config_key(r.scenario);
+    if (!r.ok()) {
+      results.mark_failed(key);
+      continue;
     }
-    sim::ExperimentSpec spec;
-    spec.tiers = c.tiers;
-    spec.policy = c.policy;
-    spec.workload = power::WorkloadKind::kMaxUtil;
-    spec.trace_seconds = 180;
-    acc.perf_max = sim::run_experiment(spec).perf_degradation();
-
-    const std::string key =
-        std::to_string(c.tiers) + "-tier " + sim::policy_label(c.policy);
-    results[key] = acc;
-    order.push_back(key);
+    Acc& acc = results.at(key);
+    if (r.scenario.workload == power::WorkloadKind::kMaxUtil) {
+      acc.perf_max = r.metrics.perf_degradation();
+    } else {
+      acc.chip += r.metrics.chip_energy / n_avg;
+      acc.pump += r.metrics.pump_energy / n_avg;
+      acc.perf_avg += r.metrics.perf_degradation() / n_avg;
+    }
   }
 
-  const double norm = results["2-tier AC_LB"].chip;  // no pump in AC_LB
+  // Normalize to 2-tier AC_LB (no pump energy there); fall back to 1 so
+  // a failed baseline doesn't turn the whole table into inf/nan.
+  const double baseline = results.at("2-tier AC_LB").chip;
+  const double norm =
+      !results.failed("2-tier AC_LB") && baseline > 0.0 ? baseline : 1.0;
   TextTable t;
   t.set_header({"Config", "system E (norm)", "pump E (norm)",
                 "perf loss (avg)", "perf loss (max util)"});
-  for (const auto& key : order) {
-    const Acc& a = results[key];
+  for (const auto& key : results.order()) {
+    if (results.failed(key)) {
+      t.add_row({key, "ERROR (scenario failed, see stderr)"});
+      continue;
+    }
+    const Acc& a = results.at(key);
     t.add_row({key, fmt((a.chip + a.pump) / norm, 3), fmt(a.pump / norm, 3),
                fmt_pct(a.perf_avg, 2), fmt_pct(a.perf_max, 2)});
   }
@@ -78,13 +70,23 @@ int main() {
     return 100.0 * (base - val) / base;
   };
   for (int tiers : {2, 4}) {
-    const Acc& lb = results[std::to_string(tiers) + "-tier LC_LB"];
-    const Acc& fz = results[std::to_string(tiers) + "-tier LC_FUZZY"];
+    const std::string lb_key = std::to_string(tiers) + "-tier LC_LB";
+    const std::string fz_key = std::to_string(tiers) + "-tier LC_FUZZY";
+    if (results.failed(lb_key) || results.failed(fz_key)) {
+      std::cout << tiers
+                << "-tier LC_FUZZY vs LC_LB: n/a (scenario failed)\n";
+      continue;
+    }
+    const Acc& lb = results.at(lb_key);
+    const Acc& fz = results.at(fz_key);
     std::cout << tiers << "-tier LC_FUZZY vs LC_LB: system energy -"
               << fmt(saving(lb.chip + lb.pump, fz.chip + fz.pump), 1)
               << "% [paper: " << (tiers == 2 ? 14 : 18)
               << "%], cooling energy -" << fmt(saving(lb.pump, fz.pump), 1)
               << "% [paper: " << (tiers == 2 ? 50 : 52) << "%]\n";
   }
-  return 0;
+  std::cout << '\n';
+  bench::sweep_footer(report.size(), report.jobs_used(),
+                      report.wall_seconds());
+  return report.all_ok() ? 0 : 1;
 }

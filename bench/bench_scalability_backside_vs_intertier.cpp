@@ -25,9 +25,10 @@ int main() {
 
   TextTable t;
   t.set_header({"Cooling", "Cavities", "Total power [W]",
-                "Max junction rise [K]", "Paper [K]"});
+                "Max junction rise [K]", "Paper [K]", "Solve [ms]"});
 
   for (const bool inter_tier : {true, false}) {
+    bench::Stopwatch watch;
     auto spec = arch::build_scalability_stack(3, inter_tier, hotspot,
                                               background);
     thermal::RcModel model(spec, thermal::GridOptions{20, 20});
@@ -44,7 +45,7 @@ int main() {
     t.add_row({inter_tier ? "inter-tier (4 cavities)" : "back-side only",
                std::to_string(model.n_cavities()),
                fmt(model.total_power(), 1), fmt(rise, 1),
-               inter_tier ? "55" : "223"});
+               inter_tier ? "55" : "223", fmt(watch.millis(), 1)});
   }
   std::cout << t << '\n';
   std::cout << "Back-side cooling forces every hot spot's flux through the\n"

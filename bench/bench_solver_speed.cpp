@@ -7,7 +7,6 @@
 // "Substitutions").
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <iostream>
 
 #include "arch/mpsoc.hpp"
@@ -96,16 +95,12 @@ void accuracy_report() {
   load_max_power(compact);
   load_max_power(detailed);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  bench::Stopwatch watch;
   const auto temps_c = compact.model().steady_state();
-  const auto t1 = std::chrono::steady_clock::now();
+  const double ms_c = watch.millis();
+  watch.reset();
   const auto temps_d = detailed.model().steady_state();
-  const auto t2 = std::chrono::steady_clock::now();
-
-  const double ms_c =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  const double ms_d =
-      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  const double ms_d = watch.millis();
 
   // Compare per-element maximum temperatures (the quantity policies use).
   TextTable t;

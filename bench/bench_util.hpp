@@ -1,10 +1,18 @@
 #pragma once
 /// \file bench_util.hpp
-/// \brief Shared banner/formatting helpers for the paper-reproduction
-/// bench binaries.
+/// \brief Shared banner/formatting/timing helpers for the
+/// paper-reproduction bench binaries — one stopwatch and one table
+/// style instead of per-bench copies.
 
+#include <chrono>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
+
+#include "power/workloads.hpp"
+#include "sim/sweep.hpp"
 
 namespace tac3d::bench {
 
@@ -28,5 +36,77 @@ inline void result_line(const std::string& name, double value,
   if (!paper_value.empty()) std::cout << "   [paper: " << paper_value << "]";
   std::cout << '\n';
 }
+
+/// Wall-clock stopwatch shared by the bench binaries.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed wall time [s].
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Elapsed wall time [ms].
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Print the standard sweep footer: how many scenarios ran, on how many
+/// workers, in how much wall time.
+inline void sweep_footer(std::size_t scenarios, int jobs,
+                         double wall_seconds) {
+  std::cout << "Ran " << scenarios << " scenarios on " << jobs
+            << " worker(s) in " << wall_seconds
+            << " s (set TAC3D_JOBS to pin the worker count).\n";
+}
+
+/// The paper's seven stack x policy configurations over the four
+/// average-case workloads plus the maximum-utilization benchmark —
+/// the scenario set behind Figs. 6 and 7.
+inline std::vector<sim::Scenario> fig67_scenarios(int trace_seconds) {
+  auto workloads = power::average_case_workloads();
+  workloads.push_back(power::WorkloadKind::kMaxUtil);
+  return sim::ScenarioMatrix::paper_fig67()
+      .workloads(workloads)
+      .trace_seconds(trace_seconds)
+      .build();
+}
+
+/// Stack x policy cell key of a scenario ("2-tier LC_FUZZY").
+inline std::string config_key(const sim::Scenario& s) {
+  return std::to_string(s.tiers) + "-tier " + sim::policy_label(s.policy);
+}
+
+/// Per-configuration accumulators in first-encounter (matrix = paper)
+/// order, remembering which cells saw a failed run so reports can mark
+/// them invalid instead of printing skewed averages.
+template <class Acc>
+class ConfigCells {
+ public:
+  Acc& at(const std::string& key) {
+    if (!cells_.count(key)) order_.push_back(key);
+    return cells_[key];
+  }
+
+  void mark_failed(const std::string& key) {
+    at(key);
+    failed_.insert(key);
+  }
+
+  bool failed(const std::string& key) const { return failed_.count(key) > 0; }
+  const std::vector<std::string>& order() const { return order_; }
+
+ private:
+  std::map<std::string, Acc> cells_;
+  std::set<std::string> failed_;
+  std::vector<std::string> order_;
+};
 
 }  // namespace tac3d::bench

@@ -1,21 +1,31 @@
-// Policy explorer: run any of the paper's four thermal-management
-// policies on any workload/stack combination and print the resulting
-// thermal/energy/performance metrics.
+// Policy explorer: run any of the thermal-management policies on any
+// workload/stack combination and print the resulting thermal/energy/
+// performance metrics — or sweep the paper's whole policy/stack matrix
+// in parallel.
 //
 // Usage:
-//   policy_explorer [tiers] [policy] [workload] [seconds]
+//   policy_explorer [tiers] [policy] [workload] [seconds] [--timeline]
 //     tiers:    2 | 4                       (default 2)
-//     policy:   ac_lb | ac_tdvfs | lc_lb | lc_fuzzy   (default lc_fuzzy)
+//     policy:   ac_lb | ac_tdvfs | lc_lb | lc_tdvfs | lc_fuzzy
+//               (default lc_fuzzy)
 //     workload: web | db | mmedia | mixed | maxutil | idle (default web)
 //     seconds:  trace length               (default 120)
+//     --timeline: drive the run step by step (SimulationSession) and
+//               print a 10 s trajectory of temperature/pump state
+//   policy_explorer sweep [seconds]
+//     run the paper's seven stack x policy configurations on every
+//     workload through the parallel sweep runner (TAC3D_JOBS pins the
+//     worker count) and print the sorted result table.
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -25,6 +35,7 @@ sim::PolicyKind parse_policy(const std::string& s) {
   if (s == "ac_lb") return sim::PolicyKind::kAcLb;
   if (s == "ac_tdvfs") return sim::PolicyKind::kAcTdvfsLb;
   if (s == "lc_lb") return sim::PolicyKind::kLcLb;
+  if (s == "lc_tdvfs") return sim::PolicyKind::kLcTdvfsLb;
   if (s == "lc_fuzzy") return sim::PolicyKind::kLcFuzzy;
   throw InvalidArgument("unknown policy: " + s);
 }
@@ -38,23 +49,7 @@ power::WorkloadKind parse_workload(const std::string& s) {
   throw InvalidArgument("unknown workload: " + s);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  sim::ExperimentSpec spec;
-  spec.tiers = argc > 1 ? std::atoi(argv[1]) : 2;
-  spec.policy = argc > 2 ? parse_policy(argv[2]) : sim::PolicyKind::kLcFuzzy;
-  spec.workload = argc > 3 ? parse_workload(argv[3])
-                           : power::WorkloadKind::kWebServer;
-  spec.trace_seconds = argc > 4 ? std::atoi(argv[4]) : 120;
-
-  std::cout << "Running " << spec.tiers << "-tier "
-            << sim::policy_label(spec.policy) << " on '"
-            << power::workload_name(spec.workload) << "' for "
-            << spec.trace_seconds << " s of trace...\n\n";
-
-  const auto m = sim::run_experiment(spec);
-
+void print_metrics(const sim::SimMetrics& m) {
   TextTable t;
   t.set_header({"Metric", "Value"});
   t.add_row({"Peak core temperature",
@@ -73,5 +68,98 @@ int main(int argc, char** argv) {
   t.add_row({"Performance degradation", fmt_pct(m.perf_degradation(), 3)});
   t.add_row({"Thread migrations", std::to_string(m.migrations)});
   std::cout << t;
+}
+
+/// Step the session manually and print a trajectory every 10 simulated
+/// seconds: the incremental API the sweep runner builds on.
+void run_timeline(const sim::Scenario& spec) {
+  sim::ScenarioInstance inst = sim::instantiate(spec);
+  sim::SimulationSession session = inst.session();
+
+  TextTable t;
+  t.set_header({"t [s]", "hottest core [C]", "pump level", "hot time [s]",
+                "system E [J]"});
+  const double horizon = session.total_steps() * session.config().control_dt;
+  for (double mark = 10.0; !session.done(); mark += 10.0) {
+    session.run_until(std::min(mark, horizon));
+    const auto m = session.metrics();
+    t.add_row({fmt(session.time(), 0),
+               fmt(kelvin_to_celsius(session.max_core_temp()), 1),
+               std::to_string(session.pump_level()), fmt(m.any_hot_time, 1),
+               fmt(m.system_energy(), 0)});
+  }
+  std::cout << t << '\n';
+  print_metrics(session.metrics());
+}
+
+int run_matrix_sweep(int seconds) {
+  using W = power::WorkloadKind;
+  const auto scenarios =
+      sim::ScenarioMatrix::paper_fig67()
+          .workloads({W::kWebServer, W::kDatabase, W::kMultimedia, W::kMixed,
+                      W::kMaxUtil})
+          .trace_seconds(seconds)
+          .build();
+  std::cout << "Sweeping " << scenarios.size() << " scenarios...\n\n";
+
+  auto report = sim::run_sweep(scenarios, {
+      .jobs = 0,
+      .on_result = [](const sim::SweepResult& r) {
+        std::cout << "  [" << (r.index + 1) << "] " << r.scenario.label
+                  << (r.ok() ? "" : "  FAILED: " + r.error) << '\n';
+      }});
+  std::cout << '\n';
+
+  // Failed scenarios carry zero metrics; rank them last, not first.
+  report.sort_by([](const sim::SweepResult& r) {
+    return r.ok() ? r.metrics.system_energy()
+                  : std::numeric_limits<double>::infinity();
+  });
+  std::cout << report.table() << '\n'
+            << "Sorted by system energy; " << report.size()
+            << " scenarios in " << fmt(report.wall_seconds(), 1) << " s on "
+            << report.jobs_used() << " worker(s).\n";
+  return report.all_ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "sweep") {
+    return run_matrix_sweep(args.size() > 1 ? std::atoi(args[1].c_str())
+                                            : 120);
+  }
+
+  bool timeline = false;
+  std::vector<std::string> positional;
+  for (const auto& a : args) {
+    if (a == "--timeline") {
+      timeline = true;
+    } else {
+      positional.push_back(a);
+    }
+  }
+
+  sim::Scenario spec;
+  spec.tiers = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 2;
+  spec.policy =
+      positional.size() > 1 ? parse_policy(positional[1])
+                            : sim::PolicyKind::kLcFuzzy;
+  spec.workload = positional.size() > 2 ? parse_workload(positional[2])
+                                        : power::WorkloadKind::kWebServer;
+  spec.trace_seconds =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 120;
+
+  std::cout << "Running " << spec.tiers << "-tier "
+            << sim::policy_label(spec.policy) << " on '"
+            << power::workload_name(spec.workload) << "' for "
+            << spec.trace_seconds << " s of trace...\n\n";
+
+  if (timeline) {
+    run_timeline(spec);
+  } else {
+    print_metrics(sim::run_scenario(spec));
+  }
   return 0;
 }

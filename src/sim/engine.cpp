@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "sim/scheduler.hpp"
 #include "thermal/transient.hpp"
 
 namespace tac3d::sim {
@@ -18,123 +17,175 @@ void apply_pump(arch::Mpsoc3D& soc, const microchannel::PumpModel& pump,
   soc.model().set_all_flows(pump.flow_per_cavity(level));
 }
 
+int count_steps(const SimulationConfig& cfg,
+                const power::UtilizationTrace& trace) {
+  require(cfg.control_dt > 0.0, "simulate: control_dt must be positive");
+  const double duration =
+      cfg.duration > 0.0 ? cfg.duration
+                         : static_cast<double>(trace.seconds() - 1);
+  return std::max(1,
+                  static_cast<int>(std::llround(duration / cfg.control_dt)));
+}
+
 }  // namespace
+
+SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
+                                     const power::UtilizationTrace& trace,
+                                     control::ThermalPolicy& policy,
+                                     const SimulationConfig& cfg)
+    : soc_(soc),
+      trace_(trace),
+      policy_(policy),
+      cfg_(cfg),
+      liquid_(soc.cooling() == arch::CoolingKind::kLiquidCooled),
+      n_cores_(soc.n_cores()),
+      total_steps_(count_steps(cfg, trace)),
+      scheduler_(trace.threads(), n_cores_, soc.chip().threads_per_core,
+                 cfg.lb_imbalance),
+      thread_demand_(trace.threads()),
+      core_demand_() {
+  require(trace_.threads() == soc_.chip().hardware_threads(),
+          "simulate: trace thread count must match the chip");
+
+  // --- initial state -----------------------------------------------------
+  for (int t = 0; t < trace_.threads(); ++t) {
+    thread_demand_[t] = trace_.sample(t, 0.0);
+  }
+  core_demand_ = scheduler_.balance(thread_demand_);
+
+  cores_.resize(n_cores_);
+  for (int c = 0; c < n_cores_; ++c) {
+    cores_[c] = {core_demand_[c], soc_.chip().vf.max_level()};
+  }
+  pump_level_ = liquid_ ? cfg_.pump.levels() - 1 : -1;
+  if (liquid_) {
+    apply_pump(soc_, cfg_.pump, pump_level_);
+  }
+  // Leakage-consistent initial steady state (fixed point).
+  std::vector<double> temps =
+      soc_.leakage_consistent_steady(cores_, cfg_.init_iterations);
+
+  thermal_ = std::make_unique<thermal::TransientSolver>(
+      soc_.model(), cfg_.control_dt, cfg_.solver);
+  thermal_->set_state(std::move(temps));
+
+  m_.core_hot_time.assign(n_cores_, 0.0);
+}
+
+SimulationSession::~SimulationSession() = default;
+SimulationSession::SimulationSession(SimulationSession&&) noexcept = default;
+
+void SimulationSession::step() {
+  if (done()) return;
+  const double now = steps_done_ * cfg_.control_dt;
+
+  // 1. Workload demands and load balancing.
+  for (int t = 0; t < trace_.threads(); ++t) {
+    thread_demand_[t] = trace_.sample(t, now);
+  }
+  core_demand_ = scheduler_.balance(thread_demand_);
+
+  // 2. Policy decision from the current sensors.
+  control::PolicyInputs in;
+  in.core_temps.resize(n_cores_);
+  for (int c = 0; c < n_cores_; ++c) {
+    in.core_temps[c] = soc_.core_temp(thermal_->temperatures(), c);
+  }
+  in.core_demands = core_demand_;
+  in.dt = cfg_.control_dt;
+  const control::PolicyActions act = policy_.decide(in);
+  require(static_cast<int>(act.vf_levels.size()) == n_cores_,
+          "simulate: policy returned wrong vf_levels size");
+
+  if (liquid_ && act.pump_level >= 0 && act.pump_level != pump_level_) {
+    pump_level_ = act.pump_level;
+    apply_pump(soc_, cfg_.pump, pump_level_);
+  }
+
+  // 3. Execution model: capacity clipping and busy fractions.
+  for (int c = 0; c < n_cores_; ++c) {
+    const double capacity = soc_.chip().vf.speed_scale(act.vf_levels[c]);
+    const double demand = core_demand_[c];
+    const double executed = std::min(demand, capacity);
+    cores_[c].vf_level = act.vf_levels[c];
+    cores_[c].busy = capacity > 0.0 ? executed / capacity : 0.0;
+    m_.offered_work += demand * cfg_.control_dt;
+    m_.lost_work += (demand - executed) * cfg_.control_dt;
+  }
+
+  // 4. Power (leakage from the current temperature field) and thermal
+  //    step.
+  soc_.model().set_element_powers(
+      soc_.element_powers(cores_, thermal_->temperatures()));
+  thermal_->step();
+
+  // 5. Metrics.
+  bool any_hot = false;
+  for (int c = 0; c < n_cores_; ++c) {
+    const double t_core = soc_.core_temp(thermal_->temperatures(), c);
+    m_.peak_temp = std::max(m_.peak_temp, t_core);
+    if (t_core > cfg_.hot_threshold_k) {
+      m_.core_hot_time[c] += cfg_.control_dt;
+      any_hot = true;
+    }
+  }
+  if (any_hot) m_.any_hot_time += cfg_.control_dt;
+
+  m_.chip_energy += soc_.model().total_power() * cfg_.control_dt;
+  if (liquid_ && pump_level_ >= 0) {
+    m_.pump_energy += cfg_.pump.power(pump_level_, soc_.model().n_cavities()) *
+                      cfg_.control_dt;
+    flow_fraction_acc_ +=
+        cfg_.pump.flow_per_cavity(pump_level_) / cfg_.pump.q_max();
+  }
+  m_.duration += cfg_.control_dt;
+  ++steps_done_;
+}
+
+int SimulationSession::run_until(double t_sim) {
+  int taken = 0;
+  while (!done() && time() + 1e-12 < t_sim) {
+    step();
+    ++taken;
+  }
+  return taken;
+}
+
+int SimulationSession::run_to_end() {
+  int taken = 0;
+  while (!done()) {
+    step();
+    ++taken;
+  }
+  return taken;
+}
+
+SimMetrics SimulationSession::metrics() const {
+  SimMetrics m = m_;
+  m.migrations = scheduler_.migrations();
+  m.avg_flow_fraction =
+      liquid_ && steps_done_ > 0 ? flow_fraction_acc_ / steps_done_ : 0.0;
+  return m;
+}
+
+std::span<const double> SimulationSession::temperatures() const {
+  return thermal_->temperatures();
+}
+
+double SimulationSession::core_temp(int core) const {
+  return soc_.core_temp(thermal_->temperatures(), core);
+}
+
+double SimulationSession::max_core_temp() const {
+  return soc_.max_core_temp(thermal_->temperatures());
+}
 
 SimMetrics simulate(arch::Mpsoc3D& soc, const power::UtilizationTrace& trace,
                     control::ThermalPolicy& policy,
                     const SimulationConfig& cfg) {
-  require(cfg.control_dt > 0.0, "simulate: control_dt must be positive");
-  const bool liquid = soc.cooling() == arch::CoolingKind::kLiquidCooled;
-  const int n_cores = soc.n_cores();
-  require(trace.threads() == soc.chip().hardware_threads(),
-          "simulate: trace thread count must match the chip");
-
-  const double duration =
-      cfg.duration > 0.0
-          ? cfg.duration
-          : static_cast<double>(trace.seconds() - 1);
-  const int steps =
-      std::max(1, static_cast<int>(std::llround(duration / cfg.control_dt)));
-
-  Scheduler scheduler(trace.threads(), n_cores,
-                      soc.chip().threads_per_core, cfg.lb_imbalance);
-
-  // --- initial state -----------------------------------------------------
-  std::vector<double> thread_demand(trace.threads());
-  for (int t = 0; t < trace.threads(); ++t) {
-    thread_demand[t] = trace.sample(t, 0.0);
-  }
-  std::vector<double> core_demand = scheduler.balance(thread_demand);
-
-  std::vector<arch::CoreState> cores(n_cores);
-  for (int c = 0; c < n_cores; ++c) {
-    cores[c] = {core_demand[c], soc.chip().vf.max_level()};
-  }
-  if (liquid) {
-    apply_pump(soc, cfg.pump, cfg.pump.levels() - 1);
-  }
-  // Leakage-consistent initial steady state (fixed point).
-  std::vector<double> temps =
-      soc.leakage_consistent_steady(cores, cfg.init_iterations);
-
-  thermal::TransientSolver thermal(soc.model(), cfg.control_dt);
-  thermal.set_state(temps);
-
-  SimMetrics m;
-  m.core_hot_time.assign(n_cores, 0.0);
-
-  int pump_level = liquid ? cfg.pump.levels() - 1 : -1;
-  double flow_fraction_acc = 0.0;
-
-  for (int s = 0; s < steps; ++s) {
-    const double now = s * cfg.control_dt;
-
-    // 1. Workload demands and load balancing.
-    for (int t = 0; t < trace.threads(); ++t) {
-      thread_demand[t] = trace.sample(t, now);
-    }
-    core_demand = scheduler.balance(thread_demand);
-
-    // 2. Policy decision from the current sensors.
-    control::PolicyInputs in;
-    in.core_temps.resize(n_cores);
-    for (int c = 0; c < n_cores; ++c) {
-      in.core_temps[c] = soc.core_temp(thermal.temperatures(), c);
-    }
-    in.core_demands = core_demand;
-    in.dt = cfg.control_dt;
-    const control::PolicyActions act = policy.decide(in);
-    require(static_cast<int>(act.vf_levels.size()) == n_cores,
-            "simulate: policy returned wrong vf_levels size");
-
-    if (liquid && act.pump_level >= 0 && act.pump_level != pump_level) {
-      pump_level = act.pump_level;
-      apply_pump(soc, cfg.pump, pump_level);
-    }
-
-    // 3. Execution model: capacity clipping and busy fractions.
-    for (int c = 0; c < n_cores; ++c) {
-      const double capacity = soc.chip().vf.speed_scale(act.vf_levels[c]);
-      const double demand = core_demand[c];
-      const double executed = std::min(demand, capacity);
-      cores[c].vf_level = act.vf_levels[c];
-      cores[c].busy = capacity > 0.0 ? executed / capacity : 0.0;
-      m.offered_work += demand * cfg.control_dt;
-      m.lost_work += (demand - executed) * cfg.control_dt;
-    }
-
-    // 4. Power (leakage from the current temperature field) and thermal
-    //    step.
-    soc.model().set_element_powers(
-        soc.element_powers(cores, thermal.temperatures()));
-    thermal.step();
-
-    // 5. Metrics.
-    bool any_hot = false;
-    for (int c = 0; c < n_cores; ++c) {
-      const double t_core = soc.core_temp(thermal.temperatures(), c);
-      m.peak_temp = std::max(m.peak_temp, t_core);
-      if (t_core > cfg.hot_threshold_k) {
-        m.core_hot_time[c] += cfg.control_dt;
-        any_hot = true;
-      }
-    }
-    if (any_hot) m.any_hot_time += cfg.control_dt;
-
-    m.chip_energy += soc.model().total_power() * cfg.control_dt;
-    if (liquid && pump_level >= 0) {
-      m.pump_energy +=
-          cfg.pump.power(pump_level, soc.model().n_cavities()) *
-          cfg.control_dt;
-      flow_fraction_acc += cfg.pump.flow_per_cavity(pump_level) /
-                           cfg.pump.q_max();
-    }
-    m.duration += cfg.control_dt;
-  }
-
-  m.migrations = scheduler.migrations();
-  m.avg_flow_fraction = liquid ? flow_fraction_acc / steps : 0.0;
-  return m;
+  SimulationSession session(soc, trace, policy, cfg);
+  session.run_to_end();
+  return session.metrics();
 }
 
 }  // namespace tac3d::sim

@@ -3,12 +3,27 @@
 /// \brief Closed-loop co-simulation: workload trace -> scheduler (LB) ->
 /// policy (DVFS + flow rate) -> power model -> transient thermal model,
 /// stepped at the control interval.
+///
+/// The loop is exposed at two altitudes: SimulationSession drives it one
+/// control interval at a time (callers can inspect mid-run state, pause,
+/// and resume), while simulate() remains the one-shot convenience wrapper
+/// that runs a session to completion.
+
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "arch/mpsoc.hpp"
 #include "control/policy.hpp"
 #include "microchannel/pump.hpp"
 #include "power/trace.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "sparse/solver.hpp"
+
+namespace tac3d::thermal {
+class TransientSolver;
+}
 
 namespace tac3d::sim {
 
@@ -22,13 +37,86 @@ struct SimulationConfig {
   /// Fixed-point iterations when computing the leakage-consistent
   /// initial steady state.
   int init_iterations = 4;
+  /// Linear solver strategy for the transient thermal steps.
+  sparse::SolverKind solver = sparse::SolverKind::kBicgstabIlu0;
+};
+
+/// A resumable closed-loop simulation.
+///
+/// Construction computes the leakage-consistent initial steady state
+/// (the paper: "we initialize the simulations with steady state
+/// temperature values"); each step() advances one control interval:
+/// load balancing, policy decision, execution/power model, thermal
+/// step, metrics accumulation. The referenced MPSoC, trace and policy
+/// must outlive the session.
+class SimulationSession {
+ public:
+  SimulationSession(arch::Mpsoc3D& soc, const power::UtilizationTrace& trace,
+                    control::ThermalPolicy& policy,
+                    const SimulationConfig& cfg = {});
+  ~SimulationSession();
+  SimulationSession(SimulationSession&&) noexcept;
+
+  /// Advance one control interval. No-op once done().
+  void step();
+
+  /// Step until simulated time reaches \p t_sim (or the run ends).
+  /// \return number of steps taken.
+  int run_until(double t_sim);
+
+  /// Step to the end of the run. \return number of steps taken.
+  int run_to_end();
+
+  /// All control intervals executed?
+  bool done() const { return steps_done_ >= total_steps_; }
+
+  /// Simulated time [s].
+  double time() const { return steps_done_ * cfg_.control_dt; }
+
+  int steps_done() const { return steps_done_; }
+  int total_steps() const { return total_steps_; }
+
+  /// Metrics accumulated so far (complete once done()). Mid-run the
+  /// averages reflect the elapsed portion of the run.
+  SimMetrics metrics() const;
+
+  /// Current temperature field [K] (one value per thermal cell).
+  std::span<const double> temperatures() const;
+
+  /// Current maximum temperature of core \p core [K].
+  double core_temp(int core) const;
+
+  /// Hottest core temperature right now [K].
+  double max_core_temp() const;
+
+  /// Active pump level (-1 for air-cooled stacks).
+  int pump_level() const { return pump_level_; }
+
+  const SimulationConfig& config() const { return cfg_; }
+  const arch::Mpsoc3D& soc() const { return soc_; }
+
+ private:
+  arch::Mpsoc3D& soc_;
+  const power::UtilizationTrace& trace_;
+  control::ThermalPolicy& policy_;
+  SimulationConfig cfg_;
+  bool liquid_;
+  int n_cores_;
+  int total_steps_;
+  int steps_done_ = 0;
+  Scheduler scheduler_;
+  std::vector<double> thread_demand_;
+  std::vector<double> core_demand_;
+  std::vector<arch::CoreState> cores_;
+  std::unique_ptr<thermal::TransientSolver> thermal_;
+  SimMetrics m_;
+  int pump_level_ = -1;
+  double flow_fraction_acc_ = 0.0;
 };
 
 /// Run \p trace through \p policy on \p soc and collect metrics.
-///
-/// The simulation starts from the leakage-consistent steady state of
-/// the first trace sample (the paper: "we initialize the simulations
-/// with steady state temperature values").
+/// Thin wrapper over SimulationSession: construct, run to the end,
+/// return the metrics.
 SimMetrics simulate(arch::Mpsoc3D& soc, const power::UtilizationTrace& trace,
                     control::ThermalPolicy& policy,
                     const SimulationConfig& cfg = {});

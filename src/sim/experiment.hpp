@@ -1,12 +1,19 @@
 #pragma once
 /// \file experiment.hpp
-/// \brief Canned experiment runner for the paper's policy/stack matrix
-/// (the seven Fig. 6/7 configurations), shared by benches, examples and
-/// the integration tests.
+/// \brief Scenario descriptions for the paper's policy/stack matrix and
+/// beyond: a Scenario is one self-contained cell of a design-space
+/// sweep (stack, cooling, policy, workload, trace, seed, grid, solver),
+/// ScenarioMatrix expands cartesian sweeps over those axes, and
+/// instantiate()/run_scenario() turn a description into a live
+/// simulation. Shared by benches, examples, tests and the parallel
+/// sweep runner (sim/sweep.hpp).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "arch/mpsoc.hpp"
 #include "control/policy.hpp"
@@ -15,8 +22,10 @@
 
 namespace tac3d::sim {
 
-/// The four evaluated policies.
-enum class PolicyKind { kAcLb, kAcTdvfsLb, kLcLb, kLcFuzzy };
+/// The evaluated policies: the paper's four (AC_LB, AC_TDVFS_LB, LC_LB,
+/// LC_FUZZY) plus the LC_TDVFS_LB ablation variant (temperature-
+/// triggered DVFS at maximum flow, not in the paper's final set).
+enum class PolicyKind { kAcLb, kAcTdvfsLb, kLcLb, kLcTdvfsLb, kLcFuzzy };
 
 /// Display name matching the paper's labels.
 std::string policy_label(PolicyKind kind);
@@ -29,18 +38,95 @@ std::unique_ptr<control::ThermalPolicy> make_policy(
     PolicyKind kind, const arch::Mpsoc3D& soc,
     const microchannel::PumpModel& pump);
 
-/// One cell of the evaluation matrix.
-struct ExperimentSpec {
+/// One cell of an evaluation matrix: everything needed to reproduce a
+/// closed-loop run.
+struct Scenario {
+  std::string label;  ///< optional; scenario_label() derives a default
   int tiers = 2;
   PolicyKind policy = PolicyKind::kLcFuzzy;
+  /// Cooling override; unset = derived from the policy (cooling_for).
+  std::optional<arch::CoolingKind> cooling;
   power::WorkloadKind workload = power::WorkloadKind::kWebServer;
   int trace_seconds = 180;
   std::uint64_t seed = 1;
   thermal::GridOptions grid{16, 16};
-  SimulationConfig sim;
+  SimulationConfig sim;  ///< control interval, pump, solver kind, ...
+
+  arch::CoolingKind effective_cooling() const {
+    return cooling ? *cooling : cooling_for(policy);
+  }
 };
 
-/// Build the MPSoC, generate the trace, run the policy, return metrics.
-SimMetrics run_experiment(const ExperimentSpec& spec);
+/// The pre-generalization name; a Scenario is a drop-in superset.
+using ExperimentSpec = Scenario;
+
+/// "2-tier LC_FUZZY web s1" (or the explicit label when set).
+std::string scenario_label(const Scenario& s);
+
+/// A Scenario materialized into live objects, ready to drive a
+/// SimulationSession. Owns everything the session references.
+struct ScenarioInstance {
+  std::unique_ptr<arch::Mpsoc3D> soc;
+  power::UtilizationTrace trace;
+  std::unique_ptr<control::ThermalPolicy> policy;
+  SimulationConfig sim;
+
+  /// Start a session over the owned objects (instance must outlive it).
+  SimulationSession session() { return {*soc, trace, *policy, sim}; }
+};
+
+/// Build the MPSoC, generate the trace and instantiate the policy.
+ScenarioInstance instantiate(const Scenario& spec);
+
+/// Instantiate the scenario, run it to completion, return metrics.
+SimMetrics run_scenario(const Scenario& spec);
+
+/// Back-compat alias for run_scenario().
+inline SimMetrics run_experiment(const Scenario& spec) {
+  return run_scenario(spec);
+}
+
+/// Cartesian sweep builder over scenario axes. Expansion order is
+/// deterministic: tiers (outer) -> policies -> workloads -> solvers ->
+/// seeds (inner), filters applied last.
+class ScenarioMatrix {
+ public:
+  /// Template for the non-swept fields (trace length, grid, sim config).
+  ScenarioMatrix& base(Scenario s);
+
+  ScenarioMatrix& tiers(std::vector<int> v);
+  ScenarioMatrix& policies(std::vector<PolicyKind> v);
+  ScenarioMatrix& workloads(std::vector<power::WorkloadKind> v);
+  ScenarioMatrix& solvers(std::vector<sparse::SolverKind> v);
+  ScenarioMatrix& seeds(std::vector<std::uint64_t> v);
+  ScenarioMatrix& trace_seconds(int seconds);
+  ScenarioMatrix& grid(thermal::GridOptions g);
+  ScenarioMatrix& sim(SimulationConfig cfg);
+
+  /// Keep only scenarios for which \p pred returns true (cumulative).
+  ScenarioMatrix& filter(std::function<bool(const Scenario&)> pred);
+
+  /// Expand the cartesian product (labels auto-filled).
+  std::vector<Scenario> build() const;
+
+  /// Number of scenarios build() would return.
+  std::size_t size() const { return build().size(); }
+
+  /// The paper's seven Fig. 6/7 stack x policy configurations:
+  /// {2,4} tiers x {AC_LB, AC_TDVFS_LB, LC_LB, LC_FUZZY} minus the
+  /// 4-tier AC_TDVFS_LB cell the paper does not evaluate. Sweep axes
+  /// for workloads/seeds/solvers can still be layered on top.
+  static ScenarioMatrix paper_fig67();
+
+ private:
+  Scenario base_;
+  std::vector<int> tiers_{2};
+  std::vector<PolicyKind> policies_{PolicyKind::kLcFuzzy};
+  std::vector<power::WorkloadKind> workloads_{power::WorkloadKind::kWebServer};
+  std::vector<sparse::SolverKind> solvers_{
+      sparse::SolverKind::kBicgstabIlu0};
+  std::vector<std::uint64_t> seeds_{1};
+  std::vector<std::function<bool(const Scenario&)>> filters_;
+};
 
 }  // namespace tac3d::sim

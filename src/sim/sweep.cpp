@@ -1,0 +1,152 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/units.hpp"
+
+namespace tac3d::sim {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TAC3D_JOBS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepReport::SweepReport(std::vector<SweepResult> results, int jobs_used,
+                         double wall_seconds)
+    : results_(std::move(results)),
+      jobs_used_(jobs_used),
+      wall_seconds_(wall_seconds) {}
+
+const SweepResult* SweepReport::find(const std::string& label) const {
+  for (const SweepResult& r : results_) {
+    if (r.scenario.label == label) return &r;
+  }
+  return nullptr;
+}
+
+bool SweepReport::all_ok() const {
+  return std::all_of(results_.begin(), results_.end(),
+                     [](const SweepResult& r) { return r.ok(); });
+}
+
+std::vector<std::string> SweepReport::errors() const {
+  std::vector<std::string> out;
+  for (const SweepResult& r : results_) {
+    if (!r.ok()) out.push_back(r.scenario.label + ": " + r.error);
+  }
+  return out;
+}
+
+SweepReport& SweepReport::sort_by(
+    const std::function<double(const SweepResult&)>& key, bool ascending) {
+  std::stable_sort(results_.begin(), results_.end(),
+                   [&](const SweepResult& a, const SweepResult& b) {
+                     return ascending ? key(a) < key(b) : key(a) > key(b);
+                   });
+  return *this;
+}
+
+SweepReport& SweepReport::sort_by_index() {
+  std::stable_sort(results_.begin(), results_.end(),
+                   [](const SweepResult& a, const SweepResult& b) {
+                     return a.index < b.index;
+                   });
+  return *this;
+}
+
+TextTable SweepReport::table() const {
+  TextTable t;
+  t.set_header({"Scenario", "peak T [C]", "hot any", "hot avg/core",
+                "chip E [J]", "pump E [J]", "system E [J]", "perf loss",
+                "wall [s]"});
+  for (const SweepResult& r : results_) {
+    if (!r.ok()) {
+      t.add_row({r.scenario.label, "ERROR: " + r.error});
+      continue;
+    }
+    const SimMetrics& m = r.metrics;
+    t.add_row({r.scenario.label, fmt(kelvin_to_celsius(m.peak_temp), 1),
+               fmt_pct(m.hotspot_frac_any()),
+               fmt_pct(m.hotspot_frac_avg_core()), fmt(m.chip_energy, 0),
+               fmt(m.pump_energy, 0), fmt(m.system_energy(), 0),
+               fmt_pct(m.perf_degradation(), 3), fmt(r.wall_seconds, 2)});
+  }
+  return t;
+}
+
+SweepReport run_sweep(const std::vector<Scenario>& scenarios,
+                      const SweepOptions& opts) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<SweepResult> results(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    results[i].index = i;
+    results[i].scenario = scenarios[i];
+    if (results[i].scenario.label.empty()) {
+      results[i].scenario.label = scenario_label(scenarios[i]);
+    }
+  }
+
+  const int jobs = std::max(
+      1, std::min<int>(resolve_jobs(opts.jobs),
+                       static_cast<int>(scenarios.size())));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex report_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= results.size()) return;
+      SweepResult& r = results[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        r.metrics = run_scenario(r.scenario);
+      } catch (const std::exception& e) {
+        r.error = e.what();
+      } catch (...) {
+        r.error = "unknown error";
+      }
+      r.wall_seconds = seconds_since(t0);
+      if (opts.on_result) {
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        opts.on_result(r);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  return SweepReport(std::move(results), jobs, seconds_since(sweep_start));
+}
+
+}  // namespace tac3d::sim

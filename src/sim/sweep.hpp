@@ -1,0 +1,100 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Parallel scenario sweep runner: execute a batch of Scenario
+/// descriptions on a worker pool and aggregate the metrics into a
+/// sortable result table.
+///
+/// Every scenario is materialized independently (its own Mpsoc3D, trace,
+/// policy and transient solver), so workers share no mutable state and a
+/// sweep is bitwise-deterministic: for identical seeds the results are
+/// identical whether it runs on one worker or many. Results are returned
+/// in input order regardless of completion order.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace tac3d::sim {
+
+/// Number of sweep workers to use for \p requested:
+///   requested > 0            -> requested;
+///   requested <= 0           -> the TAC3D_JOBS environment variable if it
+///                               parses to a positive integer;
+///   otherwise                -> std::thread::hardware_concurrency()
+///                               (at least 1).
+int resolve_jobs(int requested);
+
+/// Outcome of one scenario of a sweep.
+struct SweepResult {
+  std::size_t index = 0;  ///< position in the input scenario list
+  Scenario scenario;
+  SimMetrics metrics;        ///< valid when ok()
+  double wall_seconds = 0.0; ///< wall-clock time of this scenario
+  std::string error;         ///< exception text; empty on success
+
+  bool ok() const { return error.empty(); }
+  const std::string& label() const { return scenario.label; }
+};
+
+/// Options of run_sweep().
+struct SweepOptions {
+  /// Worker threads; <= 0 defers to TAC3D_JOBS / hardware concurrency
+  /// (see resolve_jobs). Never more workers than scenarios.
+  int jobs = 0;
+  /// Invoked after each scenario completes (from worker threads, but
+  /// serialized — no locking needed inside). Useful for progress output.
+  std::function<void(const SweepResult&)> on_result;
+};
+
+/// Results of a sweep, in input order, with sort/report helpers.
+class SweepReport {
+ public:
+  SweepReport() = default;
+  SweepReport(std::vector<SweepResult> results, int jobs_used,
+              double wall_seconds);
+
+  const std::vector<SweepResult>& results() const { return results_; }
+  std::size_t size() const { return results_.size(); }
+  bool empty() const { return results_.empty(); }
+  const SweepResult& at(std::size_t i) const { return results_.at(i); }
+
+  /// First result whose scenario label matches, or nullptr.
+  const SweepResult* find(const std::string& label) const;
+
+  /// All scenarios completed without throwing?
+  bool all_ok() const;
+
+  /// Error summaries of the failed scenarios ("label: what").
+  std::vector<std::string> errors() const;
+
+  /// Stable-sort the results by \p key (ascending by default).
+  SweepReport& sort_by(const std::function<double(const SweepResult&)>& key,
+                       bool ascending = true);
+
+  /// Restore input order.
+  SweepReport& sort_by_index();
+
+  /// Standard result table: label, peak temperature, hot-spot fractions,
+  /// energy split, performance loss, wall time.
+  TextTable table() const;
+
+  int jobs_used() const { return jobs_used_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  std::vector<SweepResult> results_;
+  int jobs_used_ = 1;
+  double wall_seconds_ = 0.0;
+};
+
+/// Run every scenario (worker pool of resolve_jobs(opts.jobs) threads)
+/// and collect the results in input order. A scenario that throws is
+/// reported via SweepResult::error; the sweep itself always completes.
+SweepReport run_sweep(const std::vector<Scenario>& scenarios,
+                      const SweepOptions& opts = {});
+
+}  // namespace tac3d::sim

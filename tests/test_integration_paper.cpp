@@ -6,25 +6,97 @@
 // Bands are deliberately generous: we reproduce *shapes* (who wins, by
 // roughly what factor), not the authors' exact testbed numbers — see
 // EXPERIMENTS.md for the measured values.
+//
+// All closed-loop runs are described as Scenarios and executed once,
+// up front, by the parallel sweep runner; each test reads the cached
+// metrics it needs.
 #include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
 
 #include "arch/stacks.hpp"
 #include "common/units.hpp"
 #include "microchannel/pump.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace tac3d {
 namespace {
 
-sim::SimMetrics run(int tiers, sim::PolicyKind policy,
-                    power::WorkloadKind workload, int seconds = 90) {
-  sim::ExperimentSpec spec;
+using Key = std::tuple<int, sim::PolicyKind, power::WorkloadKind, int>;
+
+sim::Scenario make_scenario(int tiers, sim::PolicyKind policy,
+                            power::WorkloadKind workload, int seconds) {
+  sim::Scenario spec;
   spec.tiers = tiers;
   spec.policy = policy;
   spec.workload = workload;
   spec.trace_seconds = seconds;
-  return sim::run_experiment(spec);
+  return spec;
+}
+
+/// Every closed-loop scenario this file asserts on, executed as one
+/// deterministic parallel sweep on first use.
+const std::map<Key, sim::SimMetrics>& sweep_cache() {
+  static const std::map<Key, sim::SimMetrics> cache = [] {
+    using W = power::WorkloadKind;
+    std::vector<sim::Scenario> scenarios;
+    auto add = [&](std::vector<sim::Scenario> batch) {
+      scenarios.insert(scenarios.end(), batch.begin(), batch.end());
+    };
+    // Section IV-A peak temperatures: the paper's seven stack x policy
+    // configurations on the maximum-utilization benchmark.
+    add(sim::ScenarioMatrix::paper_fig67()
+            .workloads({W::kMaxUtil})
+            .trace_seconds(90)
+            .build());
+    // Shorter max-util runs used by the hot-spot/energy spot checks.
+    add(sim::ScenarioMatrix()
+            .tiers({2, 4})
+            .policies({sim::PolicyKind::kLcLb, sim::PolicyKind::kLcFuzzy})
+            .workloads({W::kMaxUtil})
+            .trace_seconds(60)
+            .build());
+    // Section IV-A energy savings: LC policies on average workloads.
+    add(sim::ScenarioMatrix()
+            .tiers({2, 4})
+            .policies({sim::PolicyKind::kLcLb, sim::PolicyKind::kLcFuzzy})
+            .workloads({W::kWebServer, W::kDatabase})
+            .trace_seconds(90)
+            .build());
+    // Fuzzy performance-loss check on the web workload.
+    add(sim::ScenarioMatrix()
+            .tiers({2})
+            .policies({sim::PolicyKind::kLcFuzzy})
+            .workloads({W::kWebServer})
+            .trace_seconds(60)
+            .build());
+
+    const sim::SweepReport report = sim::run_sweep(scenarios);
+    std::map<Key, sim::SimMetrics> out;
+    for (const sim::SweepResult& r : report.results()) {
+      if (!r.ok()) {
+        ADD_FAILURE() << "sweep scenario failed: " << r.scenario.label
+                      << ": " << r.error;
+        continue;
+      }
+      out[Key{r.scenario.tiers, r.scenario.policy, r.scenario.workload,
+              r.scenario.trace_seconds}] = r.metrics;
+    }
+    return out;
+  }();
+  return cache;
+}
+
+sim::SimMetrics run(int tiers, sim::PolicyKind policy,
+                    power::WorkloadKind workload, int seconds = 90) {
+  const auto& cache = sweep_cache();
+  const auto it = cache.find(Key{tiers, policy, workload, seconds});
+  if (it != cache.end()) return it->second;
+  // Not part of the pre-computed sweep (shouldn't happen for the
+  // anchors below, but keeps the helper total).
+  return sim::run_scenario(make_scenario(tiers, policy, workload, seconds));
 }
 
 // --- Section IV-A peak temperatures (maximum-utilization benchmark) ----
