@@ -84,6 +84,76 @@ void BM_DetailedTransientStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DetailedTransientStep)->Unit(benchmark::kMillisecond);
 
+/// Transient-stepping throughput per solver kind, written to
+/// BENCH_solver.json so the perf trajectory is tracked across PRs.
+/// Measures both regimes of the closed loop: fixed flow (matrix
+/// constant, warm-started solves) and flow-modulated (matrix values,
+/// factorization and preconditioner refreshed every step, as under the
+/// fuzzy pump controller).
+void throughput_report() {
+  bench::banner(
+      "SOLVER - transient stepping throughput (BENCH_solver.json)",
+      "sweep scalability: thousands of thermal evaluations per "
+      "design-space exploration run");
+
+  auto pump = microchannel::PumpModel::table1();
+  bench::JsonObject solvers_json;
+  TextTable t;
+  t.set_header({"Solver", "steps/s (fixed flow)", "steps/s (modulated)",
+                "init steady [ms]"});
+
+  double nodes = 0.0;
+  for (const auto kind :
+       {sparse::SolverKind::kBandedLu, sparse::SolverKind::kBicgstabIlu0,
+        sparse::SolverKind::kBicgstabJacobi}) {
+    auto soc = make_soc(compact_grid());
+    load_max_power(soc);
+    nodes = soc.model().node_count();
+
+    bench::Stopwatch watch;
+    thermal::TransientSolver sim(soc.model(), 0.1, kind);
+    sim.initialize_steady();
+    const double init_ms = watch.millis();
+
+    for (int i = 0; i < 50; ++i) sim.step();  // warm-up
+    const int fixed_steps = kind == sparse::SolverKind::kBandedLu ? 500 : 4000;
+    watch.reset();
+    for (int i = 0; i < fixed_steps; ++i) sim.step();
+    const double fixed_rate = fixed_steps / watch.seconds();
+
+    const int mod_steps = 400;
+    watch.reset();
+    for (int i = 0; i < mod_steps; ++i) {
+      soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+      sim.step();
+    }
+    const double mod_rate = mod_steps / watch.seconds();
+
+    const char* name = kind == sparse::SolverKind::kBandedLu
+                           ? "banded-lu(rcm)"
+                           : kind == sparse::SolverKind::kBicgstabIlu0
+                                 ? "bicgstab+ilu0"
+                                 : "bicgstab+jacobi";
+    t.add_row({name, fmt(fixed_rate, 0), fmt(mod_rate, 0),
+               fmt(init_ms, 1)});
+    bench::JsonObject s;
+    s.set("steps_per_sec_fixed_flow", fixed_rate)
+        .set("steps_per_sec_flow_modulated", mod_rate)
+        .set("init_steady_ms", init_ms);
+    solvers_json.set(name, s);
+  }
+  std::cout << t << '\n';
+
+  bench::JsonObject root;
+  root.set("bench", "bench_solver_speed")
+      .set("grid", "16x16 compact, 2-tier liquid-cooled")
+      .set("nodes", nodes)
+      .set("dt_seconds", 0.1)
+      .set("solvers", solvers_json);
+  bench::write_json("BENCH_solver.json", root);
+  std::cout << '\n';
+}
+
 void accuracy_report() {
   bench::banner(
       "SOLVER - compact vs detailed model: speed and accuracy",
@@ -136,6 +206,7 @@ void accuracy_report() {
 
 int main(int argc, char** argv) {
   accuracy_report();
+  throughput_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

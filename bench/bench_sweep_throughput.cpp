@@ -1,0 +1,113 @@
+// Sweep-runner throughput: the paper's seven Fig. 6/7 configurations
+// executed as a batch, with and without the shared StructureCache, and
+// serial vs parallel. Emits BENCH_sweep.json (scenarios/sec, cache hit
+// counters) so design-space-exploration throughput is tracked from PR 2
+// onward, and cross-checks that cache sharing does not perturb a single
+// bit of the metrics.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+std::vector<sim::Scenario> bench_scenarios() {
+  return sim::ScenarioMatrix::paper_fig67()
+      .workloads({power::WorkloadKind::kMaxUtil})
+      .trace_seconds(30)
+      .grid(thermal::GridOptions{12, 12})
+      .build();
+}
+
+bool same_metrics(const sim::SweepReport& a, const sim::SweepReport& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const sim::SimMetrics& ma = a.at(i).metrics;
+    const sim::SimMetrics& mb = b.at(i).metrics;
+    if (ma.peak_temp != mb.peak_temp || ma.chip_energy != mb.chip_energy ||
+        ma.pump_energy != mb.pump_energy ||
+        ma.any_hot_time != mb.any_hot_time ||
+        ma.migrations != mb.migrations) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "SWEEP - scenario batch throughput (BENCH_sweep.json)",
+      "Figs. 6/7 regime: the full stack x policy matrix evaluated as one "
+      "batch; StructureCache shares the symbolic solver analysis between "
+      "same-geometry scenarios");
+
+  const auto scenarios = bench_scenarios();
+
+  auto run = [&](int jobs, bool share) {
+    sim::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.share_structures = share;
+    return sim::run_sweep(scenarios, opts);
+  };
+
+  const sim::SweepReport cold = run(1, false);
+  const sim::SweepReport cached = run(1, true);
+  const sim::SweepReport parallel = run(0, true);
+
+  for (const auto* r : {&cold, &cached, &parallel}) {
+    if (!r->all_ok()) {
+      for (const auto& e : r->errors()) std::cerr << "ERROR: " << e << '\n';
+      return 1;
+    }
+  }
+  const bool bitwise_ok =
+      same_metrics(cold, cached) && same_metrics(cold, parallel);
+
+  TextTable t;
+  t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s"});
+  const auto add = [&](const char* label, const sim::SweepReport& r) {
+    t.add_row({label, fmt(r.jobs_used(), 0), fmt(r.wall_seconds(), 2),
+               fmt(r.size() / r.wall_seconds(), 2)});
+  };
+  add("serial, no structure sharing", cold);
+  add("serial, shared StructureCache", cached);
+  add("parallel, shared StructureCache", parallel);
+  std::cout << t << '\n';
+
+  const auto& cache = cached.structure_cache();
+  bench::result_line("Distinct patterns analyzed",
+                     static_cast<double>(cache->size()), "");
+  bench::result_line("Cache hits", static_cast<double>(cache->hits()), "");
+  std::cout << "  Metrics bitwise identical across all runs: "
+            << (bitwise_ok ? "yes" : "NO — BUG") << "\n\n";
+
+  bench::JsonObject root;
+  root.set("bench", "bench_sweep_throughput")
+      .set("scenarios", static_cast<int>(scenarios.size()))
+      .set("trace_seconds", 30)
+      .set("grid", "12x12 compact")
+      .set("serial_nocache_scenarios_per_sec",
+           cold.size() / cold.wall_seconds())
+      .set("serial_cached_scenarios_per_sec",
+           cached.size() / cached.wall_seconds())
+      .set("parallel_cached_scenarios_per_sec",
+           parallel.size() / parallel.wall_seconds())
+      .set("parallel_jobs", parallel.jobs_used())
+      .set("structure_patterns", static_cast<int>(cache->size()))
+      .set("structure_hits", static_cast<std::int64_t>(cache->hits()))
+      .set("structure_misses", static_cast<std::int64_t>(cache->misses()))
+      .set("bitwise_identical", bitwise_ok ? "yes" : "no");
+  bench::write_json("BENCH_sweep.json", root);
+
+  bench::sweep_footer(scenarios.size() * 3, parallel.jobs_used(),
+                      cold.wall_seconds() + cached.wall_seconds() +
+                          parallel.wall_seconds());
+  return bitwise_ok ? 0 : 1;
+}

@@ -5,10 +5,15 @@
 /// style instead of per-bench copies.
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "power/workloads.hpp"
@@ -65,6 +70,85 @@ inline void sweep_footer(std::size_t scenarios, int jobs,
   std::cout << "Ran " << scenarios << " scenarios on " << jobs
             << " worker(s) in " << wall_seconds
             << " s (set TAC3D_JOBS to pin the worker count).\n";
+}
+
+/// Minimal ordered JSON object builder for the machine-readable
+/// BENCH_*.json artifacts (steps/sec, scenarios/sec, time breakdowns).
+/// Insertion order is preserved; values are numbers, strings or nested
+/// objects. No external dependency, enough structure for dashboards and
+/// regression scripts to diff.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // inf/nan are not valid JSON tokens; keep the artifact parseable.
+      fields_.emplace_back(key, "null");
+      return *this;
+    }
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+
+  JsonObject& set(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+
+  JsonObject& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escape(value) + "\"");
+    return *this;
+  }
+
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+
+  JsonObject& set(const std::string& key, const JsonObject& obj) {
+    fields_.emplace_back(key, obj.str(1));
+    return *this;
+  }
+
+  /// Render with two-space indentation at nesting \p depth.
+  std::string str(int depth = 0) const {
+    const std::string pad(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    const std::string closing_pad(static_cast<std::size_t>(depth) * 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += pad + "\"" + escape(fields_[i].first) + "\": " +
+             fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += closing_pad + "}";
+    return out;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write \p obj to \p path (final newline included); prints the path so
+/// CI logs show where the artifact landed.
+inline void write_json(const std::string& path, const JsonObject& obj) {
+  std::ofstream out(path);
+  out << obj.str() << '\n';
+  std::cout << "Wrote " << path << '\n';
 }
 
 /// The paper's seven stack x policy configurations over the four

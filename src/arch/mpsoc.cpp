@@ -93,13 +93,14 @@ double Mpsoc3D::chip_power(std::span<const CoreState> cores,
 }
 
 std::vector<double> Mpsoc3D::leakage_consistent_steady(
-    std::span<const CoreState> cores, int iterations) {
+    std::span<const CoreState> cores, int iterations,
+    sparse::StructureCache* cache) {
   require(iterations >= 1, "leakage_consistent_steady: need >= 1 iteration");
   std::vector<double> temps(model_->node_count(),
                             model_->grid().spec().ambient);
   for (int i = 0; i < iterations; ++i) {
     model_->set_element_powers(element_powers(cores, temps));
-    temps = model_->steady_state();
+    temps = model_->steady_state(sparse::SolverKind::kBicgstabIlu0, cache);
   }
   return temps;
 }

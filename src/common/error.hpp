@@ -35,6 +35,13 @@ class ModelRangeError : public Error {
 };
 
 /// Check a precondition and throw InvalidArgument with \p msg if violated.
+/// The const char* overload defers any string construction to the throw
+/// path, so require() on a literal is allocation-free when the condition
+/// holds — the solver hot path checks preconditions every step.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgument(msg);
 }

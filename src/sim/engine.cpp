@@ -62,11 +62,12 @@ SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
     apply_pump(soc_, cfg_.pump, pump_level_);
   }
   // Leakage-consistent initial steady state (fixed point).
-  std::vector<double> temps =
-      soc_.leakage_consistent_steady(cores_, cfg_.init_iterations);
+  std::vector<double> temps = soc_.leakage_consistent_steady(
+      cores_, cfg_.init_iterations, cfg_.structure_cache.get());
 
   thermal_ = std::make_unique<thermal::TransientSolver>(
-      soc_.model(), cfg_.control_dt, cfg_.solver);
+      soc_.model(), cfg_.control_dt, cfg_.solver,
+      cfg_.structure_cache.get());
   thermal_->set_state(std::move(temps));
 
   m_.core_hot_time.assign(n_cores_, 0.0);

@@ -39,6 +39,11 @@ struct SimulationConfig {
   int init_iterations = 4;
   /// Linear solver strategy for the transient thermal steps.
   sparse::SolverKind solver = sparse::SolverKind::kBicgstabIlu0;
+  /// Optional symbolic-structure cache shared between sessions (the
+  /// sweep runner injects one so same-geometry scenarios reuse the RCM
+  /// ordering and ILU/banded symbolic analysis). Null = private
+  /// analysis, identical numerics either way.
+  std::shared_ptr<sparse::StructureCache> structure_cache;
 };
 
 /// A resumable closed-loop simulation.

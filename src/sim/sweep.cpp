@@ -100,12 +100,21 @@ TextTable SweepReport::table() const {
 SweepReport run_sweep(const std::vector<Scenario>& scenarios,
                       const SweepOptions& opts) {
   const auto sweep_start = std::chrono::steady_clock::now();
+  std::shared_ptr<sparse::StructureCache> cache;
+  if (opts.share_structures) {
+    cache = opts.structure_cache
+                ? opts.structure_cache
+                : std::make_shared<sparse::StructureCache>();
+  }
   std::vector<SweepResult> results(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     results[i].index = i;
     results[i].scenario = scenarios[i];
     if (results[i].scenario.label.empty()) {
       results[i].scenario.label = scenario_label(scenarios[i]);
+    }
+    if (cache && !results[i].scenario.sim.structure_cache) {
+      results[i].scenario.sim.structure_cache = cache;
     }
   }
 
@@ -146,7 +155,9 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     for (std::thread& t : pool) t.join();
   }
 
-  return SweepReport(std::move(results), jobs, seconds_since(sweep_start));
+  SweepReport report(std::move(results), jobs, seconds_since(sweep_start));
+  report.set_structure_cache(std::move(cache));
+  return report;
 }
 
 }  // namespace tac3d::sim

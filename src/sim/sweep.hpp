@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,15 @@ struct SweepOptions {
   /// Invoked after each scenario completes (from worker threads, but
   /// serialized — no locking needed inside). Useful for progress output.
   std::function<void(const SweepResult&)> on_result;
+  /// Share one sparse::StructureCache across the sweep so scenarios with
+  /// the same stack geometry reuse the CSR symbolic analysis (RCM
+  /// ordering, ILU/banded structure). Purely symbolic — results are
+  /// bitwise identical with sharing on or off, serial or parallel.
+  bool share_structures = true;
+  /// Cache to share when share_structures is set; null = run_sweep
+  /// creates a fresh one for this sweep. Scenarios that already carry
+  /// their own cache keep it.
+  std::shared_ptr<sparse::StructureCache> structure_cache;
 };
 
 /// Results of a sweep, in input order, with sort/report helpers.
@@ -85,10 +95,20 @@ class SweepReport {
   int jobs_used() const { return jobs_used_; }
   double wall_seconds() const { return wall_seconds_; }
 
+  /// The structure cache the sweep ran with (null when sharing was off);
+  /// exposes hit/miss counters for benches and telemetry.
+  const std::shared_ptr<sparse::StructureCache>& structure_cache() const {
+    return structure_cache_;
+  }
+  void set_structure_cache(std::shared_ptr<sparse::StructureCache> cache) {
+    structure_cache_ = std::move(cache);
+  }
+
  private:
   std::vector<SweepResult> results_;
   int jobs_used_ = 1;
   double wall_seconds_ = 0.0;
+  std::shared_ptr<sparse::StructureCache> structure_cache_;
 };
 
 /// Run every scenario (worker pool of resolve_jobs(opts.jobs) threads)

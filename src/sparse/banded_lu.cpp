@@ -5,8 +5,22 @@
 
 #include "common/error.hpp"
 #include "sparse/rcm.hpp"
+#include "sparse/structure_cache.hpp"
 
 namespace tac3d::sparse {
+
+BandedLu::BandedLu(const CsrMatrix& a, const SymbolicStructure* structure)
+    : BandedLu(a, structure != nullptr ? structure->rcm_perm
+                                       : std::vector<std::int32_t>{}) {
+  // The band extents recomputed by the delegated constructor necessarily
+  // match the cached ones (same pattern, same permutation); verify the
+  // pattern match in debug spirit without paying for a second analysis.
+  if (structure != nullptr) {
+    require(structure->rows == a.rows() &&
+                structure->band_lower == kl_ && structure->band_upper == ku_,
+            "BandedLu: structure does not match the matrix");
+  }
+}
 
 BandedLu::BandedLu(const CsrMatrix& a, std::vector<std::int32_t> perm) {
   require(a.rows() == a.cols(), "BandedLu: matrix must be square");

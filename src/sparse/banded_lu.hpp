@@ -17,12 +17,19 @@
 
 namespace tac3d::sparse {
 
+struct SymbolicStructure;
+
 /// LU = P A P^T factorization in banded storage.
 class BandedLu {
  public:
   /// Analyze the pattern of \p a (using RCM unless \p perm is supplied)
   /// and factor its values. \p perm maps new index -> old index.
   explicit BandedLu(const CsrMatrix& a, std::vector<std::int32_t> perm = {});
+
+  /// Reuse a precomputed symbolic analysis (RCM permutation and band
+  /// extents, see StructureCache) instead of recomputing it; a null
+  /// \p structure falls back to the analyzing constructor.
+  BandedLu(const CsrMatrix& a, const SymbolicStructure* structure);
 
   /// Refactor with new values; \p a must have the same sparsity pattern
   /// as the matrix used at construction.

@@ -56,6 +56,12 @@ class CsrMatrix {
   /// True if (row, col) is a structural entry.
   bool has_entry(std::int32_t row, std::int32_t col) const;
 
+  /// Index into values() of entry (row, col), or -1 if absent. Lets hot
+  /// paths precompute positions once and update values by direct index.
+  std::int64_t entry_index(std::int32_t row, std::int32_t col) const {
+    return find(row, col);
+  }
+
   /// Set every stored value to zero, keeping the pattern.
   void set_zero();
 

@@ -1,55 +1,51 @@
 #include "sparse/iterative.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sparse/kernels.hpp"
 
 namespace tac3d::sparse {
 
-namespace {
-
-double dot(std::span<const double> a, std::span<const double> b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+void KrylovWorkspace::resize(std::size_t n) {
+  if (n_ == n) return;
+  n_ = n;
+  for (auto* vec : {&r, &r0, &p, &v, &s, &t, &ph, &sh}) {
+    vec->assign(n, 0.0);
+  }
 }
-
-double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
-
-// y += alpha * x
-void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
-}
-
-}  // namespace
 
 IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
                    std::span<double> x, const Preconditioner& m,
-                   const IterativeOptions& opts) {
+                   const IterativeOptions& opts, KrylovWorkspace& ws) {
   const std::size_t n = b.size();
   require(a.rows() == a.cols() &&
               static_cast<std::size_t>(a.rows()) == n && x.size() == n,
           "cg: size mismatch");
+  ws.resize(n);
+  std::vector<double>& r = ws.r;
+  std::vector<double>& z = ws.ph;
+  std::vector<double>& p = ws.p;
+  std::vector<double>& ap = ws.v;
 
-  std::vector<double> r(n), z(n), p(n), ap(n);
-  a.multiply(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  double bb = 0.0;
+  double rr = residual_norms(a, x, b, r, &bb);
 
-  const double bnorm = std::max(norm2(b), 1e-300);
+  const double bnorm = std::max(std::sqrt(bb), 1e-300);
   IterativeResult res;
-  res.residual_norm = norm2(r);
+  res.residual_norm = std::sqrt(rr);
   if (res.residual_norm / bnorm <= opts.rel_tolerance) {
     res.converged = true;
     return res;
   }
 
   m.apply(r, z);
-  p = z;
+  std::copy(z.begin(), z.end(), p.begin());
   double rz = dot(r, z);
 
   for (std::int32_t it = 1; it <= opts.max_iterations; ++it) {
-    a.multiply(p, ap);
-    const double pap = dot(p, ap);
+    const double pap = spmv_dot(a, p, ap, p);
     if (pap <= 0.0) {
       throw NumericalError("cg: matrix is not positive definite");
     }
@@ -66,31 +62,46 @@ IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    xpby(z, beta, p);
   }
   return res;
 }
 
+IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
+                   std::span<double> x, const Preconditioner& m,
+                   const IterativeOptions& opts) {
+  KrylovWorkspace ws;
+  return cg(a, b, x, m, opts, ws);
+}
+
 IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
                          std::span<double> x, const Preconditioner& m,
-                         const IterativeOptions& opts) {
+                         const IterativeOptions& opts, KrylovWorkspace& ws) {
   const std::size_t n = b.size();
   require(a.rows() == a.cols() &&
               static_cast<std::size_t>(a.rows()) == n && x.size() == n,
           "bicgstab: size mismatch");
+  ws.resize(n);
+  std::vector<double>& r = ws.r;
+  std::vector<double>& r0 = ws.r0;
+  std::vector<double>& p = ws.p;
+  std::vector<double>& v = ws.v;
+  std::vector<double>& s = ws.s;
+  std::vector<double>& t = ws.t;
+  std::vector<double>& ph = ws.ph;
+  std::vector<double>& sh = ws.sh;
 
-  std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
-  a.multiply(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-  r0 = r;
+  double bb = 0.0;
+  double rr = residual_norms(a, x, b, r, &bb);
 
-  const double bnorm = std::max(norm2(b), 1e-300);
+  const double bnorm = std::max(std::sqrt(bb), 1e-300);
   IterativeResult res;
-  res.residual_norm = norm2(r);
+  res.residual_norm = std::sqrt(rr);
   if (res.residual_norm / bnorm <= opts.rel_tolerance) {
-    res.converged = true;
+    res.converged = true;  // warm start was good enough; skip all setup
     return res;
   }
+  std::copy(r.begin(), r.end(), r0.begin());
 
   double rho = 1.0, alpha = 1.0, omega = 1.0;
   std::fill(p.begin(), p.end(), 0.0);
@@ -101,34 +112,26 @@ IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
     if (rho_new == 0.0) break;  // breakdown; report non-convergence
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
-    for (std::size_t i = 0; i < n; ++i) {
-      p[i] = r[i] + beta * (p[i] - omega * v[i]);
-    }
+    bicgstab_p_update(r, beta, omega, v, p);
     m.apply(p, ph);
-    a.multiply(ph, v);
-    const double r0v = dot(r0, v);
+    const double r0v = spmv_dot(a, ph, v, r0);
     if (r0v == 0.0) break;
     alpha = rho / r0v;
-    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    const double ss = waxpby(s, r, -alpha, v);
     res.iterations = it;
-    if (norm2(s) / bnorm <= opts.rel_tolerance) {
+    if (std::sqrt(ss) / bnorm <= opts.rel_tolerance) {
       axpy(alpha, ph, x);
-      a.multiply(x, r);
-      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-      res.residual_norm = norm2(r);
+      res.residual_norm = std::sqrt(residual(a, x, b, r));
       res.converged = true;
       return res;
     }
     m.apply(s, sh);
-    a.multiply(sh, t);
-    const double tt = dot(t, t);
+    double ts = 0.0;
+    const double tt = spmv_dot2(a, sh, t, s, &ts);
     if (tt == 0.0) break;
-    omega = dot(t, s) / tt;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * ph[i] + omega * sh[i];
-      r[i] = s[i] - omega * t[i];
-    }
-    res.residual_norm = norm2(r);
+    omega = ts / tt;
+    rr = bicgstab_final_update(alpha, ph, omega, sh, s, t, x, r);
+    res.residual_norm = std::sqrt(rr);
     if (res.residual_norm / bnorm <= opts.rel_tolerance) {
       res.converged = true;
       return res;
@@ -136,6 +139,13 @@ IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
     if (omega == 0.0) break;
   }
   return res;
+}
+
+IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const Preconditioner& m,
+                         const IterativeOptions& opts) {
+  KrylovWorkspace ws;
+  return bicgstab(a, b, x, m, opts, ws);
 }
 
 }  // namespace tac3d::sparse

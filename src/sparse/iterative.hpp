@@ -2,6 +2,11 @@
 /// \file iterative.hpp
 /// \brief Krylov solvers: preconditioned CG (symmetric systems) and
 /// BiCGSTAB (the advection-coupled, non-symmetric RC systems).
+///
+/// Both solvers exist in two forms: the workspace overloads run fully
+/// allocation-free against a caller-owned KrylovWorkspace (the transient
+/// thermal loop binds one per solver at construction), and the plain
+/// overloads allocate a scratch workspace internally for one-off solves.
 
 #include <cstdint>
 #include <span>
@@ -25,15 +30,39 @@ struct IterativeOptions {
   std::int32_t max_iterations = 2000;
 };
 
+/// Preallocated scratch vectors for cg()/bicgstab(). resize() is a no-op
+/// when the size already matches, so a workspace bound once keeps the
+/// solver hot path free of heap allocations.
+class KrylovWorkspace {
+ public:
+  /// Size every buffer for an n-dimensional system.
+  void resize(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  std::vector<double> r, r0, p, v, s, t, ph, sh;
+
+ private:
+  std::size_t n_ = 0;
+};
+
 /// Preconditioned conjugate gradient; requires A symmetric positive
 /// definite. \p x holds the initial guess on entry and the solution on
-/// exit.
+/// exit. The workspace overload performs no heap allocations once \p ws
+/// is sized.
+IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
+                   std::span<double> x, const Preconditioner& m,
+                   const IterativeOptions& opts, KrylovWorkspace& ws);
 IterativeResult cg(const CsrMatrix& a, std::span<const double> b,
                    std::span<double> x, const Preconditioner& m,
                    const IterativeOptions& opts = {});
 
 /// Preconditioned BiCGSTAB for general square systems. \p x holds the
-/// initial guess on entry and the solution on exit.
+/// initial guess on entry and the solution on exit. The workspace
+/// overload performs no heap allocations once \p ws is sized.
+IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
+                         std::span<double> x, const Preconditioner& m,
+                         const IterativeOptions& opts, KrylovWorkspace& ws);
 IterativeResult bicgstab(const CsrMatrix& a, std::span<const double> b,
                          std::span<double> x, const Preconditioner& m,
                          const IterativeOptions& opts = {});

@@ -1,0 +1,241 @@
+#include "sparse/kernels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+namespace {
+
+/// Shared size check for the n-vector kernels.
+inline void check(bool ok, const char* what) { require(ok, what); }
+
+}  // namespace
+
+void spmv(const CsrMatrix& a, std::span<const double> x,
+          std::span<double> y) {
+  check(static_cast<std::int32_t>(x.size()) == a.cols() &&
+            static_cast<std::int32_t>(y.size()) == a.rows(),
+        "spmv: size mismatch");
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const double* __restrict xs = x.data();
+  double* __restrict ys = y.data();
+  const std::int32_t n = a.rows();
+  for (std::int32_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += v[k] * xs[ci[k]];
+    }
+    ys[r] = acc;
+  }
+}
+
+double spmv_dot(const CsrMatrix& a, std::span<const double> x,
+                std::span<double> y, std::span<const double> w) {
+  check(static_cast<std::int32_t>(x.size()) == a.cols() &&
+            static_cast<std::int32_t>(y.size()) == a.rows() &&
+            w.size() == y.size(),
+        "spmv_dot: size mismatch");
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const double* __restrict xs = x.data();
+  const double* __restrict ws = w.data();
+  double* __restrict ys = y.data();
+  const std::int32_t n = a.rows();
+  double acc_dot = 0.0;
+  for (std::int32_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += v[k] * xs[ci[k]];
+    }
+    ys[r] = acc;
+    acc_dot += ws[r] * acc;
+  }
+  return acc_dot;
+}
+
+double spmv_dot2(const CsrMatrix& a, std::span<const double> x,
+                 std::span<double> y, std::span<const double> w, double* wy) {
+  check(static_cast<std::int32_t>(x.size()) == a.cols() &&
+            static_cast<std::int32_t>(y.size()) == a.rows() &&
+            w.size() == y.size() && wy != nullptr,
+        "spmv_dot2: size mismatch");
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const double* __restrict xs = x.data();
+  const double* __restrict ws = w.data();
+  double* __restrict ys = y.data();
+  const std::int32_t n = a.rows();
+  double acc_yy = 0.0;
+  double acc_wy = 0.0;
+  for (std::int32_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      acc += v[k] * xs[ci[k]];
+    }
+    ys[r] = acc;
+    acc_yy += acc * acc;
+    acc_wy += ws[r] * acc;
+  }
+  *wy = acc_wy;
+  return acc_yy;
+}
+
+double residual(const CsrMatrix& a, std::span<const double> x,
+                std::span<const double> b, std::span<double> r) {
+  check(static_cast<std::int32_t>(x.size()) == a.cols() &&
+            static_cast<std::int32_t>(r.size()) == a.rows() &&
+            b.size() == r.size(),
+        "residual: size mismatch");
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const double* __restrict xs = x.data();
+  const double* __restrict bs = b.data();
+  double* __restrict rs = r.data();
+  const std::int32_t n = a.rows();
+  double acc_dot = 0.0;
+  for (std::int32_t row = 0; row < n; ++row) {
+    double acc = 0.0;
+    for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
+      acc += v[k] * xs[ci[k]];
+    }
+    const double res = bs[row] - acc;
+    rs[row] = res;
+    acc_dot += res * res;
+  }
+  return acc_dot;
+}
+
+double residual_norms(const CsrMatrix& a, std::span<const double> x,
+                      std::span<const double> b, std::span<double> r,
+                      double* bb) {
+  check(static_cast<std::int32_t>(x.size()) == a.cols() &&
+            static_cast<std::int32_t>(r.size()) == a.rows() &&
+            b.size() == r.size() && bb != nullptr,
+        "residual_norms: size mismatch");
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const double* __restrict xs = x.data();
+  const double* __restrict bs = b.data();
+  double* __restrict rs = r.data();
+  const std::int32_t n = a.rows();
+  double acc_rr = 0.0;
+  double acc_bb = 0.0;
+  for (std::int32_t row = 0; row < n; ++row) {
+    double acc = 0.0;
+    for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
+      acc += v[k] * xs[ci[k]];
+    }
+    const double bi = bs[row];
+    const double res = bi - acc;
+    rs[row] = res;
+    acc_rr += res * res;
+    acc_bb += bi * bi;
+  }
+  *bb = acc_bb;
+  return acc_rr;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  check(a.size() == b.size(), "dot: size mismatch");
+  const double* __restrict as = a.data();
+  const double* __restrict bs = b.data();
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) acc += as[i] * bs[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  check(x.size() == y.size(), "axpy: size mismatch");
+  const double* __restrict xs = x.data();
+  double* __restrict ys = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  check(x.size() == y.size(), "xpby: size mismatch");
+  const double* __restrict xs = x.data();
+  double* __restrict ys = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] = xs[i] + beta * ys[i];
+}
+
+double waxpby(std::span<double> w, std::span<const double> x, double alpha,
+              std::span<const double> y) {
+  check(w.size() == x.size() && y.size() == x.size(),
+        "waxpby: size mismatch");
+  double* __restrict ws = w.data();
+  const double* __restrict xs = x.data();
+  const double* __restrict ys = y.data();
+  const std::size_t n = w.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = xs[i] + alpha * ys[i];
+    ws[i] = wi;
+    acc += wi * wi;
+  }
+  return acc;
+}
+
+void axpy_product(double alpha, std::span<const double> a,
+                  std::span<const double> b, std::span<double> y) {
+  check(a.size() == y.size() && b.size() == y.size(),
+        "axpy_product: size mismatch");
+  const double* __restrict as = a.data();
+  const double* __restrict bs = b.data();
+  double* __restrict ys = y.data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * as[i] * bs[i];
+}
+
+void bicgstab_p_update(std::span<const double> r, double beta, double omega,
+                       std::span<const double> v, std::span<double> p) {
+  check(r.size() == p.size() && v.size() == p.size(),
+        "bicgstab_p_update: size mismatch");
+  const double* __restrict rs = r.data();
+  const double* __restrict vs = v.data();
+  double* __restrict ps = p.data();
+  const std::size_t n = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i] = rs[i] + beta * (ps[i] - omega * vs[i]);
+  }
+}
+
+double bicgstab_final_update(double alpha, std::span<const double> ph,
+                             double omega, std::span<const double> sh,
+                             std::span<const double> s,
+                             std::span<const double> t, std::span<double> x,
+                             std::span<double> r) {
+  check(ph.size() == x.size() && sh.size() == x.size() &&
+            s.size() == x.size() && t.size() == x.size() &&
+            r.size() == x.size(),
+        "bicgstab_final_update: size mismatch");
+  const double* __restrict phs = ph.data();
+  const double* __restrict shs = sh.data();
+  const double* __restrict ss = s.data();
+  const double* __restrict ts = t.data();
+  double* __restrict xs = x.data();
+  double* __restrict rs = r.data();
+  const std::size_t n = x.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] += alpha * phs[i] + omega * shs[i];
+    const double ri = ss[i] - omega * ts[i];
+    rs[i] = ri;
+    acc += ri * ri;
+  }
+  return acc;
+}
+
+}  // namespace tac3d::sparse

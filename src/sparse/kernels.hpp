@@ -1,0 +1,77 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Fused, allocation-free linear-algebra kernels for the solver
+/// hot path.
+///
+/// The transient thermal loop spends nearly all of its time in SpMV,
+/// dot products and vector updates. These kernels work on raw contiguous
+/// arrays (no virtual dispatch, no bounds checks beyond a debug-style
+/// require at the span level in callers), fuse passes that the naive
+/// formulation would run separately (SpMV + dot, residual = b - A x,
+/// the BiCGSTAB final update + residual), and never allocate — callers
+/// provide every output buffer. Inner loops are written so the compiler
+/// can auto-vectorize them.
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace tac3d::sparse {
+
+/// y = A x (plain SpMV on the CSR arrays).
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = A x, returning dot(w, y) from the same pass (fused SpMV + dot).
+double spmv_dot(const CsrMatrix& a, std::span<const double> x,
+                std::span<double> y, std::span<const double> w);
+
+/// y = A x, returning dot(y, y) and setting *wy = dot(w, y), all from
+/// one pass (the BiCGSTAB stabilization step needs both).
+double spmv_dot2(const CsrMatrix& a, std::span<const double> x,
+                 std::span<double> y, std::span<const double> w, double* wy);
+
+/// r = b - A x in one pass (fused SpMV + axpy); returns dot(r, r).
+double residual(const CsrMatrix& a, std::span<const double> x,
+                std::span<const double> b, std::span<double> r);
+
+/// r = b - A x, returning dot(r, r) and setting *bb = dot(b, b), all in
+/// one pass (a Krylov solve needs ||b|| for its relative tolerance).
+double residual_norms(const CsrMatrix& a, std::span<const double> x,
+                      std::span<const double> b, std::span<double> r,
+                      double* bb);
+
+/// dot(a, b).
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// ||a||_2.
+double norm2(std::span<const double> a);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// y = x + beta * y.
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+/// w = x + alpha * y; returns dot(w, w).
+double waxpby(std::span<double> w, std::span<const double> x, double alpha,
+              std::span<const double> y);
+
+/// y += alpha * a[i] * b[i] (element-wise product accumulate; the
+/// backward-Euler RHS build y = P + (C/dt) T_n uses it with alpha = 1).
+void axpy_product(double alpha, std::span<const double> a,
+                  std::span<const double> b, std::span<double> y);
+
+/// BiCGSTAB direction update p = r + beta * (p - omega * v).
+void bicgstab_p_update(std::span<const double> r, double beta, double omega,
+                       std::span<const double> v, std::span<double> p);
+
+/// BiCGSTAB tail fused into one pass:
+///   x += alpha * ph + omega * sh,  r = s - omega * t;
+/// returns dot(r, r).
+double bicgstab_final_update(double alpha, std::span<const double> ph,
+                             double omega, std::span<const double> sh,
+                             std::span<const double> s,
+                             std::span<const double> t, std::span<double> x,
+                             std::span<double> r);
+
+}  // namespace tac3d::sparse

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sparse/structure_cache.hpp"
 
 namespace tac3d::sparse {
 
@@ -12,11 +13,25 @@ void IdentityPreconditioner::apply(std::span<const double> r,
   std::copy(r.begin(), r.end(), z.begin());
 }
 
-JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
-  inv_diag_ = a.diagonal();
-  for (double& d : inv_diag_) {
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a,
+                                           const SymbolicStructure*) {
+  inv_diag_.assign(static_cast<std::size_t>(a.rows()), 0.0);
+  refactor(a);
+}
+
+void JacobiPreconditioner::refactor(const CsrMatrix& a) {
+  require(static_cast<std::size_t>(a.rows()) == inv_diag_.size(),
+          "JacobiPreconditioner::refactor: size mismatch");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::int32_t r = 0; r < a.rows(); ++r) {
+    double d = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) d = v[k];
+    }
     require(d != 0.0, "JacobiPreconditioner: zero diagonal entry");
-    d = 1.0 / d;
+    inv_diag_[r] = 1.0 / d;
   }
 }
 
@@ -27,16 +42,26 @@ void JacobiPreconditioner::apply(std::span<const double> r,
   for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
 }
 
-Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) : lu_(a) {
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a,
+                                       const SymbolicStructure* structure)
+    : lu_(a) {
   const std::int32_t n = a.rows();
   require(n == a.cols(), "Ilu0Preconditioner: matrix must be square");
-  diag_.assign(static_cast<std::size_t>(n), -1);
-  const auto rp = lu_.row_ptr();
-  const auto ci = lu_.col_idx();
-  for (std::int32_t r = 0; r < n; ++r) {
-    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
-      if (ci[k] == r) diag_[r] = k;
+  if (structure != nullptr) {
+    require(structure->matches(a),
+            "Ilu0Preconditioner: structure does not match the matrix");
+    diag_ = structure->ilu_diag;
+  } else {
+    diag_.assign(static_cast<std::size_t>(n), -1);
+    const auto rp = lu_.row_ptr();
+    const auto ci = lu_.col_idx();
+    for (std::int32_t r = 0; r < n; ++r) {
+      for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] == r) diag_[r] = k;
+      }
     }
+  }
+  for (std::int32_t r = 0; r < n; ++r) {
     require(diag_[r] >= 0, "Ilu0Preconditioner: missing diagonal entry");
   }
   refactor(a);

@@ -1,6 +1,10 @@
 #pragma once
 /// \file preconditioner.hpp
 /// \brief Jacobi and ILU(0) preconditioners for the iterative solvers.
+///
+/// Both mutable preconditioners allocate all storage at construction and
+/// refresh in place via refactor() when the bound matrix's values change
+/// on the same sparsity pattern — the solver hot path never allocates.
 
 #include <memory>
 #include <span>
@@ -9,6 +13,8 @@
 #include "sparse/csr.hpp"
 
 namespace tac3d::sparse {
+
+struct SymbolicStructure;
 
 /// Applies z = M^{-1} r for some approximation M of A.
 class Preconditioner {
@@ -26,7 +32,16 @@ class IdentityPreconditioner final : public Preconditioner {
 /// Diagonal (Jacobi) preconditioner.
 class JacobiPreconditioner final : public Preconditioner {
  public:
-  explicit JacobiPreconditioner(const CsrMatrix& a);
+  /// \p structure is accepted for interface symmetry with Ilu0 (the
+  /// solver facade constructs either kind the same way); Jacobi needs no
+  /// symbolic analysis.
+  explicit JacobiPreconditioner(const CsrMatrix& a,
+                                const SymbolicStructure* structure = nullptr);
+
+  /// Recompute the inverse diagonal in place for new values on the same
+  /// pattern (no allocation).
+  void refactor(const CsrMatrix& a);
+
   void apply(std::span<const double> r, std::span<double> z) const override;
 
  private:
@@ -37,9 +52,13 @@ class JacobiPreconditioner final : public Preconditioner {
 /// sparsity pattern of A. Stable for the diagonally dominant RC systems.
 class Ilu0Preconditioner final : public Preconditioner {
  public:
-  explicit Ilu0Preconditioner(const CsrMatrix& a);
+  /// \p structure optionally supplies the precomputed diagonal index map
+  /// (see StructureCache); without it the pattern is scanned here.
+  explicit Ilu0Preconditioner(const CsrMatrix& a,
+                              const SymbolicStructure* structure = nullptr);
 
-  /// Recompute factors for new values on the same pattern.
+  /// Recompute factors in place for new values on the same pattern
+  /// (no allocation).
   void refactor(const CsrMatrix& a);
 
   void apply(std::span<const double> r, std::span<double> z) const override;

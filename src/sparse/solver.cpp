@@ -11,7 +11,9 @@ namespace {
 
 class BandedLuSolver final : public LinearSolver {
  public:
-  explicit BandedLuSolver(const CsrMatrix& a) : lu_(a) {}
+  BandedLuSolver(const CsrMatrix& a,
+                 std::shared_ptr<const SymbolicStructure> structure)
+      : structure_(std::move(structure)), lu_(a, structure_.get()) {}
 
   void update_values(const CsrMatrix& a) override { lu_.factor(a); }
 
@@ -22,25 +24,33 @@ class BandedLuSolver final : public LinearSolver {
   const char* name() const override { return "banded-lu(rcm)"; }
 
  private:
+  std::shared_ptr<const SymbolicStructure> structure_;
   BandedLu lu_;
 };
 
 template <typename Precond>
 class BicgstabSolver final : public LinearSolver {
  public:
-  explicit BicgstabSolver(const CsrMatrix& a, const char* name)
-      : a_(&a), precond_(a), name_(name) {}
+  BicgstabSolver(const CsrMatrix& a,
+                 std::shared_ptr<const SymbolicStructure> structure,
+                 const char* name)
+      : a_(&a),
+        structure_(std::move(structure)),
+        precond_(a, structure_.get()),
+        name_(name) {
+    ws_.resize(static_cast<std::size_t>(a.rows()));
+  }
 
   void update_values(const CsrMatrix& a) override {
     a_ = &a;
-    precond_ = Precond(a);
+    precond_.refactor(a);
   }
 
   void solve(std::span<const double> b, std::span<double> x) override {
     IterativeOptions opts;
     opts.rel_tolerance = 1e-12;
     opts.max_iterations = 5000;
-    const IterativeResult res = bicgstab(*a_, b, x, precond_, opts);
+    const IterativeResult res = bicgstab(*a_, b, x, precond_, opts, ws_);
     if (!res.converged) {
       throw NumericalError("BicgstabSolver: failed to converge");
     }
@@ -50,23 +60,26 @@ class BicgstabSolver final : public LinearSolver {
 
  private:
   const CsrMatrix* a_;
+  std::shared_ptr<const SymbolicStructure> structure_;
   Precond precond_;
+  KrylovWorkspace ws_;
   const char* name_;
 };
 
 }  // namespace
 
-std::unique_ptr<LinearSolver> make_solver(SolverKind kind,
-                                          const CsrMatrix& a) {
+std::unique_ptr<LinearSolver> make_solver(
+    SolverKind kind, const CsrMatrix& a,
+    std::shared_ptr<const SymbolicStructure> structure) {
   switch (kind) {
     case SolverKind::kBandedLu:
-      return std::make_unique<BandedLuSolver>(a);
+      return std::make_unique<BandedLuSolver>(a, std::move(structure));
     case SolverKind::kBicgstabIlu0:
       return std::make_unique<BicgstabSolver<Ilu0Preconditioner>>(
-          a, "bicgstab+ilu0");
+          a, std::move(structure), "bicgstab+ilu0");
     case SolverKind::kBicgstabJacobi:
       return std::make_unique<BicgstabSolver<JacobiPreconditioner>>(
-          a, "bicgstab+jacobi");
+          a, std::move(structure), "bicgstab+jacobi");
   }
   throw InvalidArgument("make_solver: unknown solver kind");
 }

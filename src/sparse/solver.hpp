@@ -2,11 +2,20 @@
 /// \file solver.hpp
 /// \brief Facade over the direct and iterative solvers so the thermal
 /// module can switch strategies via configuration.
+///
+/// Solvers allocate everything they need at bind time (construction):
+/// factorization storage, preconditioner factors and Krylov scratch
+/// vectors. update_values() and solve() then run without touching the
+/// heap, which keeps the transient thermal stepping loop allocation-
+/// free. An optional shared SymbolicStructure (see structure_cache.hpp)
+/// lets solvers bound to matrices with the same sparsity pattern skip
+/// the symbolic analysis.
 
 #include <memory>
 #include <span>
 
 #include "sparse/csr.hpp"
+#include "sparse/structure_cache.hpp"
 
 namespace tac3d::sparse {
 
@@ -25,17 +34,22 @@ class LinearSolver {
   virtual ~LinearSolver() = default;
 
   /// Refresh internal state after the bound matrix's values changed.
+  /// Never allocates: factors and preconditioners update in place.
   virtual void update_values(const CsrMatrix& a) = 0;
 
   /// Solve A x = b; \p x may carry a warm-start guess for iterative
-  /// solvers (ignored by direct ones).
+  /// solvers (ignored by direct ones). Never allocates.
   virtual void solve(std::span<const double> b, std::span<double> x) = 0;
 
   /// Human-readable solver name for logs and benches.
   virtual const char* name() const = 0;
 };
 
-/// Create a solver of the requested kind bound to \p a.
-std::unique_ptr<LinearSolver> make_solver(SolverKind kind, const CsrMatrix& a);
+/// Create a solver of the requested kind bound to \p a. A non-null
+/// \p structure (typically from a StructureCache shared across a sweep)
+/// supplies the precomputed symbolic analysis of \p a's pattern.
+std::unique_ptr<LinearSolver> make_solver(
+    SolverKind kind, const CsrMatrix& a,
+    std::shared_ptr<const SymbolicStructure> structure = nullptr);
 
 }  // namespace tac3d::sparse

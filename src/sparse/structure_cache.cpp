@@ -1,0 +1,97 @@
+#include "sparse/structure_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/rcm.hpp"
+
+namespace tac3d::sparse {
+
+namespace {
+
+/// FNV-1a over the pattern arrays (dims + row_ptr + col_idx).
+std::uint64_t pattern_hash(const CsrMatrix& a) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(a.rows()));
+  mix(static_cast<std::uint64_t>(a.cols()));
+  for (const std::int32_t v : a.row_ptr()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  for (const std::int32_t v : a.col_idx()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool SymbolicStructure::matches(const CsrMatrix& a) const {
+  return a.rows() == rows && a.cols() == rows &&
+         static_cast<std::size_t>(a.nnz()) == col_idx.size() &&
+         std::equal(row_ptr.begin(), row_ptr.end(), a.row_ptr().begin()) &&
+         std::equal(col_idx.begin(), col_idx.end(), a.col_idx().begin());
+}
+
+std::shared_ptr<const SymbolicStructure> analyze_structure(
+    const CsrMatrix& a) {
+  require(a.rows() == a.cols(),
+          "analyze_structure: matrix must be square");
+  auto s = std::make_shared<SymbolicStructure>();
+  const std::int32_t n = a.rows();
+  s->rows = n;
+  s->row_ptr.assign(a.row_ptr().begin(), a.row_ptr().end());
+  s->col_idx.assign(a.col_idx().begin(), a.col_idx().end());
+
+  // RCM ordering and the band extents of the permuted pattern.
+  s->rcm_perm = rcm_ordering(a);
+  s->rcm_inv_perm.assign(static_cast<std::size_t>(n), 0);
+  for (std::int32_t i = 0; i < n; ++i) s->rcm_inv_perm[s->rcm_perm[i]] = i;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (std::int32_t r = 0; r < n; ++r) {
+    const std::int32_t pr = s->rcm_inv_perm[r];
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::int32_t pc = s->rcm_inv_perm[ci[k]];
+      s->band_lower = std::max(s->band_lower, pr - pc);
+      s->band_upper = std::max(s->band_upper, pc - pr);
+    }
+  }
+
+  // Diagonal entry index per row (ILU(0) pivot map).
+  s->ilu_diag.assign(static_cast<std::size_t>(n), -1);
+  for (std::int32_t r = 0; r < n; ++r) {
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) s->ilu_diag[r] = k;
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<const SymbolicStructure> StructureCache::get(
+    const CsrMatrix& a) {
+  const std::uint64_t h = pattern_hash(a);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& bucket = buckets_[h];
+  for (const auto& s : bucket) {
+    if (s->matches(a)) {
+      ++hits_;
+      return s;
+    }
+  }
+  ++misses_;
+  bucket.push_back(analyze_structure(a));
+  return bucket.back();
+}
+
+std::size_t StructureCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [h, bucket] : buckets_) n += bucket.size();
+  return n;
+}
+
+}  // namespace tac3d::sparse

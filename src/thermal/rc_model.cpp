@@ -278,22 +278,36 @@ void RcModel::assemble() {
 
   g_static_ = sparse::CsrMatrix::from_triplets(n, n, std::move(trips));
   g_ = g_static_;
+
+  // Resolve the advection entries to value-array indices once; the
+  // per-flow-change update is then a straight indexed pass.
+  for (auto& entries : cavity_adv_) {
+    for (AdvectionEntry& e : entries) {
+      e.diag_vidx = g_.entry_index(e.node, e.node);
+      e.upstream_vidx =
+          e.upstream >= 0 ? g_.entry_index(e.node, e.upstream) : -1;
+      require(e.diag_vidx >= 0 && (e.upstream < 0 || e.upstream_vidx >= 0),
+              "RcModel: advection entry missing from the sparsity pattern");
+    }
+  }
 }
 
 void RcModel::apply_flows() {
-  // Reset to the static values, then add the advection terms.
+  // Reset to the static values, then add the advection terms through the
+  // indices precomputed in assemble() (no per-entry pattern search).
   std::copy(g_static_.values().begin(), g_static_.values().end(),
             g_.values_mut().begin());
   std::fill(rhs_flow_.begin(), rhs_flow_.end(), 0.0);
   const double t_in = grid_.spec().coolant_inlet;
+  const std::span<double> v = g_.values_mut();
   for (int cav = 0; cav < n_cavities(); ++cav) {
     const double q = cavity_flow_[cav];
     if (q <= 0.0) continue;
     for (const AdvectionEntry& e : cavity_adv_[cav]) {
       const double a = e.unit * q;
-      g_.coeff_ref(e.node, e.node) += a;
-      if (e.upstream >= 0) {
-        g_.coeff_ref(e.node, e.upstream) -= a;
+      v[e.diag_vidx] += a;
+      if (e.upstream_vidx >= 0) {
+        v[e.upstream_vidx] -= a;
       } else {
         rhs_flow_[e.node] += a * t_in;
       }
@@ -347,20 +361,49 @@ void RcModel::set_all_flows(double q_m3s) {
   if (changed) apply_flows();
 }
 
+void RcModel::rhs_into(std::span<double> out) const {
+  require(out.size() == power_rhs_.size(), "RcModel::rhs_into: size mismatch");
+  const double* __restrict p = power_rhs_.data();
+  const double* __restrict s = rhs_static_.data();
+  const double* __restrict f = rhs_flow_.data();
+  double* __restrict o = out.data();
+  const std::size_t n = power_rhs_.size();
+  for (std::size_t i = 0; i < n; ++i) o[i] = p[i] + s[i] + f[i];
+}
+
+void RcModel::rhs_plus_scaled_into(std::span<double> out,
+                                   std::span<const double> scale,
+                                   std::span<const double> x) const {
+  require(out.size() == power_rhs_.size() && scale.size() == out.size() &&
+              x.size() == out.size(),
+          "RcModel::rhs_plus_scaled_into: size mismatch");
+  const double* __restrict p = power_rhs_.data();
+  const double* __restrict s = rhs_static_.data();
+  const double* __restrict f = rhs_flow_.data();
+  const double* __restrict c = scale.data();
+  const double* __restrict xs = x.data();
+  double* __restrict o = out.data();
+  const std::size_t n = power_rhs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    o[i] = p[i] + s[i] + f[i] + c[i] * xs[i];
+  }
+}
+
 std::vector<double> RcModel::rhs() const {
   std::vector<double> out(power_rhs_.size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = power_rhs_[i] + rhs_static_[i] + rhs_flow_[i];
-  }
+  rhs_into(out);
   return out;
 }
 
-std::vector<double> RcModel::steady_state(sparse::SolverKind kind) const {
-  const std::vector<double> b = rhs();
+std::vector<double> RcModel::steady_state(sparse::SolverKind kind,
+                                          sparse::StructureCache* cache) const {
+  std::vector<double> b(power_rhs_.size());
+  rhs_into(b);
   std::vector<double> x(b.size(),
                         std::max(grid_.spec().ambient,
                                  grid_.spec().coolant_inlet));
-  auto solver = sparse::make_solver(kind, g_);
+  auto solver = sparse::make_solver(
+      kind, g_, cache != nullptr ? cache->get(g_) : nullptr);
   solver->solve(b, x);
   return x;
 }

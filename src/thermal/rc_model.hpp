@@ -65,13 +65,29 @@ class RcModel {
   /// Nodal heat capacities [J/K].
   std::span<const double> capacitance() const { return c_; }
 
+  /// Fill \p out with the current right-hand side: injected power plus
+  /// boundary terms. \p out must have node_count() entries; performs no
+  /// heap allocation (the transient stepping loop calls it every step).
+  void rhs_into(std::span<double> out) const;
+
+  /// Backward-Euler RHS in one fused pass:
+  ///   out[i] = rhs[i] + scale[i] * x[i]
+  /// with scale = C/dt and x = T_n. No heap allocation.
+  void rhs_plus_scaled_into(std::span<double> out,
+                            std::span<const double> scale,
+                            std::span<const double> x) const;
+
   /// Current right-hand side: injected power plus boundary terms.
+  [[deprecated("allocates every call; use rhs_into()")]]
   std::vector<double> rhs() const;
 
   // --- solves ----------------------------------------------------------
   /// Steady-state temperatures [K] for the current power and flows.
+  /// A non-null \p cache shares the symbolic solver analysis across
+  /// models with the same grid pattern (see sparse::StructureCache).
   std::vector<double> steady_state(
-      sparse::SolverKind kind = sparse::SolverKind::kBicgstabIlu0) const;
+      sparse::SolverKind kind = sparse::SolverKind::kBicgstabIlu0,
+      sparse::StructureCache* cache = nullptr) const;
 
   // --- sensors / diagnostics -------------------------------------------
   /// Power-weighted maximum cell temperature of an element [K].
@@ -102,6 +118,10 @@ class RcModel {
     std::int32_t node;
     std::int32_t upstream;  ///< -1 = inlet boundary
     double unit;            ///< coefficient per unit cavity flow [W s/(K m^3)]
+    /// Precomputed positions in g_.values() so apply_flows() updates by
+    /// direct index instead of per-entry binary search.
+    std::int64_t diag_vidx = -1;
+    std::int64_t upstream_vidx = -1;  ///< -1 = inlet boundary
   };
 
   void assemble();

@@ -4,32 +4,41 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sparse/kernels.hpp"
 
 namespace tac3d::thermal {
 
 TransientSolver::TransientSolver(RcModel& model, double dt,
-                                 sparse::SolverKind kind)
-    : model_(model), dt_(dt), kind_(kind) {
+                                 sparse::SolverKind kind,
+                                 sparse::StructureCache* cache)
+    : model_(model), dt_(dt), kind_(kind), cache_(cache) {
   require(dt > 0.0, "TransientSolver: dt must be positive");
-  state_.assign(model_.node_count(),
-                std::max(model_.grid().spec().ambient,
-                         model_.grid().spec().coolant_inlet));
-  rhs_.assign(model_.node_count(), 0.0);
+  const std::int32_t n = model_.node_count();
+  state_.assign(n, std::max(model_.grid().spec().ambient,
+                            model_.grid().spec().coolant_inlet));
+  rhs_.assign(n, 0.0);
+  c_over_dt_.assign(n, 0.0);
+  const std::span<const double> c = model_.capacitance();
+  for (std::int32_t i = 0; i < n; ++i) c_over_dt_[i] = c[i] / dt_;
+
+  a_ = model_.conductance();  // copy pattern and values once
+  diag_vidx_.assign(n, -1);
+  for (std::int32_t i = 0; i < n; ++i) {
+    diag_vidx_[i] = a_.entry_index(i, i);
+    require(diag_vidx_[i] >= 0, "TransientSolver: missing diagonal entry");
+  }
   rebuild_matrix();
-  solver_ = sparse::make_solver(kind_, a_);
+  solver_ = sparse::make_solver(
+      kind_, a_, cache_ != nullptr ? cache_->get(a_) : nullptr);
   model_version_ = model_.version();
 }
 
 void TransientSolver::rebuild_matrix() {
   const sparse::CsrMatrix& g = model_.conductance();
-  const std::span<const double> c = model_.capacitance();
-  if (a_.nnz() == 0) {
-    a_ = g;  // copy pattern and values once
-  } else {
-    std::copy(g.values().begin(), g.values().end(), a_.values_mut().begin());
-  }
-  for (std::int32_t i = 0; i < a_.rows(); ++i) {
-    a_.coeff_ref(i, i) += c[i] / dt_;
+  std::copy(g.values().begin(), g.values().end(), a_.values_mut().begin());
+  const std::span<double> v = a_.values_mut();
+  for (std::size_t i = 0; i < diag_vidx_.size(); ++i) {
+    v[diag_vidx_[i]] += c_over_dt_[i];
   }
 }
 
@@ -40,7 +49,7 @@ void TransientSolver::set_state(std::vector<double> temps) {
 }
 
 void TransientSolver::initialize_steady() {
-  set_state(model_.steady_state());
+  set_state(model_.steady_state(sparse::SolverKind::kBicgstabIlu0, cache_));
 }
 
 void TransientSolver::step() {
@@ -49,11 +58,8 @@ void TransientSolver::step() {
     solver_->update_values(a_);
     model_version_ = model_.version();
   }
-  const std::vector<double> p = model_.rhs();
-  const std::span<const double> c = model_.capacitance();
-  for (std::size_t i = 0; i < rhs_.size(); ++i) {
-    rhs_[i] = p[i] + c[i] / dt_ * state_[i];
-  }
+  // rhs = P + (C/dt) T_n, built in one fused pass.
+  model_.rhs_plus_scaled_into(rhs_, c_over_dt_, state_);
   solver_->solve(rhs_, state_);
   time_ += dt_;
 }

@@ -5,8 +5,12 @@
 /// Each step solves (C/dt + G) T_{n+1} = (C/dt) T_n + P. The system
 /// matrix only changes when a cavity flow rate changes (tracked via
 /// RcModel::version()), in which case the solver's factorization or
-/// preconditioner is refreshed. The previous temperature field warm-
-/// starts the iterative solvers.
+/// preconditioner is refreshed in place. The previous temperature field
+/// warm-starts the iterative solvers.
+///
+/// All storage — the system matrix, the RHS, the diagonal index map and
+/// the solver's own workspace — is allocated at construction; step()
+/// performs zero heap allocations (asserted by test_transient_alloc).
 
 #include <memory>
 #include <span>
@@ -23,9 +27,13 @@ class TransientSolver {
   /// \param model the RC network (power/flows mutated externally)
   /// \param dt time step [s]
   /// \param kind linear solver strategy
+  /// \param cache optional shared symbolic-structure cache (must outlive
+  ///        this solver); models with the same grid pattern then skip
+  ///        the RCM/ILU symbolic analysis
   TransientSolver(RcModel& model, double dt,
                   sparse::SolverKind kind =
-                      sparse::SolverKind::kBicgstabIlu0);
+                      sparse::SolverKind::kBicgstabIlu0,
+                  sparse::StructureCache* cache = nullptr);
 
   double dt() const { return dt_; }
 
@@ -40,6 +48,7 @@ class TransientSolver {
   std::span<const double> temperatures() const { return state_; }
 
   /// Advance one time step with the model's current power and flows.
+  /// Performs no heap allocations.
   void step();
 
   /// Advance ceil(duration/dt) steps.
@@ -54,7 +63,10 @@ class TransientSolver {
   RcModel& model_;
   double dt_;
   sparse::SolverKind kind_;
+  sparse::StructureCache* cache_;
   sparse::CsrMatrix a_;  ///< G + C/dt (same pattern as G)
+  std::vector<std::int64_t> diag_vidx_;  ///< a_.values() index of (i, i)
+  std::vector<double> c_over_dt_;        ///< C_i / dt, precomputed
   std::unique_ptr<sparse::LinearSolver> solver_;
   std::vector<double> state_;
   std::vector<double> rhs_;

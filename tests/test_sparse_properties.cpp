@@ -1,0 +1,311 @@
+// Property tests for the sparse layer: solver-kind agreement on random
+// diagonally-dominant SPD systems, RCM permutation validity and
+// bandwidth monotonicity, in-place update_values() equivalence with a
+// freshly constructed solver, StructureCache sharing, and the fused
+// kernels against their naive formulations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/iterative.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/preconditioner.hpp"
+#include "sparse/rcm.hpp"
+#include "sparse/solver.hpp"
+#include "sparse/structure_cache.hpp"
+
+namespace tac3d::sparse {
+namespace {
+
+constexpr SolverKind kAllKinds[] = {SolverKind::kBandedLu,
+                                    SolverKind::kBicgstabIlu0,
+                                    SolverKind::kBicgstabJacobi};
+
+/// Random strictly diagonally dominant matrix; symmetric (hence SPD)
+/// when requested, asymmetric otherwise (mimicking advection).
+CsrMatrix random_dd(std::int32_t n, double density, bool symmetric,
+                    Rng& rng) {
+  std::vector<Triplet> trips;
+  std::vector<double> rowsum(n, 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (symmetric && j < i) continue;
+      if (rng.uniform() < density) {
+        const double v = rng.uniform(-1.0, 1.0);
+        trips.push_back({i, j, v});
+        rowsum[i] += std::abs(v);
+        if (symmetric) {
+          trips.push_back({j, i, v});
+          rowsum[j] += std::abs(v);
+        }
+      }
+    }
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    trips.push_back({i, i, rowsum[i] + 1.0 + rng.uniform()});
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(trips));
+}
+
+std::vector<double> random_vec(std::int32_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-10.0, 10.0);
+  return v;
+}
+
+double max_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+// --- solver-kind agreement ----------------------------------------------
+
+TEST(SolverAgreement, AllKindsAgreeOnRandomSpdSystems) {
+  for (const std::int32_t n : {12, 60, 150, 300}) {
+    Rng rng(100 + n);
+    const CsrMatrix a = random_dd(n, 6.0 / n, /*symmetric=*/true, rng);
+    ASSERT_TRUE(a.is_diagonally_dominant());
+    const std::vector<double> b = random_vec(n, rng);
+
+    std::vector<std::vector<double>> solutions;
+    for (const SolverKind kind : kAllKinds) {
+      auto solver = make_solver(kind, a);
+      std::vector<double> x(n, 0.0);
+      solver->solve(b, x);
+      solutions.push_back(std::move(x));
+    }
+    for (std::size_t i = 1; i < solutions.size(); ++i) {
+      EXPECT_LT(max_diff(solutions[0], solutions[i]), 1e-8)
+          << "n=" << n << " kind " << i << " disagrees with banded LU";
+    }
+  }
+}
+
+TEST(SolverAgreement, AllKindsAgreeOnAsymmetricAdvectionLikeSystems) {
+  for (const std::int32_t n : {40, 120}) {
+    Rng rng(7000 + n);
+    const CsrMatrix a = random_dd(n, 8.0 / n, /*symmetric=*/false, rng);
+    const std::vector<double> b = random_vec(n, rng);
+    std::vector<std::vector<double>> solutions;
+    for (const SolverKind kind : kAllKinds) {
+      auto solver = make_solver(kind, a);
+      std::vector<double> x(n, 0.0);
+      solver->solve(b, x);
+      solutions.push_back(std::move(x));
+    }
+    for (std::size_t i = 1; i < solutions.size(); ++i) {
+      EXPECT_LT(max_diff(solutions[0], solutions[i]), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+// --- RCM properties -------------------------------------------------------
+
+TEST(RcmProperties, OutputIsAValidPermutationThatNeverIncreasesBandwidth) {
+  for (const std::int32_t n : {5, 30, 80, 200}) {
+    for (const double density : {0.02, 0.1, 0.4}) {
+      Rng rng(static_cast<std::uint64_t>(n * 1000 + density * 100));
+      const CsrMatrix a = random_dd(n, density, /*symmetric=*/true, rng);
+      const auto perm = rcm_ordering(a);
+
+      ASSERT_EQ(static_cast<std::int32_t>(perm.size()), n);
+      std::vector<std::int32_t> sorted = perm;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::int32_t i = 0; i < n; ++i) {
+        ASSERT_EQ(sorted[i], i) << "not a permutation (n=" << n << ")";
+      }
+
+      EXPECT_LE(bandwidth(a, perm), bandwidth(a, {}))
+          << "RCM must never increase bandwidth (n=" << n
+          << ", density=" << density << ")";
+    }
+  }
+}
+
+TEST(RcmProperties, HandlesDisconnectedComponents) {
+  // Two disjoint paths with shuffled labels.
+  const std::int32_t n = 40;
+  std::vector<Triplet> trips;
+  for (std::int32_t i = 0; i < n; ++i) trips.push_back({i, i, 2.0});
+  for (std::int32_t i = 0; i + 1 < n / 2; ++i) {
+    trips.push_back({i, i + 1, -1.0});
+    trips.push_back({i + 1, i, -1.0});
+  }
+  for (std::int32_t i = n / 2; i + 1 < n; ++i) {
+    trips.push_back({i, i + 1, -1.0});
+    trips.push_back({i + 1, i, -1.0});
+  }
+  const auto a = CsrMatrix::from_triplets(n, n, std::move(trips));
+  const auto perm = rcm_ordering(a);
+  std::vector<std::int32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int32_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_LE(bandwidth(a, perm), bandwidth(a, {}));
+}
+
+// --- update_values equivalence -------------------------------------------
+
+TEST(UpdateValues, InPlaceEditMatchesFreshlyConstructedSolver) {
+  for (const SolverKind kind : kAllKinds) {
+    Rng rng(42);
+    CsrMatrix a = random_dd(80, 0.08, /*symmetric=*/false, rng);
+    auto solver = make_solver(kind, a);
+
+    // Perturb the values in place, keeping diagonal dominance.
+    auto v = a.values_mut();
+    Rng perturb(43);
+    for (auto& x : v) x *= 1.0 + 0.1 * perturb.uniform();
+    for (std::int32_t i = 0; i < a.rows(); ++i) {
+      a.coeff_ref(i, i) = std::abs(a.coeff_ref(i, i)) + 5.0;
+    }
+    solver->update_values(a);
+
+    auto fresh = make_solver(kind, a);
+    const std::vector<double> b = random_vec(a.rows(), rng);
+    std::vector<double> x_updated(a.rows(), 0.0), x_fresh(a.rows(), 0.0);
+    solver->solve(b, x_updated);
+    fresh->solve(b, x_fresh);
+    // Same factors, same iteration sequence: bit-identical results.
+    EXPECT_EQ(max_diff(x_updated, x_fresh), 0.0) << fresh->name();
+  }
+}
+
+// --- StructureCache -------------------------------------------------------
+
+TEST(StructureCacheTest, SharesOneAnalysisPerPattern) {
+  Rng rng(9);
+  const CsrMatrix a = random_dd(64, 0.1, /*symmetric=*/false, rng);
+  CsrMatrix same_pattern = a;
+  auto v = same_pattern.values_mut();
+  for (auto& x : v) x *= 2.0;
+
+  StructureCache cache;
+  const auto s1 = cache.get(a);
+  const auto s2 = cache.get(same_pattern);
+  EXPECT_EQ(s1.get(), s2.get()) << "same pattern must share one structure";
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  Rng rng2(10);
+  const CsrMatrix other = random_dd(64, 0.2, /*symmetric=*/false, rng2);
+  const auto s3 = cache.get(other);
+  EXPECT_NE(s1.get(), s3.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(StructureCacheTest, AnalysisMatchesDirectComputation) {
+  Rng rng(21);
+  const CsrMatrix a = random_dd(100, 0.05, /*symmetric=*/true, rng);
+  const auto cached = StructureCache().get(a);
+  const auto direct = analyze_structure(a);
+  EXPECT_EQ(cached->rcm_perm, direct->rcm_perm);
+  EXPECT_EQ(cached->ilu_diag, direct->ilu_diag);
+  EXPECT_EQ(cached->band_lower, direct->band_lower);
+  EXPECT_EQ(cached->band_upper, direct->band_upper);
+  EXPECT_TRUE(cached->matches(a));
+}
+
+TEST(StructureCacheTest, CachedStructureGivesBitIdenticalSolutions) {
+  Rng rng(31);
+  const CsrMatrix a = random_dd(120, 0.05, /*symmetric=*/false, rng);
+  const std::vector<double> b = random_vec(a.rows(), rng);
+  StructureCache cache;
+  for (const SolverKind kind : kAllKinds) {
+    auto plain = make_solver(kind, a);
+    auto shared = make_solver(kind, a, cache.get(a));
+    std::vector<double> x_plain(a.rows(), 0.0), x_shared(a.rows(), 0.0);
+    plain->solve(b, x_plain);
+    shared->solve(b, x_shared);
+    EXPECT_EQ(max_diff(x_plain, x_shared), 0.0) << plain->name();
+  }
+}
+
+// --- fused kernels --------------------------------------------------------
+
+TEST(Kernels, FusedOperationsMatchNaiveFormulations) {
+  Rng rng(55);
+  const std::int32_t n = 90;
+  const CsrMatrix a = random_dd(n, 0.07, /*symmetric=*/false, rng);
+  const std::vector<double> x = random_vec(n, rng);
+  const std::vector<double> b = random_vec(n, rng);
+  const std::vector<double> w = random_vec(n, rng);
+
+  std::vector<double> ax(n);
+  a.multiply(x, ax);
+
+  std::vector<double> y(n);
+  spmv(a, x, y);
+  EXPECT_EQ(max_diff(y, ax), 0.0);
+
+  std::vector<double> y2(n);
+  const double wy = spmv_dot(a, x, y2, w);
+  EXPECT_EQ(max_diff(y2, ax), 0.0);
+  EXPECT_NEAR(wy, dot(w, ax), 1e-9 * std::abs(wy) + 1e-12);
+
+  std::vector<double> y3(n);
+  double wy2 = 0.0;
+  const double yy = spmv_dot2(a, x, y3, w, &wy2);
+  EXPECT_EQ(max_diff(y3, ax), 0.0);
+  EXPECT_NEAR(yy, dot(ax, ax), 1e-9 * yy + 1e-12);
+  EXPECT_NEAR(wy2, dot(w, ax), 1e-9 * std::abs(wy2) + 1e-12);
+
+  std::vector<double> r(n);
+  const double rr = residual(a, x, b, r);
+  double rr_naive = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const double ri = b[i] - ax[i];
+    EXPECT_DOUBLE_EQ(r[i], ri);
+    rr_naive += ri * ri;
+  }
+  EXPECT_NEAR(rr, rr_naive, 1e-9 * rr_naive + 1e-12);
+
+  std::vector<double> s(n);
+  const double ss = waxpby(s, b, -0.5, x);
+  for (std::int32_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(s[i], b[i] - 0.5 * x[i]);
+  }
+  EXPECT_GE(ss, 0.0);
+
+  std::vector<double> acc = b;
+  axpy_product(2.0, w, x, acc);
+  for (std::int32_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(acc[i], b[i] + 2.0 * w[i] * x[i]);
+  }
+}
+
+TEST(Kernels, WorkspaceReuseAcrossSizesAndSolves) {
+  KrylovWorkspace ws;
+  ws.resize(10);
+  EXPECT_EQ(ws.size(), 10u);
+  EXPECT_EQ(ws.r.size(), 10u);
+  ws.resize(25);
+  EXPECT_EQ(ws.t.size(), 25u);
+  ws.resize(25);  // no-op
+  EXPECT_EQ(ws.sh.size(), 25u);
+
+  // The same workspace drives repeated solves correctly.
+  Rng rng(77);
+  const CsrMatrix a = random_dd(25, 0.2, /*symmetric=*/false, rng);
+  Ilu0Preconditioner m(a);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::vector<double> b = random_vec(25, rng);
+    std::vector<double> x(25, 0.0);
+    const auto res = bicgstab(a, b, x, m, {1e-12, 2000}, ws);
+    EXPECT_TRUE(res.converged);
+    std::vector<double> r(25);
+    EXPECT_LT(std::sqrt(residual(a, x, b, r)), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tac3d::sparse

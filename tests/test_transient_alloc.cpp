@@ -1,0 +1,157 @@
+// Asserts the zero-allocation contract of the solver hot path: once a
+// TransientSolver is constructed, step() must never touch the heap —
+// including steps that follow a flow-rate change (matrix value update +
+// in-place refactorization) — for every SolverKind.
+//
+// The hook replaces the global operator new/delete with counting
+// wrappers. Counting is scoped: only allocations between
+// AllocCounter::start() and AllocCounter::stop() are recorded, so gtest
+// bookkeeping outside the measured window does not interfere. Under
+// ASan/UBSan the replacement would fight the sanitizer's own allocator
+// interceptors, so the whole hook compiles away and the tests skip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "arch/mpsoc.hpp"
+#include "microchannel/pump.hpp"
+#include "thermal/transient.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TAC3D_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TAC3D_ALLOC_HOOK 0
+#else
+#define TAC3D_ALLOC_HOOK 1
+#endif
+#else
+#define TAC3D_ALLOC_HOOK 1
+#endif
+
+namespace {
+
+struct AllocCounter {
+  static std::atomic<long long> count;
+  static std::atomic<bool> active;
+
+  static void start() {
+    count.store(0, std::memory_order_relaxed);
+    active.store(true, std::memory_order_relaxed);
+  }
+  static long long stop() {
+    active.store(false, std::memory_order_relaxed);
+    return count.load(std::memory_order_relaxed);
+  }
+};
+
+std::atomic<long long> AllocCounter::count{0};
+std::atomic<bool> AllocCounter::active{false};
+
+}  // namespace
+
+#if TAC3D_ALLOC_HOOK
+
+void* operator new(std::size_t size) {
+  if (AllocCounter::active.load(std::memory_order_relaxed)) {
+    AllocCounter::count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // TAC3D_ALLOC_HOOK
+
+namespace tac3d {
+namespace {
+
+arch::Mpsoc3D make_soc() {
+  return arch::Mpsoc3D(arch::Mpsoc3D::Options{
+      2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{10, 10},
+      arch::NiagaraConfig::paper()});
+}
+
+void load_power(arch::Mpsoc3D& soc) {
+  std::vector<arch::CoreState> cores(soc.n_cores(),
+                                     {1.0, soc.chip().vf.max_level()});
+  soc.model().set_element_powers(soc.element_powers(cores, {}));
+}
+
+class TransientAllocTest
+    : public ::testing::TestWithParam<sparse::SolverKind> {};
+
+TEST_P(TransientAllocTest, StepIsAllocationFreeAtFixedFlow) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  auto soc = make_soc();
+  soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
+  load_power(soc);
+  thermal::TransientSolver sim(soc.model(), 0.25, GetParam());
+  sim.initialize_steady();
+  sim.step();  // settle any lazy first-step work before counting
+
+  AllocCounter::start();
+  for (int i = 0; i < 20; ++i) sim.step();
+  const long long allocs = AllocCounter::stop();
+  EXPECT_EQ(allocs, 0) << "TransientSolver::step() must not allocate";
+}
+
+TEST_P(TransientAllocTest, StepIsAllocationFreeAcrossFlowChanges) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  auto soc = make_soc();
+  auto pump = microchannel::PumpModel::table1();
+  soc.model().set_all_flows(pump.q_max());
+  load_power(soc);
+  thermal::TransientSolver sim(soc.model(), 0.25, GetParam());
+  sim.initialize_steady();
+  sim.step();
+
+  // A flow change dirties the matrix: the next step refreshes the
+  // factorization/preconditioner, which must also happen in place.
+  AllocCounter::start();
+  for (int i = 0; i < 10; ++i) {
+    soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+    sim.step();
+  }
+  const long long allocs = AllocCounter::stop();
+  EXPECT_EQ(allocs, 0)
+      << "flow update + refactor + step must not allocate";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolverKinds, TransientAllocTest,
+    ::testing::Values(sparse::SolverKind::kBandedLu,
+                      sparse::SolverKind::kBicgstabIlu0,
+                      sparse::SolverKind::kBicgstabJacobi));
+
+TEST(RhsInto, MatchesDeprecatedAllocatingRhs) {
+  auto soc = make_soc();
+  soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
+  load_power(soc);
+  std::vector<double> in_place(soc.model().node_count());
+  soc.model().rhs_into(in_place);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const std::vector<double> allocating = soc.model().rhs();
+#pragma GCC diagnostic pop
+  ASSERT_EQ(in_place.size(), allocating.size());
+  for (std::size_t i = 0; i < in_place.size(); ++i) {
+    EXPECT_DOUBLE_EQ(in_place[i], allocating[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tac3d
