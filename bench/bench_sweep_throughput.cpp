@@ -4,9 +4,12 @@
 // counters) so design-space-exploration throughput is tracked from PR 2
 // onward, and cross-checks that cache sharing does not perturb a single
 // bit of the metrics.
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -57,9 +60,17 @@ int main() {
     return sim::run_sweep(scenarios, opts);
   };
 
+  // The parallel leg measures real concurrency, so it never asks for
+  // more workers than physical cores: TAC3D_JOBS beyond the core count
+  // only timeshares a core between workers (that was the "parallel
+  // slower than serial" regression — 2 pinned jobs on a 1-core host).
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw_cores = hw_raw > 0 ? static_cast<int>(hw_raw) : 1;
+  const int parallel_jobs = std::min(sim::resolve_jobs(0), hw_cores);
+
   const sim::SweepReport cold = run(1, false);
   const sim::SweepReport cached = run(1, true);
-  const sim::SweepReport parallel = run(0, true);
+  const sim::SweepReport parallel = run(parallel_jobs, true);
 
   for (const auto* r : {&cold, &cached, &parallel}) {
     if (!r->all_ok()) {
@@ -85,7 +96,23 @@ int main() {
   bench::result_line("Distinct patterns analyzed",
                      static_cast<double>(cache->size()), "");
   bench::result_line("Cache hits", static_cast<double>(cache->hits()), "");
-  std::cout << "  Metrics bitwise identical across all runs: "
+
+  // Per-job utilization of the parallel run: busy/wall per worker. Low
+  // utilization means pool startup or imbalance; ~1.0 on every worker
+  // with no speedup means the workers are timesharing cores (the
+  // "TAC3D_JOBS > hardware cores" footgun — resolve_jobs honors the pin
+  // verbatim by design, which is why this bench clamps its parallel leg
+  // to physical cores itself, above).
+  const std::vector<double> util = parallel.job_utilization();
+  double util_min = 1.0, util_sum = 0.0;
+  std::cout << "  Parallel per-job utilization:";
+  for (std::size_t j = 0; j < util.size(); ++j) {
+    std::cout << " j" << j << "=" << fmt(util[j], 2);
+    util_min = std::min(util_min, util[j]);
+    util_sum += util[j];
+  }
+  const double util_avg = util.empty() ? 0.0 : util_sum / util.size();
+  std::cout << "\n  Metrics bitwise identical across all runs: "
             << (bitwise_ok ? "yes" : "NO — BUG") << "\n\n";
 
   bench::JsonObject root;
@@ -100,6 +127,9 @@ int main() {
       .set("parallel_cached_scenarios_per_sec",
            parallel.size() / parallel.wall_seconds())
       .set("parallel_jobs", parallel.jobs_used())
+      .set("hardware_cores", hw_cores)
+      .set("parallel_job_utilization_min", util_min)
+      .set("parallel_job_utilization_avg", util_avg)
       .set("structure_patterns", static_cast<int>(cache->size()))
       .set("structure_hits", static_cast<std::int64_t>(cache->hits()))
       .set("structure_misses", static_cast<std::int64_t>(cache->misses()))

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against a checked-in baseline.
+
+Two layers of gating, because the baselines are generated on a developer
+container while the gate runs on CI-class hardware:
+
+1. Scale-free ratio gates (strict, --threshold, default 30%): pairs of
+   throughput metrics from the same JSON object whose quotient is
+   machine-independent — flow-modulated vs fixed-flow stepping, cached
+   vs uncached and parallel vs serial sweep throughput. A >30% drop in
+   such a ratio is a genuine code regression regardless of host speed
+   (e.g. the flow-modulated path losing its lazy-refresh advantage).
+
+2. Absolute floor (loose, 3.3x = 1/0.30): any individual "*per_sec*"
+   metric collapsing to below 30% of its baseline fails even if every
+   metric moved together — machine variance between the baseline host
+   and CI runners is far smaller than that, so only a real uniform
+   regression (or a broken build) trips it.
+
+Everything else numeric is reported informationally.
+
+Usage: check_bench_regression.py BASELINE FRESH [--threshold 0.30]
+Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> same-object reference metric whose quotient is scale-free.
+RATIO_GATES = {
+    "steps_per_sec_flow_modulated": "steps_per_sec_fixed_flow",
+    "parallel_cached_scenarios_per_sec": "serial_cached_scenarios_per_sec",
+    "serial_cached_scenarios_per_sec": "serial_nocache_scenarios_per_sec",
+}
+
+ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails
+
+
+def numeric_leaves(tree, prefix=""):
+    """Yield (dotted_key, value) for every numeric leaf of a JSON tree."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from numeric_leaves(value, f"{prefix}{key}.")
+    elif isinstance(tree, bool):
+        return
+    elif isinstance(tree, (int, float)):
+        yield prefix.rstrip("."), float(tree)
+
+
+def leaf_name(dotted):
+    return dotted.rsplit(".", 1)[-1]
+
+
+def sibling(dotted, name):
+    head, _, _ = dotted.rpartition(".")
+    return f"{head}.{name}" if head else name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum allowed fractional drop of a "
+                             "scale-free throughput ratio")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = dict(numeric_leaves(json.load(f)))
+        with open(args.fresh) as f:
+            fresh = dict(numeric_leaves(json.load(f)))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    print(f"{'metric':58s} {'baseline':>14s} {'fresh':>14s} {'ratio':>7s}")
+    for key in sorted(baseline):
+        if key not in fresh:
+            print(f"{key:58s} {baseline[key]:14.4g} {'MISSING':>14s}")
+            if "per_sec" in key:
+                failures.append(f"{key}: missing from fresh run")
+            continue
+        old, new = baseline[key], fresh[key]
+        ratio = new / old if old else float("inf")
+        flag = "" if "per_sec" in key else "  (informational)"
+        if "per_sec" in key and old > 0 and ratio < ABSOLUTE_FLOOR:
+            failures.append(
+                f"{key}: {new:.4g} collapsed to {ratio:.2f}x of baseline "
+                f"{old:.4g} (absolute floor {ABSOLUTE_FLOOR:.2f}x)")
+            flag = "  << COLLAPSE"
+        print(f"{key:58s} {old:14.4g} {new:14.4g} {ratio:7.2f}{flag}")
+
+    print("\nScale-free ratio gates "
+          f"(fail below {1.0 - args.threshold:.2f}x of baseline ratio):")
+    for key in sorted(baseline):
+        ref_name = RATIO_GATES.get(leaf_name(key))
+        if ref_name is None:
+            continue
+        ref = sibling(key, ref_name)
+        if not all(k in d and d[k] > 0
+                   for k in (key, ref) for d in (baseline, fresh)):
+            continue
+        base_ratio = baseline[key] / baseline[ref]
+        fresh_ratio = fresh[key] / fresh[ref]
+        rel = fresh_ratio / base_ratio
+        flag = ""
+        if rel < 1.0 - args.threshold:
+            failures.append(
+                f"{key} / {ref_name}: ratio {fresh_ratio:.4g} is "
+                f"{100 * (1 - rel):.1f}% below baseline {base_ratio:.4g}")
+            flag = "  << REGRESSION"
+        scope = key.rpartition(".")[0] or "(top level)"
+        print(f"  {leaf_name(key)}/{ref_name} [{scope}]: "
+              f"{base_ratio:.4g} -> {fresh_ratio:.4g} ({rel:.2f}x){flag}")
+
+    if failures:
+        print("\nThroughput regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nNo throughput regression beyond "
+          f"{100 * args.threshold:.0f}% (ratio) / "
+          f"{100 * (1 - ABSOLUTE_FLOOR):.0f}% (absolute) tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

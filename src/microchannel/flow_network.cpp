@@ -1,6 +1,7 @@
 #include "microchannel/flow_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "sparse/csr.hpp"
@@ -119,6 +120,47 @@ double channel_conductance(const RectDuct& duct, double length,
   const double resistance =
       2.0 * c * fluid.viscosity * length / (duct.area() * dh * dh);
   return 1.0 / resistance;
+}
+
+std::vector<double> flow_fractions(const NetworkSolution& sol,
+                                   std::span<const std::int32_t> edges) {
+  std::vector<double> fractions(edges.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::int32_t e = edges[i];
+    require(e >= 0 && e < static_cast<std::int32_t>(sol.edge_flows.size()),
+            "flow_fractions: edge id out of range");
+    fractions[i] = std::abs(sol.edge_flows[e]);
+    total += fractions[i];
+  }
+  require(total > 0.0, "flow_fractions: zero aggregate flow");
+  for (double& f : fractions) f /= total;
+  return fractions;
+}
+
+std::vector<double> coarsen_fractions(std::span<const double> fractions,
+                                      int bins) {
+  require(bins > 0, "coarsen_fractions: bins must be positive");
+  require(!fractions.empty(), "coarsen_fractions: empty input");
+  const int m = static_cast<int>(fractions.size());
+  std::vector<double> out(static_cast<std::size_t>(bins), 0.0);
+  // Proportional overlap of fine bin [i/m, (i+1)/m) with coarse bin
+  // [b/bins, (b+1)/bins); conserves the total.
+  for (int i = 0; i < m; ++i) {
+    const double lo = static_cast<double>(i) / m;
+    const double hi = static_cast<double>(i + 1) / m;
+    for (int b = static_cast<int>(lo * bins); b < bins; ++b) {
+      const double blo = static_cast<double>(b) / bins;
+      const double bhi = static_cast<double>(b + 1) / bins;
+      if (blo >= hi) break;
+      const double overlap = std::min(hi, bhi) - std::max(lo, blo);
+      if (overlap > 0.0) {
+        out[static_cast<std::size_t>(b)] +=
+            fractions[static_cast<std::size_t>(i)] * overlap * m;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace tac3d::microchannel

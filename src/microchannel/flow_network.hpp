@@ -9,6 +9,7 @@
 /// distribution for uniform vs fluid-focused designs.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "microchannel/coolant.hpp"
@@ -65,5 +66,19 @@ class HydraulicNetwork {
 /// (laminar: Q = g dP).
 double channel_conductance(const RectDuct& duct, double length,
                            const Coolant& fluid);
+
+/// Normalized flow fractions of the listed edges of a solved network
+/// (|flow| per edge / total), e.g. the per-channel edges of a cavity
+/// distributor. Throws if the total flow is zero.
+std::vector<double> flow_fractions(const NetworkSolution& sol,
+                                   std::span<const std::int32_t> edges);
+
+/// Resample \p fractions (one value per fine bin, e.g. per channel) onto
+/// \p bins coarse bins (e.g. thermal grid columns) by proportional
+/// overlap; the result sums to the same total. Feed the result to
+/// thermal::RcModel::set_cavity_flow_profile to drive the RC model's
+/// advection from a hydraulic-network solve.
+std::vector<double> coarsen_fractions(std::span<const double> fractions,
+                                      int bins);
 
 }  // namespace tac3d::microchannel

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "microchannel/flow_network.hpp"
 
 namespace tac3d::microchannel {
 
@@ -135,6 +136,20 @@ double min_flow_for_limit(const ModulatedChannel& chan,
     (peak(mid) <= t_limit ? hi : lo) = mid;
   }
   return hi;
+}
+
+double modulated_channel_conductance(const ModulatedChannel& chan,
+                                     const Coolant& fluid) {
+  require(chan.segment_lengths.size() == chan.segment_widths.size() &&
+              !chan.segment_lengths.empty(),
+          "modulated_channel_conductance: malformed channel");
+  double resistance = 0.0;
+  for (std::size_t i = 0; i < chan.segment_lengths.size(); ++i) {
+    const RectDuct duct{chan.segment_widths[i], chan.height};
+    resistance += 1.0 / channel_conductance(duct, chan.segment_lengths[i],
+                                            fluid);
+  }
+  return 1.0 / resistance;
 }
 
 }  // namespace tac3d::microchannel

@@ -61,4 +61,14 @@ double min_flow_for_limit(const ModulatedChannel& chan,
                           const Coolant& fluid, double k_wall, double q_lo,
                           double q_hi);
 
+/// Aggregate hydraulic conductance of a width-modulated channel: its
+/// segments are resistances in series (1/g = sum of 1/g_i). Use as the
+/// per-channel edge conductance of a HydraulicNetwork to get the flow
+/// redistribution a width profile causes across a cavity's parallel
+/// channels (narrowed hot-spot channels draw less flow at equal head),
+/// then feed flow_fractions()/coarsen_fractions() of the solved network
+/// into thermal::RcModel::set_cavity_flow_profile.
+double modulated_channel_conductance(const ModulatedChannel& chan,
+                                     const Coolant& fluid);
+
 }  // namespace tac3d::microchannel

@@ -66,8 +66,10 @@ SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
       cores_, cfg_.init_iterations, cfg_.structure_cache.get());
 
   thermal_ = std::make_unique<thermal::TransientSolver>(
-      soc_.model(), cfg_.control_dt, cfg_.solver,
-      cfg_.structure_cache.get());
+      soc_.model(), cfg_.control_dt,
+      thermal::TransientSolver::Options{cfg_.solver,
+                                        cfg_.structure_cache.get(),
+                                        cfg_.refresh, cfg_.warm_start_slots});
   thermal_->set_state(std::move(temps));
 
   m_.core_hot_time.assign(n_cores_, 0.0);
@@ -167,6 +169,14 @@ SimMetrics SimulationSession::metrics() const {
   m.avg_flow_fraction =
       liquid_ && steps_done_ > 0 ? flow_fraction_acc_ / steps_done_ : 0.0;
   return m;
+}
+
+const sparse::SolverStats& SimulationSession::solver_stats() const {
+  return thermal_->solver_stats();
+}
+
+std::uint64_t SimulationSession::flow_updates() const {
+  return thermal_->system_operator().flow_updates();
 }
 
 std::span<const double> SimulationSession::temperatures() const {

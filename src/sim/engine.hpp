@@ -39,6 +39,12 @@ struct SimulationConfig {
   int init_iterations = 4;
   /// Linear solver strategy for the transient thermal steps.
   sparse::SolverKind solver = sparse::SolverKind::kBicgstabIlu0;
+  /// Staleness policy for factorization/preconditioner refreshes after
+  /// the policy loop changes the coolant flow (see sparse/refresh.hpp).
+  sparse::RefreshPolicy refresh;
+  /// Flow-transition warm-start slots of the transient solver (0
+  /// disables the predictor).
+  int warm_start_slots = 16;
   /// Optional symbolic-structure cache shared between sessions (the
   /// sweep runner injects one so same-geometry scenarios reuse the RCM
   /// ordering and ILU/banded symbolic analysis). Null = private
@@ -96,6 +102,14 @@ class SimulationSession {
 
   /// Active pump level (-1 for air-cooled stacks).
   int pump_level() const { return pump_level_; }
+
+  /// Refresh/solve counters of the transient thermal solver (how often
+  /// the policy loop's flow changes forced a refactor, Krylov iteration
+  /// totals, ...).
+  const sparse::SolverStats& solver_stats() const;
+
+  /// Flow updates the thermal operator absorbed as indexed rewrites.
+  std::uint64_t flow_updates() const;
 
   const SimulationConfig& config() const { return cfg_; }
   const arch::Mpsoc3D& soc() const { return soc_; }

@@ -19,6 +19,23 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Rough relative cost of a scenario for longest-processing-time-first
+/// scheduling: thermal cells x control steps, weighted up for policies
+/// that modulate the coolant flow (costlier thermal steps). Only the
+/// ordering matters, not the absolute scale.
+double estimated_cost(const Scenario& s) {
+  const double layers_per_tier = 3.5;  // bulk + interface (+ cavity)
+  const double cells = static_cast<double>(s.grid.rows) * s.grid.cols *
+                       (layers_per_tier * s.tiers + 1.0);
+  const double dt = s.sim.control_dt > 0.0 ? s.sim.control_dt : 0.25;
+  const double duration =
+      s.sim.duration > 0.0 ? s.sim.duration
+                           : static_cast<double>(s.trace_seconds);
+  const double flow_weight =
+      s.policy == PolicyKind::kLcFuzzy ? 2.0 : 1.0;
+  return cells * (duration / dt) * flow_weight;
+}
+
 }  // namespace
 
 int resolve_jobs(int requested) {
@@ -69,6 +86,25 @@ SweepReport& SweepReport::sort_by(
   return *this;
 }
 
+std::vector<double> SweepReport::job_busy_seconds() const {
+  std::vector<double> busy(static_cast<std::size_t>(std::max(1, jobs_used_)),
+                           0.0);
+  for (const SweepResult& r : results_) {
+    if (r.worker >= 0 && r.worker < static_cast<int>(busy.size())) {
+      busy[static_cast<std::size_t>(r.worker)] += r.wall_seconds;
+    }
+  }
+  return busy;
+}
+
+std::vector<double> SweepReport::job_utilization() const {
+  std::vector<double> util = job_busy_seconds();
+  if (wall_seconds_ > 0.0) {
+    for (double& u : util) u /= wall_seconds_;
+  }
+  return util;
+}
+
 SweepReport& SweepReport::sort_by_index() {
   std::stable_sort(results_.begin(), results_.end(),
                    [](const SweepResult& a, const SweepResult& b) {
@@ -116,20 +152,38 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     if (cache && !results[i].scenario.sim.structure_cache) {
       results[i].scenario.sim.structure_cache = cache;
     }
+    if (opts.refresh) {
+      results[i].scenario.sim.refresh = *opts.refresh;
+    }
   }
 
   const int jobs = std::max(
       1, std::min<int>(resolve_jobs(opts.jobs),
                        static_cast<int>(scenarios.size())));
 
+  // Work order: input order when serial (progressive on_result output in
+  // the order the caller wrote); longest-estimated-first when parallel,
+  // so one expensive scenario picked up last cannot serialize the tail
+  // of the sweep. Results stay in input order either way.
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (jobs > 1) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return estimated_cost(scenarios[a]) >
+                              estimated_cost(scenarios[b]);
+                     });
+  }
+
   std::atomic<std::size_t> next{0};
   std::mutex report_mutex;
 
-  auto worker = [&] {
+  auto worker = [&](int worker_id) {
     for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= results.size()) return;
-      SweepResult& r = results[i];
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= order.size()) return;
+      SweepResult& r = results[order[slot]];
+      r.worker = worker_id;
       const auto t0 = std::chrono::steady_clock::now();
       try {
         r.metrics = run_scenario(r.scenario);
@@ -147,11 +201,11 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
   };
 
   if (jobs == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker, j);
     for (std::thread& t : pool) t.join();
   }
 

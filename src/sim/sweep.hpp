@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ namespace tac3d::sim {
 ///                               parses to a positive integer;
 ///   otherwise                -> std::thread::hardware_concurrency()
 ///                               (at least 1).
+/// Both explicit requests and TAC3D_JOBS are honored verbatim (CI pins
+/// the count for cross-machine comparability). Scenarios are CPU-bound,
+/// so asking for more workers than cores only timeshares them —
+/// SweepReport::job_utilization() makes that visible (every worker ~1.0
+/// busy yet no speedup).
 int resolve_jobs(int requested);
 
 /// Outcome of one scenario of a sweep.
@@ -35,6 +41,7 @@ struct SweepResult {
   Scenario scenario;
   SimMetrics metrics;        ///< valid when ok()
   double wall_seconds = 0.0; ///< wall-clock time of this scenario
+  int worker = -1;           ///< pool worker that ran it (0-based)
   std::string error;         ///< exception text; empty on success
 
   bool ok() const { return error.empty(); }
@@ -58,6 +65,10 @@ struct SweepOptions {
   /// creates a fresh one for this sweep. Scenarios that already carry
   /// their own cache keep it.
   std::shared_ptr<sparse::StructureCache> structure_cache;
+  /// When set, every scenario's SimulationConfig::refresh is overridden
+  /// with this staleness policy (e.g. RefreshPolicy::eager() for an
+  /// always-refactor reference run).
+  std::optional<sparse::RefreshPolicy> refresh;
 };
 
 /// Results of a sweep, in input order, with sort/report helpers.
@@ -94,6 +105,14 @@ class SweepReport {
 
   int jobs_used() const { return jobs_used_; }
   double wall_seconds() const { return wall_seconds_; }
+
+  /// Per-worker busy time [s] (sum of scenario walls, jobs_used entries);
+  /// busy/wall close to 1 for every worker means the pool was neither
+  /// starved nor imbalanced.
+  std::vector<double> job_busy_seconds() const;
+
+  /// Per-worker utilization busy/wall in [0, 1].
+  std::vector<double> job_utilization() const;
 
   /// The structure cache the sweep ran with (null when sharing was off);
   /// exposes hit/miss counters for benches and telemetry.

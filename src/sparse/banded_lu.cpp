@@ -51,21 +51,35 @@ BandedLu::BandedLu(const CsrMatrix& a, std::vector<std::int32_t> perm) {
   factor(a);
 }
 
-void BandedLu::load(const CsrMatrix& a) {
-  std::fill(data_.begin(), data_.end(), 0.0);
+void BandedLu::load(const CsrMatrix& a, std::int32_t first_row) {
+  std::fill(data_.begin() + static_cast<std::size_t>(first_row) * stride_,
+            data_.end(), 0.0);
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto v = a.values();
-  for (std::int32_t r = 0; r < n_; ++r) {
-    const std::int32_t pr = inv_perm_[r];
+  if (first_row == 0) {
+    // Full load: walk the CSR rows in storage order (streams the value
+    // array; the band writes are the scattered side).
+    for (std::int32_t r = 0; r < n_; ++r) {
+      const std::int32_t pr = inv_perm_[r];
+      for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+        band(pr, inv_perm_[ci[k]]) = v[k];
+      }
+    }
+    return;
+  }
+  // Partial load: walk permuted rows [first_row, n) so only the band
+  // tail is touched (perm_ maps new -> old).
+  for (std::int32_t pr = first_row; pr < n_; ++pr) {
+    const std::int32_t r = perm_[pr];
     for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
       band(pr, inv_perm_[ci[k]]) = v[k];
     }
   }
 }
 
-void BandedLu::eliminate() {
-  for (std::int32_t i = 1; i < n_; ++i) {
+void BandedLu::eliminate(std::int32_t first_row) {
+  for (std::int32_t i = std::max(std::int32_t{1}, first_row); i < n_; ++i) {
     const std::int32_t k_lo = std::max(std::int32_t{0}, i - kl_);
     for (std::int32_t k = k_lo; k < i; ++k) {
       const double pivot = band(k, k);
@@ -86,8 +100,25 @@ void BandedLu::eliminate() {
 
 void BandedLu::factor(const CsrMatrix& a) {
   require(a.rows() == n_ && a.cols() == n_, "BandedLu::factor: size mismatch");
-  load(a);
-  eliminate();
+  load(a, 0);
+  eliminate(0);
+}
+
+std::int32_t BandedLu::first_permuted_row(
+    std::span<const std::int32_t> rows) const {
+  std::int32_t first = n_;
+  for (const std::int32_t r : rows) first = std::min(first, inv_perm_[r]);
+  return first;
+}
+
+void BandedLu::factor_rows(const CsrMatrix& a,
+                           std::span<const std::int32_t> dirty_rows) {
+  require(a.rows() == n_ && a.cols() == n_,
+          "BandedLu::factor_rows: size mismatch");
+  const std::int32_t first = first_permuted_row(dirty_rows);
+  if (first >= n_) return;  // nothing changed
+  load(a, first);
+  eliminate(first);
 }
 
 void BandedLu::solve(std::span<const double> b, std::span<double> x) const {

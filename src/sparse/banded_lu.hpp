@@ -35,6 +35,18 @@ class BandedLu {
   /// as the matrix used at construction.
   void factor(const CsrMatrix& a);
 
+  /// Partial refactor after an in-place value update that touched only
+  /// \p dirty_rows (original, unpermuted indices): band rows above the
+  /// first dirty permuted row keep their LU values (elimination of row i
+  /// reads only rows k < i), so only the tail [first_dirty, n) is
+  /// reloaded and re-eliminated. Bitwise identical to a full factor().
+  void factor_rows(const CsrMatrix& a,
+                   std::span<const std::int32_t> dirty_rows);
+
+  /// Smallest permuted index over \p rows (n if empty) — the row a
+  /// partial refactor restarts from.
+  std::int32_t first_permuted_row(std::span<const std::int32_t> rows) const;
+
   /// Solve A x = b. \p x and \p b may alias.
   void solve(std::span<const double> b, std::span<double> x) const;
 
@@ -49,8 +61,8 @@ class BandedLu {
   double band(std::int32_t i, std::int32_t j) const {
     return data_[static_cast<std::size_t>(i) * stride_ + (j - i + kl_)];
   }
-  void load(const CsrMatrix& a);
-  void eliminate();
+  void load(const CsrMatrix& a, std::int32_t first_row);
+  void eliminate(std::int32_t first_row);
 
   std::int32_t n_ = 0;
   std::int32_t kl_ = 0;

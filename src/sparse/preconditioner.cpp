@@ -35,6 +35,23 @@ void JacobiPreconditioner::refactor(const CsrMatrix& a) {
   }
 }
 
+void JacobiPreconditioner::refactor_rows(const CsrMatrix& a,
+                                         std::span<const std::int32_t> rows) {
+  require(static_cast<std::size_t>(a.rows()) == inv_diag_.size(),
+          "JacobiPreconditioner::refactor_rows: size mismatch");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (const std::int32_t r : rows) {
+    double d = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) d = v[k];
+    }
+    require(d != 0.0, "JacobiPreconditioner: zero diagonal entry");
+    inv_diag_[r] = 1.0 / d;
+  }
+}
+
 void JacobiPreconditioner::apply(std::span<const double> r,
                                  std::span<double> z) const {
   require(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),

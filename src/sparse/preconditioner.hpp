@@ -42,6 +42,10 @@ class JacobiPreconditioner final : public Preconditioner {
   /// pattern (no allocation).
   void refactor(const CsrMatrix& a);
 
+  /// Recompute only the listed rows of the inverse diagonal — exact and
+  /// O(|rows|), for value updates that touched a known row subset.
+  void refactor_rows(const CsrMatrix& a, std::span<const std::int32_t> rows);
+
   void apply(std::span<const double> r, std::span<double> z) const override;
 
  private:

@@ -1,0 +1,76 @@
+#pragma once
+/// \file refresh.hpp
+/// \brief Staleness-aware refresh contract between in-place matrix value
+/// updates and the solvers bound to them.
+///
+/// A flow-rate change rewrites a small, known subset of the system
+/// matrix's values (see thermal::ThermalOperator). Rebuilding the
+/// factorization or preconditioner on every such change is what made
+/// flow-modulated stepping ~85x slower than fixed-flow stepping, so the
+/// solvers instead receive a ValueUpdate describing what changed and
+/// decide per strategy:
+///
+///  - BiCGSTAB+ILU(0) keeps the stale factors (a preconditioner only
+///    steers convergence; the solve tolerance still guarantees the
+///    answer) and refactors only when the iteration count degrades past
+///    RefreshPolicy::max_iteration_growth or the distinct-dirty-row
+///    fraction exceeds RefreshPolicy::max_dirty_fraction.
+///  - BiCGSTAB+Jacobi refreshes exactly the dirty rows of the inverse
+///    diagonal (exact and O(dirty)).
+///  - BandedLu re-eliminates only from the first dirty permuted row
+///    (exact: LU rows above the first changed row are unaffected).
+
+#include <cstdint>
+#include <span>
+
+namespace tac3d::sparse {
+
+/// Description of an in-place value update on an unchanged sparsity
+/// pattern: which rows changed and how much of the matrix that is.
+struct ValueUpdate {
+  /// Rows whose stored values changed (unsorted, no duplicates). An
+  /// empty span with dirty_fraction > 0 means "unknown rows" and forces
+  /// a full refresh.
+  std::span<const std::int32_t> rows{};
+  /// Changed entries / nnz for this update.
+  double dirty_fraction = 0.0;
+};
+
+/// When should a solver rebuild its factorization/preconditioner after
+/// in-place value updates?
+struct RefreshPolicy {
+  /// false restores the eager pre-operator behavior: every value update
+  /// triggers a full refactor (used as the reference in tests/benches).
+  bool lazy = true;
+  /// Refactor once the fraction of distinct rows dirtied since the last
+  /// refactor exceeds this bound (iterative solvers only; the direct
+  /// banded solver is always refreshed exactly).
+  double max_dirty_fraction = 0.5;
+  /// Refactor when a solve takes more than
+  ///   max_iteration_growth * iterations-after-last-refactor
+  ///     + iteration_slack
+  /// iterations while stale.
+  double max_iteration_growth = 3.0;
+  std::int32_t iteration_slack = 8;
+
+  static RefreshPolicy eager() {
+    RefreshPolicy p;
+    p.lazy = false;
+    return p;
+  }
+};
+
+/// Counters a LinearSolver keeps about its refresh/solve behavior.
+struct SolverStats {
+  std::uint64_t solves = 0;
+  std::uint64_t iterations = 0;   ///< cumulative Krylov iterations (0 = direct)
+  std::uint64_t refactors = 0;    ///< full factorization/preconditioner rebuilds
+  std::uint64_t partial_refactors = 0;  ///< band-tail / dirty-row refreshes
+  std::uint64_t deferred_updates = 0;   ///< updates absorbed without refactor
+  std::uint64_t retries = 0;  ///< solves redone after a stale-factor failure
+  std::int32_t last_iterations = 0;
+  /// Distinct rows dirtied since the last (full) refactor / rows.
+  double pending_dirty_fraction = 0.0;
+};
+
+}  // namespace tac3d::sparse

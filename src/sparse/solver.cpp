@@ -1,5 +1,8 @@
 #include "sparse/solver.hpp"
 
+#include <algorithm>
+#include <type_traits>
+
 #include "common/error.hpp"
 #include "sparse/banded_lu.hpp"
 #include "sparse/iterative.hpp"
@@ -15,10 +18,31 @@ class BandedLuSolver final : public LinearSolver {
                  std::shared_ptr<const SymbolicStructure> structure)
       : structure_(std::move(structure)), lu_(a, structure_.get()) {}
 
-  void update_values(const CsrMatrix& a) override { lu_.factor(a); }
+  void update_values(const CsrMatrix& a) override {
+    lu_.factor(a);
+    ++stats_.refactors;
+  }
+
+  void update_values(const CsrMatrix& a, const ValueUpdate& update) override {
+    if (update.rows.empty() && update.dirty_fraction == 0.0) return;
+    // A direct factorization must always be exact, but the partial
+    // refactor is exact too: LU rows above the first dirty permuted row
+    // are unaffected by the change, so only the band tail is redone.
+    if (!policy_.lazy || update.rows.empty()) {
+      update_values(a);
+      return;
+    }
+    lu_.factor_rows(a, update.rows);
+    ++stats_.partial_refactors;
+  }
 
   void solve(std::span<const double> b, std::span<double> x) override {
     lu_.solve(b, x);
+    ++stats_.solves;
+  }
+
+  void set_refresh_policy(const RefreshPolicy& policy) override {
+    policy_ = policy;
   }
 
   const char* name() const override { return "banded-lu(rcm)"; }
@@ -26,6 +50,7 @@ class BandedLuSolver final : public LinearSolver {
  private:
   std::shared_ptr<const SymbolicStructure> structure_;
   BandedLu lu_;
+  RefreshPolicy policy_;
 };
 
 template <typename Precond>
@@ -39,30 +64,112 @@ class BicgstabSolver final : public LinearSolver {
         precond_(a, structure_.get()),
         name_(name) {
     ws_.resize(static_cast<std::size_t>(a.rows()));
+    row_dirty_.assign(static_cast<std::size_t>(a.rows()), 0);
+    warm_start_.assign(static_cast<std::size_t>(a.rows()), 0.0);
   }
 
   void update_values(const CsrMatrix& a) override {
     a_ = &a;
-    precond_.refactor(a);
+    refactor_now(a);
+  }
+
+  void update_values(const CsrMatrix& a, const ValueUpdate& update) override {
+    a_ = &a;
+    if (update.rows.empty() && update.dirty_fraction == 0.0) return;
+    if (!policy_.lazy || update.rows.empty()) {
+      refactor_now(a);
+      return;
+    }
+    if constexpr (std::is_same_v<Precond, JacobiPreconditioner>) {
+      // The inverse diagonal over the dirty rows IS the exact refresh.
+      precond_.refactor_rows(a, update.rows);
+      ++stats_.partial_refactors;
+      return;
+    }
+    // ILU(0): leave the factors stale — the solve tolerance still
+    // guarantees the answer — and track how dirty they have become.
+    ++stats_.deferred_updates;
+    for (const std::int32_t r : update.rows) {
+      if (!row_dirty_[static_cast<std::size_t>(r)]) {
+        row_dirty_[static_cast<std::size_t>(r)] = 1;
+        ++dirty_rows_;
+      }
+    }
+    stats_.pending_dirty_fraction =
+        static_cast<double>(dirty_rows_) / static_cast<double>(a.rows());
+    if (stats_.pending_dirty_fraction > policy_.max_dirty_fraction) {
+      refactor_now(a);
+    }
   }
 
   void solve(std::span<const double> b, std::span<double> x) override {
     IterativeOptions opts;
     opts.rel_tolerance = 1e-12;
     opts.max_iterations = 5000;
-    const IterativeResult res = bicgstab(*a_, b, x, precond_, opts, ws_);
+    const bool stale = stats_.pending_dirty_fraction > 0.0;
+    if (stale) {
+      // Keep the caller's warm start so a diverged stale attempt (which
+      // mutates x in place, possibly to NaN) can be retried cleanly.
+      std::copy(x.begin(), x.end(), warm_start_.begin());
+    }
+    IterativeResult res = bicgstab(*a_, b, x, precond_, opts, ws_);
+    if (!res.converged && stale) {
+      // The stale preconditioner is the likely culprit; refresh, restore
+      // the original warm start and retry once before giving up.
+      refactor_now(*a_);
+      ++stats_.retries;
+      std::copy(warm_start_.begin(), warm_start_.end(), x.begin());
+      res = bicgstab(*a_, b, x, precond_, opts, ws_);
+    }
     if (!res.converged) {
       throw NumericalError("BicgstabSolver: failed to converge");
     }
+    ++stats_.solves;
+    stats_.iterations += static_cast<std::uint64_t>(res.iterations);
+    stats_.last_iterations = res.iterations;
+    if (fresh_iterations_ < 0 && stats_.pending_dirty_fraction == 0.0) {
+      fresh_iterations_ = res.iterations;
+    }
+    if (stats_.pending_dirty_fraction > 0.0) {
+      // Iteration-degradation trigger: refresh now so the NEXT stale
+      // solve starts from current factors.
+      const double limit =
+          policy_.max_iteration_growth *
+              std::max(std::int32_t{1}, fresh_iterations_) +
+          policy_.iteration_slack;
+      if (static_cast<double>(res.iterations) > limit) refactor_now(*a_);
+    }
+  }
+
+  bool uses_initial_guess() const override { return true; }
+
+  void set_refresh_policy(const RefreshPolicy& policy) override {
+    policy_ = policy;
   }
 
   const char* name() const override { return name_; }
 
  private:
+  void refactor_now(const CsrMatrix& a) {
+    precond_.refactor(a);
+    ++stats_.refactors;
+    stats_.pending_dirty_fraction = 0.0;
+    if (dirty_rows_ > 0) {
+      std::fill(row_dirty_.begin(), row_dirty_.end(), std::uint8_t{0});
+      dirty_rows_ = 0;
+    }
+    fresh_iterations_ = -1;  // re-baseline on the next clean solve
+  }
+
   const CsrMatrix* a_;
   std::shared_ptr<const SymbolicStructure> structure_;
   Precond precond_;
   KrylovWorkspace ws_;
+  RefreshPolicy policy_;
+  std::vector<std::uint8_t> row_dirty_;  ///< distinct rows dirty since refactor
+  std::vector<double> warm_start_;  ///< saved x for the stale-solve retry
+  std::int32_t dirty_rows_ = 0;
+  std::int32_t fresh_iterations_ = -1;  ///< iterations right after a refactor
   const char* name_;
 };
 

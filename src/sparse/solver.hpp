@@ -10,11 +10,18 @@
 /// free. An optional shared SymbolicStructure (see structure_cache.hpp)
 /// lets solvers bound to matrices with the same sparsity pattern skip
 /// the symbolic analysis.
+///
+/// Value updates come in two flavors: the legacy full update_values(a)
+/// eagerly refreshes the factorization, while the incremental overload
+/// takes a ValueUpdate (which rows changed, how dirty the matrix is) and
+/// lets each strategy refresh lazily or partially under its
+/// RefreshPolicy (see refresh.hpp).
 
 #include <memory>
 #include <span>
 
 #include "sparse/csr.hpp"
+#include "sparse/refresh.hpp"
 #include "sparse/structure_cache.hpp"
 
 namespace tac3d::sparse {
@@ -33,16 +40,42 @@ class LinearSolver {
  public:
   virtual ~LinearSolver() = default;
 
-  /// Refresh internal state after the bound matrix's values changed.
-  /// Never allocates: factors and preconditioners update in place.
+  /// Eagerly refresh internal state after the bound matrix's values
+  /// changed. Never allocates: factors and preconditioners update in
+  /// place.
   virtual void update_values(const CsrMatrix& a) = 0;
+
+  /// Incremental notification: the bound matrix's values changed only in
+  /// \p update.rows. The solver refreshes under its RefreshPolicy —
+  /// lazily (iterative: keep stale factors until they hurt), partially
+  /// (Jacobi dirty rows, banded tail re-elimination) or fully. Never
+  /// allocates. The default forwards to the eager update_values(a).
+  virtual void update_values(const CsrMatrix& a, const ValueUpdate& update) {
+    (void)update;
+    update_values(a);
+  }
 
   /// Solve A x = b; \p x may carry a warm-start guess for iterative
   /// solvers (ignored by direct ones). Never allocates.
   virtual void solve(std::span<const double> b, std::span<double> x) = 0;
 
+  /// Does solve() exploit the initial content of x? (False for direct
+  /// solvers — callers can skip computing a warm-start guess.)
+  virtual bool uses_initial_guess() const { return false; }
+
+  /// Staleness policy for the incremental update_values overload.
+  virtual void set_refresh_policy(const RefreshPolicy& policy) {
+    (void)policy;
+  }
+
+  /// Refresh/solve counters (all zero for strategies that don't track).
+  const SolverStats& stats() const { return stats_; }
+
   /// Human-readable solver name for logs and benches.
   virtual const char* name() const = 0;
+
+ protected:
+  SolverStats stats_;
 };
 
 /// Create a solver of the requested kind bound to \p a. A non-null

@@ -26,9 +26,13 @@ RcModel::RcModel(StackSpec spec, GridOptions opts)
     : grid_(std::move(spec), opts) {
   cavity_flow_.assign(n_cavities(), 0.0);
   cavity_adv_.resize(n_cavities());
+  cavity_rho_cp_.assign(n_cavities(), 0.0);
+  cavity_share_.resize(n_cavities());
+  cavity_state_.assign(n_cavities(), 0);
+  cavity_profile_.assign(n_cavities(), 0);
   element_power_.assign(grid_.element_count(), 0.0);
   assemble();
-  apply_flows();
+  for (int cav = 0; cav < n_cavities(); ++cav) apply_cavity_flow(cav);
 }
 
 int RcModel::cavity_grid_layer(int cavity) const {
@@ -259,13 +263,17 @@ void RcModel::assemble() {
     if (gl.kind != LayerKind::kCavity) continue;
     auto& entries = cavity_adv_[gl.cavity_id];
     const double rho_cp = coef[gl.cavity_id].mcp_per_flow;
+    cavity_rho_cp_[gl.cavity_id] = rho_cp;
+    cavity_share_[gl.cavity_id].assign(C, 0.0);
     for (int c = 0; c < C; ++c) {
       const double share = grid_.column_flow_share(c);
       if (share <= 0.0) continue;
+      cavity_share_[gl.cavity_id][c] = share;
       for (int r = 0; r < R; ++r) {
         AdvectionEntry e;
         e.node = grid_.cell_node(l, r, c);
         e.upstream = r > 0 ? grid_.cell_node(l, r - 1, c) : -1;
+        e.col = c;
         e.unit = rho_cp * share;
         // Reserve the matrix pattern: diagonal exists via couplings;
         // the upstream entry may not, so add an explicit zero.
@@ -292,28 +300,26 @@ void RcModel::assemble() {
   }
 }
 
-void RcModel::apply_flows() {
-  // Reset to the static values, then add the advection terms through the
-  // indices precomputed in assemble() (no per-entry pattern search).
-  std::copy(g_static_.values().begin(), g_static_.values().end(),
-            g_.values_mut().begin());
-  std::fill(rhs_flow_.begin(), rhs_flow_.end(), 0.0);
+void RcModel::apply_cavity_flow(int cavity) {
+  // Absolute indexed rewrite of one cavity's advection values on top of
+  // the static part: touches exactly that cavity's entries (each fluid
+  // node owns one entry, so "static + unit*q" needs no accumulation) —
+  // no re-assembly, no full-matrix reset, no allocation.
   const double t_in = grid_.spec().coolant_inlet;
+  const double q = cavity_flow_[cavity];
   const std::span<double> v = g_.values_mut();
-  for (int cav = 0; cav < n_cavities(); ++cav) {
-    const double q = cavity_flow_[cav];
-    if (q <= 0.0) continue;
-    for (const AdvectionEntry& e : cavity_adv_[cav]) {
-      const double a = e.unit * q;
-      v[e.diag_vidx] += a;
-      if (e.upstream_vidx >= 0) {
-        v[e.upstream_vidx] -= a;
-      } else {
-        rhs_flow_[e.node] += a * t_in;
-      }
+  const std::span<const double> s = g_static_.values();
+  for (const AdvectionEntry& e : cavity_adv_[cavity]) {
+    const double a = e.unit * q;
+    v[e.diag_vidx] = s[e.diag_vidx] + a;
+    if (e.upstream_vidx >= 0) {
+      v[e.upstream_vidx] = s[e.upstream_vidx] - a;
+    } else {
+      rhs_flow_[e.node] = a * t_in;
     }
   }
   ++version_;
+  ++cavity_state_[cavity];
 }
 
 void RcModel::set_element_powers(std::span<const double> watts) {
@@ -348,17 +354,52 @@ void RcModel::set_cavity_flow(int cavity, double q_m3s) {
   require(q_m3s >= 0.0, "RcModel::set_cavity_flow: negative flow");
   if (cavity_flow_[cavity] == q_m3s) return;
   cavity_flow_[cavity] = q_m3s;
-  apply_flows();
+  apply_cavity_flow(cavity);
 }
 
 void RcModel::set_all_flows(double q_m3s) {
   require(q_m3s >= 0.0, "RcModel::set_all_flows: negative flow");
-  bool changed = false;
-  for (double& q : cavity_flow_) {
-    changed = changed || q != q_m3s;
-    q = q_m3s;
+  for (int cav = 0; cav < n_cavities(); ++cav) {
+    if (cavity_flow_[cav] == q_m3s) continue;
+    cavity_flow_[cav] = q_m3s;
+    apply_cavity_flow(cav);
   }
-  if (changed) apply_flows();
+}
+
+void RcModel::set_cavity_flow_profile(int cavity,
+                                      std::span<const double> shares) {
+  require(cavity >= 0 && cavity < n_cavities(),
+          "RcModel::set_cavity_flow_profile: cavity out of range");
+  require(static_cast<int>(shares.size()) == grid_.cols(),
+          "RcModel::set_cavity_flow_profile: one share per grid column");
+  // Columns without fluid cells cannot take flow (the advection pattern
+  // is fixed at assembly): their share is dropped and the remainder
+  // renormalized, so a profile resampled from a finer channel bank
+  // (coarsen_fractions) can be passed in directly.
+  double sum = 0.0;
+  for (int c = 0; c < grid_.cols(); ++c) {
+    require(shares[c] >= 0.0,
+            "RcModel::set_cavity_flow_profile: negative share");
+    if (grid_.column_flow_share(c) > 0.0) sum += shares[c];
+  }
+  require(sum > 0.0,
+          "RcModel::set_cavity_flow_profile: no flow left on columns "
+          "with fluid cells");
+  std::vector<double>& cur = cavity_share_[cavity];
+  bool changed = false;
+  for (int c = 0; c < grid_.cols(); ++c) {
+    const double normalized =
+        grid_.column_flow_share(c) > 0.0 ? shares[c] / sum : 0.0;
+    changed = changed || cur[c] != normalized;
+    cur[c] = normalized;
+  }
+  if (!changed) return;
+  const double rho_cp = cavity_rho_cp_[cavity];
+  for (AdvectionEntry& e : cavity_adv_[cavity]) {
+    e.unit = rho_cp * cur[e.col];
+  }
+  ++cavity_profile_[cavity];
+  apply_cavity_flow(cavity);
 }
 
 void RcModel::rhs_into(std::span<double> out) const {
@@ -387,12 +428,6 @@ void RcModel::rhs_plus_scaled_into(std::span<double> out,
   for (std::size_t i = 0; i < n; ++i) {
     o[i] = p[i] + s[i] + f[i] + c[i] * xs[i];
   }
-}
-
-std::vector<double> RcModel::rhs() const {
-  std::vector<double> out(power_rhs_.size());
-  rhs_into(out);
-  return out;
 }
 
 std::vector<double> RcModel::steady_state(sparse::SolverKind kind,
@@ -449,9 +484,10 @@ double RcModel::cavity_outlet_temp(std::span<const double> temps,
                                    int cavity) const {
   const int l = cavity_grid_layer(cavity);
   const int r = grid_.rows() - 1;
+  const std::vector<double>& share = cavity_share_[cavity];
   double acc = 0.0;
   for (int c = 0; c < grid_.cols(); ++c) {
-    acc += grid_.column_flow_share(c) * temps[grid_.cell_node(l, r, c)];
+    acc += share[c] * temps[grid_.cell_node(l, r, c)];
   }
   return acc;
 }

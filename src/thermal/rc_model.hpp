@@ -24,6 +24,25 @@
 
 namespace tac3d::thermal {
 
+/// One first-order-upwind advection contribution of a fluid cell: the
+/// coefficient `unit * Q` is added to the diagonal of \p node and
+/// subtracted from the (\p node, \p upstream) entry (or credited to the
+/// inlet RHS when \p upstream is -1). The value-array indices are
+/// resolved once at assembly and are the *contract* of the flow-update
+/// path: any matrix that copies the conductance pattern (e.g. the
+/// backward-Euler operator, see thermal/operator.hpp) can apply a flow
+/// change as a straight indexed value rewrite through them.
+struct AdvectionEntry {
+  std::int32_t node;
+  std::int32_t upstream;  ///< -1 = inlet boundary
+  std::int32_t col;       ///< grid column (flow-share profile index)
+  double unit;            ///< coefficient per unit cavity flow [W s/(K m^3)]
+  /// Positions in the conductance values() array (same pattern => same
+  /// positions), so flow updates need no per-entry pattern search.
+  std::int64_t diag_vidx = -1;
+  std::int64_t upstream_vidx = -1;  ///< -1 = inlet boundary
+};
+
 /// Assembled RC network with runtime-adjustable power and flow.
 class RcModel {
  public:
@@ -53,14 +72,56 @@ class RcModel {
 
   double cavity_flow(int cavity) const { return cavity_flow_[cavity]; }
 
-  /// Monotone counter bumped whenever the system matrix changes
-  /// (i.e. on flow-rate updates); lets cached factorizations detect
-  /// staleness.
+  /// Redistribute one cavity's flow across the grid columns (e.g. from a
+  /// fluid-focusing microchannel::HydraulicNetwork solve): \p shares has
+  /// one non-negative weight per grid column. Weights on columns that
+  /// carry no fluid are dropped (the advection pattern is fixed at
+  /// assembly) and the rest normalized to sum to 1, so a profile
+  /// resampled with microchannel::coarsen_fractions can be passed in
+  /// as-is. Applied as the same indexed value rewrite as a flow-rate
+  /// change.
+  void set_cavity_flow_profile(int cavity, std::span<const double> shares);
+
+  /// Current per-column flow share of a cavity (sums to 1).
+  std::span<const double> cavity_flow_shares(int cavity) const {
+    return cavity_share_[cavity];
+  }
+
+  /// Monotone counter bumped whenever the system matrix changes (any
+  /// cavity's flow rate or column profile). A coarse change counter for
+  /// external observers; the staleness contract of the solver path is
+  /// the per-cavity cavity_flow_state() below (which identifies *which*
+  /// cavities changed, see thermal::ThermalOperator::update_flow).
   std::uint64_t version() const { return version_; }
+
+  /// Monotone per-cavity counter bumped when that cavity's flow rate or
+  /// column profile changes; mirrors of the advection values (see
+  /// thermal::ThermalOperator) use it to sync only the changed cavities.
+  std::uint64_t cavity_flow_state(int cavity) const {
+    return cavity_state_[cavity];
+  }
+
+  /// Monotone per-cavity counter bumped only when the column profile
+  /// changes (set_cavity_flow_profile). Together with cavity_flow(),
+  /// (profile version, flow rate) identifies a cavity's advection
+  /// values exactly — the key of the flow-transition warm-start cache.
+  std::uint64_t cavity_profile_version(int cavity) const {
+    return cavity_profile_[cavity];
+  }
+
+  /// The advection entries of one cavity (value indices resolved against
+  /// conductance()'s pattern).
+  std::span<const AdvectionEntry> advection_entries(int cavity) const {
+    return cavity_adv_[cavity];
+  }
 
   // --- system access ---------------------------------------------------
   /// Current conductance matrix G (advection included).
   const sparse::CsrMatrix& conductance() const { return g_; }
+
+  /// Flow-independent part of G (conduction, convection, sink path) on
+  /// the same sparsity pattern; G = static + advection(flows).
+  const sparse::CsrMatrix& static_conductance() const { return g_static_; }
 
   /// Nodal heat capacities [J/K].
   std::span<const double> capacitance() const { return c_; }
@@ -76,10 +137,6 @@ class RcModel {
   void rhs_plus_scaled_into(std::span<double> out,
                             std::span<const double> scale,
                             std::span<const double> x) const;
-
-  /// Current right-hand side: injected power plus boundary terms.
-  [[deprecated("allocates every call; use rhs_into()")]]
-  std::vector<double> rhs() const;
 
   // --- solves ----------------------------------------------------------
   /// Steady-state temperatures [K] for the current power and flows.
@@ -114,18 +171,11 @@ class RcModel {
   double sink_heat_removal(std::span<const double> temps) const;
 
  private:
-  struct AdvectionEntry {
-    std::int32_t node;
-    std::int32_t upstream;  ///< -1 = inlet boundary
-    double unit;            ///< coefficient per unit cavity flow [W s/(K m^3)]
-    /// Precomputed positions in g_.values() so apply_flows() updates by
-    /// direct index instead of per-entry binary search.
-    std::int64_t diag_vidx = -1;
-    std::int64_t upstream_vidx = -1;  ///< -1 = inlet boundary
-  };
-
   void assemble();
-  void apply_flows();
+  /// Rewrite one cavity's advection values (and inlet RHS terms) for its
+  /// current flow and column profile — a straight indexed pass over
+  /// advection_entries(cavity), no re-assembly, no allocation.
+  void apply_cavity_flow(int cavity);
   /// Grid layer index of a cavity with the given id.
   int cavity_grid_layer(int cavity) const;
 
@@ -139,6 +189,10 @@ class RcModel {
   std::vector<double> element_power_;
   std::vector<std::vector<AdvectionEntry>> cavity_adv_;
   std::vector<double> cavity_flow_;
+  std::vector<double> cavity_rho_cp_;  ///< advection coefficient per Q
+  std::vector<std::vector<double>> cavity_share_;  ///< per-column flow share
+  std::vector<std::uint64_t> cavity_state_;
+  std::vector<std::uint64_t> cavity_profile_;
   std::uint64_t version_ = 0;
 };
 

@@ -2,21 +2,28 @@
 /// \file transient.hpp
 /// \brief Backward-Euler transient integration of an RcModel.
 ///
-/// Each step solves (C/dt + G) T_{n+1} = (C/dt) T_n + P. The system
-/// matrix only changes when a cavity flow rate changes (tracked via
-/// RcModel::version()), in which case the solver's factorization or
-/// preconditioner is refreshed in place. The previous temperature field
-/// warm-starts the iterative solvers.
+/// Each step solves (C/dt + G) T_{n+1} = (C/dt) T_n + P against a
+/// ThermalOperator (see operator.hpp) that keeps the constant
+/// conduction/capacitance part frozen and applies flow changes as
+/// indexed value rewrites. The bound solver refreshes its factorization
+/// under a staleness-aware sparse::RefreshPolicy instead of rebuilding
+/// on every flow change, and a flow-transition warm-start cache predicts
+/// the post-change temperature jump (keyed by the exact cavity flow
+/// state), which collapses the Krylov iteration count of sustained
+/// flow-modulated stepping.
 ///
-/// All storage — the system matrix, the RHS, the diagonal index map and
-/// the solver's own workspace — is allocated at construction; step()
+/// All storage — the operator, the RHS, the warm-start slots and the
+/// solver's own workspace — is allocated at construction; step()
 /// performs zero heap allocations (asserted by test_transient_alloc).
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "sparse/refresh.hpp"
 #include "sparse/solver.hpp"
+#include "thermal/operator.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace tac3d::thermal {
@@ -24,12 +31,28 @@ namespace tac3d::thermal {
 /// Fixed-step backward-Euler integrator bound to one RcModel.
 class TransientSolver {
  public:
+  /// Construction-time knobs beyond the time step.
+  struct Options {
+    /// Linear solver strategy.
+    sparse::SolverKind kind = sparse::SolverKind::kBicgstabIlu0;
+    /// Optional shared symbolic-structure cache (must outlive this
+    /// solver); models with the same grid pattern then skip the RCM/ILU
+    /// symbolic analysis.
+    sparse::StructureCache* cache = nullptr;
+    /// When to refresh the factorization/preconditioner after flow
+    /// changes (see sparse/refresh.hpp).
+    sparse::RefreshPolicy refresh{};
+    /// Flow-transition warm-start cache: number of distinct flow states
+    /// remembered (0 disables the predictor; ignored by direct solvers,
+    /// which don't use initial guesses).
+    int warm_start_slots = 16;
+  };
+
   /// \param model the RC network (power/flows mutated externally)
   /// \param dt time step [s]
-  /// \param kind linear solver strategy
-  /// \param cache optional shared symbolic-structure cache (must outlive
-  ///        this solver); models with the same grid pattern then skip
-  ///        the RCM/ILU symbolic analysis
+  TransientSolver(RcModel& model, double dt, const Options& opts);
+
+  /// Convenience overload with default refresh policy and predictor.
   TransientSolver(RcModel& model, double dt,
                   sparse::SolverKind kind =
                       sparse::SolverKind::kBicgstabIlu0,
@@ -57,20 +80,45 @@ class TransientSolver {
   /// Elapsed simulated time [s].
   double time() const { return time_; }
 
+  /// The backward-Euler operator this solver steps (flow-update
+  /// telemetry: dirty fractions, update counts).
+  const ThermalOperator& system_operator() const { return op_; }
+
+  /// Refresh/solve counters of the bound linear solver.
+  const sparse::SolverStats& solver_stats() const {
+    return solver_->stats();
+  }
+
+  /// Flow-change steps whose warm start came from the transition cache.
+  std::uint64_t predictor_hits() const { return predictor_hits_; }
+
  private:
-  void rebuild_matrix();
+  struct WarmStartSlot {
+    bool used = false;
+    std::vector<double> flows;  ///< exact cavity-flow key ...
+    std::vector<std::uint64_t> profiles;  ///< ... plus profile versions
+    std::vector<double> state_before;  ///< T_n the cached step started from
+    std::vector<double> solution;      ///< T_{n+1} it produced
+  };
+
+  /// Slot whose key matches the model's current flows, else the next
+  /// round-robin victim (marked unused). Null when the predictor is off.
+  WarmStartSlot* find_slot();
 
   RcModel& model_;
   double dt_;
-  sparse::SolverKind kind_;
-  sparse::StructureCache* cache_;
-  sparse::CsrMatrix a_;  ///< G + C/dt (same pattern as G)
-  std::vector<std::int64_t> diag_vidx_;  ///< a_.values() index of (i, i)
-  std::vector<double> c_over_dt_;        ///< C_i / dt, precomputed
+  ThermalOperator op_;
+  sparse::StructureCache* cache_ = nullptr;
+  std::vector<double> c_over_dt_;  ///< C_i / dt, precomputed
   std::unique_ptr<sparse::LinearSolver> solver_;
   std::vector<double> state_;
   std::vector<double> rhs_;
-  std::uint64_t model_version_ = 0;
+  std::vector<WarmStartSlot> slots_;
+  int next_slot_ = 0;
+  std::vector<double> predicted_;   ///< scratch: predicted T_{n+1}
+  std::vector<double> prev_state_;  ///< scratch: T_n for the slot update
+  std::vector<double> residual_;    ///< scratch for the predictor guard
+  std::uint64_t predictor_hits_ = 0;
   double time_ = 0.0;
 };
 

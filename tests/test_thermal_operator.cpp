@@ -1,0 +1,382 @@
+// ThermalOperator: the backward-Euler matrix split into a constant
+// conduction/capacitance part and an indexed flow-dependent advection
+// part, plus the staleness-aware refresh policies layered on top.
+//
+//  - update_flow() must reproduce, entry for entry, the operator a fresh
+//    construction at the same flows produces, and report a sensible
+//    dirty fraction (advection entries over nnz; zero on a no-op).
+//  - Lazy refresh (keep the stale ILU, refactor on degradation) must
+//    match always-refactor stepping to 1e-8 — the preconditioner only
+//    steers convergence, the tolerance guarantees the answer.
+//  - BandedLu::factor_rows must be bitwise identical to a full factor().
+//  - The flow-transition warm-start predictor must not change results
+//    beyond solver tolerance.
+//  - A fluid-focused column profile (HydraulicNetwork -> flow fractions
+//    -> RcModel::set_cavity_flow_profile) must reach the thermal answer
+//    through the same indexed update path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/mpsoc.hpp"
+#include "common/units.hpp"
+#include "microchannel/coolant.hpp"
+#include "microchannel/flow_network.hpp"
+#include "microchannel/modulation.hpp"
+#include "microchannel/pump.hpp"
+#include "sparse/banded_lu.hpp"
+#include "thermal/operator.hpp"
+#include "thermal/transient.hpp"
+
+namespace tac3d {
+namespace {
+
+arch::Mpsoc3D make_soc(int rows = 10, int cols = 10) {
+  return arch::Mpsoc3D(arch::Mpsoc3D::Options{
+      2, arch::CoolingKind::kLiquidCooled, thermal::GridOptions{rows, cols},
+      arch::NiagaraConfig::paper()});
+}
+
+void load_power(arch::Mpsoc3D& soc, double busy = 1.0) {
+  std::vector<arch::CoreState> cores(soc.n_cores(),
+                                     {busy, soc.chip().vf.max_level()});
+  soc.model().set_element_powers(soc.element_powers(cores, {}));
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(ThermalOperator, UpdateFlowMatchesFreshConstruction) {
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  thermal::ThermalOperator op(soc.model(), 0.1);
+
+  for (const int level : {0, 7, 15, 3}) {
+    soc.model().set_all_flows(pump.flow_per_cavity(level));
+    EXPECT_FALSE(op.in_sync());
+    const sparse::ValueUpdate upd = op.update_flow();
+    EXPECT_TRUE(op.in_sync());
+    EXPECT_GT(upd.dirty_fraction, 0.0);
+    EXPECT_LT(upd.dirty_fraction, 1.0);
+    EXPECT_FALSE(upd.rows.empty());
+
+    // Fresh operator at the same flows: identical values, entry for
+    // entry (both compose base + unit*q with one rounding).
+    thermal::ThermalOperator fresh(soc.model(), 0.1);
+    EXPECT_EQ(max_abs_diff(op.matrix().values(), fresh.matrix().values()),
+              0.0)
+        << "level " << level;
+  }
+
+  // No flow change => clean no-op update.
+  const sparse::ValueUpdate noop = op.update_flow();
+  EXPECT_EQ(noop.dirty_fraction, 0.0);
+  EXPECT_TRUE(noop.rows.empty());
+}
+
+TEST(ThermalOperator, DirtyRowsAreExactlyTheFluidNodes) {
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  soc.model().set_all_flows(pump.q_max());
+  thermal::ThermalOperator op(soc.model(), 0.1);
+
+  soc.model().set_all_flows(pump.flow_per_cavity(2));
+  const sparse::ValueUpdate upd = op.update_flow();
+  std::size_t advection_nodes = 0;
+  for (int cav = 0; cav < soc.model().n_cavities(); ++cav) {
+    advection_nodes += soc.model().advection_entries(cav).size();
+  }
+  EXPECT_EQ(upd.rows.size(), advection_nodes);
+}
+
+TEST(BandedLuPartial, FactorRowsBitwiseMatchesFullFactor) {
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc(8, 8);
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  thermal::ThermalOperator op(soc.model(), 0.1);
+
+  sparse::BandedLu partial(op.matrix());
+  soc.model().set_all_flows(pump.flow_per_cavity(1));
+  const sparse::ValueUpdate upd = op.update_flow();
+  partial.factor_rows(op.matrix(), upd.rows);
+  sparse::BandedLu full(op.matrix());
+
+  const std::int32_t n = op.matrix().rows();
+  std::vector<double> b(n, 1.0), x_partial(n), x_full(n);
+  for (std::int32_t i = 0; i < n; ++i) b[i] = 1.0 + 0.01 * i;
+  partial.solve(b, x_partial);
+  full.solve(b, x_full);
+  EXPECT_EQ(max_abs_diff(x_partial, x_full), 0.0);
+}
+
+// On the paper stack RCM places fluid rows near the front of the
+// ordering, so the test above restarts from ~row 0 and barely exercises
+// the partial path. This synthetic band (identity permutation, dirty
+// rows in the middle) forces a deep restart.
+TEST(BandedLuPartial, DeepRestartBitwiseOnSyntheticBand) {
+  const std::int32_t n = 60;
+  std::vector<sparse::Triplet> trips;
+  for (std::int32_t i = 0; i < n; ++i) {
+    trips.push_back({i, i, 4.0 + 0.01 * i});
+    if (i + 1 < n) {
+      trips.push_back({i, i + 1, -1.0 - 0.001 * i});
+      trips.push_back({i + 1, i, -0.9});
+    }
+    if (i + 2 < n) trips.push_back({i, i + 2, -0.3});
+  }
+  sparse::CsrMatrix a =
+      sparse::CsrMatrix::from_triplets(n, n, std::move(trips));
+  std::vector<std::int32_t> identity(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) identity[i] = i;
+
+  sparse::BandedLu partial(a, identity);
+  // Perturb values of rows 30..35 only (pattern unchanged).
+  std::vector<std::int32_t> dirty;
+  for (std::int32_t r = 30; r < 36; ++r) {
+    dirty.push_back(r);
+    a.coeff_ref(r, r) *= 1.25;
+    a.coeff_ref(r, r + 1) -= 0.05;
+  }
+  EXPECT_EQ(partial.first_permuted_row(dirty), 30);
+  partial.factor_rows(a, dirty);
+  sparse::BandedLu full(a, identity);
+
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) b[i] = 1.0 + 0.03 * i;
+  std::vector<double> x_partial(b.size()), x_full(b.size());
+  partial.solve(b, x_partial);
+  full.solve(b, x_full);
+  EXPECT_EQ(max_abs_diff(x_partial, x_full), 0.0);
+}
+
+// The staleness-policy correctness requirement: lazy refresh must agree
+// with always-refactor stepping to 1e-8 over a full modulation sweep,
+// for every solver kind.
+class StalenessPolicyTest
+    : public ::testing::TestWithParam<sparse::SolverKind> {};
+
+TEST_P(StalenessPolicyTest, LazyRefreshMatchesAlwaysRefactor) {
+  auto pump = microchannel::PumpModel::table1();
+
+  auto run = [&](const sparse::RefreshPolicy& policy, int slots) {
+    auto soc = make_soc();
+    load_power(soc);
+    soc.model().set_all_flows(pump.q_max());
+    thermal::TransientSolver::Options opts;
+    opts.kind = GetParam();
+    opts.refresh = policy;
+    opts.warm_start_slots = slots;
+    thermal::TransientSolver sim(soc.model(), 0.1, opts);
+    sim.initialize_steady();
+    for (int i = 0; i < 64; ++i) {
+      soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+      sim.step();
+    }
+    return std::vector<double>(sim.temperatures().begin(),
+                               sim.temperatures().end());
+  };
+
+  const std::vector<double> lazy = run(sparse::RefreshPolicy{}, 16);
+  const std::vector<double> eager = run(sparse::RefreshPolicy::eager(), 0);
+  EXPECT_LT(max_abs_diff(lazy, eager), 1e-8);
+}
+
+TEST_P(StalenessPolicyTest, LazyPolicyActuallyDefersRefactors) {
+  if (GetParam() == sparse::SolverKind::kBandedLu) {
+    GTEST_SKIP() << "direct solver refreshes exactly (partial factor)";
+  }
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  thermal::TransientSolver sim(soc.model(), 0.1, GetParam());
+  sim.initialize_steady();
+  const int flow_steps = 48;
+  for (int i = 0; i < flow_steps; ++i) {
+    soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+    sim.step();
+  }
+  const sparse::SolverStats& stats = sim.solver_stats();
+  // Every step changed the flow; the whole point is refactoring (much)
+  // less than once per change. Partial row refreshes (Jacobi) are exact
+  // and allowed.
+  EXPECT_LT(stats.refactors, static_cast<std::uint64_t>(flow_steps) / 2)
+      << "lazy policy refactored almost every flow change";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolverKinds, StalenessPolicyTest,
+    ::testing::Values(sparse::SolverKind::kBandedLu,
+                      sparse::SolverKind::kBicgstabIlu0,
+                      sparse::SolverKind::kBicgstabJacobi));
+
+TEST(FlowTransitionPredictor, DoesNotChangeResultsBeyondTolerance) {
+  auto pump = microchannel::PumpModel::table1();
+
+  auto run = [&](int slots) {
+    auto soc = make_soc();
+    load_power(soc);
+    soc.model().set_all_flows(pump.q_max());
+    thermal::TransientSolver::Options opts;
+    opts.warm_start_slots = slots;
+    thermal::TransientSolver sim(soc.model(), 0.1, opts);
+    sim.initialize_steady();
+    for (int i = 0; i < 80; ++i) {
+      soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+      sim.step();
+    }
+    return std::pair<std::vector<double>, std::uint64_t>(
+        std::vector<double>(sim.temperatures().begin(),
+                            sim.temperatures().end()),
+        sim.predictor_hits());
+  };
+
+  const auto [with, hits_with] = run(16);
+  const auto [without, hits_without] = run(0);
+  EXPECT_LT(max_abs_diff(with, without), 1e-8);
+  EXPECT_EQ(hits_without, 0u);
+  // After the first 16-level cycle every flow state is cached; nearly
+  // every subsequent flow change should hit.
+  EXPECT_GT(hits_with, 40u);
+}
+
+TEST(FlowProfile, HydraulicNetworkDrivesColumnShares) {
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  const int cols = soc.model().grid().cols();
+
+  // A distributor network that feeds the central channels through twice
+  // the hydraulic conductance (fluid focusing a la Fig. 4).
+  microchannel::HydraulicNetwork net;
+  const auto inlet = net.add_fixed_node(1000.0);
+  const auto outlet = net.add_fixed_node(0.0);
+  const int channels = 40;
+  std::vector<std::int32_t> edges;
+  for (int ch = 0; ch < channels; ++ch) {
+    const auto entry = net.add_node();
+    const bool focused = ch >= channels / 3 && ch < 2 * channels / 3;
+    net.add_edge(inlet, entry, (focused ? 2.0 : 1.0) * 1e-12);
+    edges.push_back(net.add_edge(entry, outlet, 1e-12));
+  }
+  const auto fractions =
+      microchannel::flow_fractions(net.solve(), edges);
+  // Passed as-is: shares landing on fluid-less columns are dropped and
+  // renormalized by set_cavity_flow_profile.
+  const std::vector<double> shares =
+      microchannel::coarsen_fractions(fractions, cols);
+
+  const auto uniform = soc.model().steady_state();
+  soc.model().set_cavity_flow_profile(0, shares);
+  const auto focused = soc.model().steady_state();
+
+  // The redistribution must actually change the field, flow totals must
+  // be preserved, and the operator must pick the change up as a regular
+  // indexed update.
+  EXPECT_GT(max_abs_diff(uniform, focused), 1e-6);
+  EXPECT_DOUBLE_EQ(soc.model().cavity_flow(0), pump.q_max());
+  double share_sum = 0.0;
+  for (const double s : soc.model().cavity_flow_shares(0)) share_sum += s;
+  EXPECT_NEAR(share_sum, 1.0, 1e-12);
+
+  // A profile change must dirty the operator like a flow-rate change.
+  thermal::ThermalOperator op(soc.model(), 0.1);
+  EXPECT_TRUE(op.in_sync());
+  std::vector<double> grid_shares(static_cast<std::size_t>(cols), 0.0);
+  for (int c = 0; c < cols; ++c) {
+    grid_shares[static_cast<std::size_t>(c)] =
+        std::max(0.0, soc.model().grid().column_flow_share(c));
+  }
+  soc.model().set_cavity_flow_profile(0, grid_shares);
+  EXPECT_FALSE(op.in_sync());
+  const sparse::ValueUpdate upd = op.update_flow();
+  EXPECT_GT(upd.dirty_fraction, 0.0);
+  EXPECT_TRUE(op.in_sync());
+}
+
+// Width modulation redistributes flow across a cavity's parallel
+// channels: narrowed channels have a lower series hydraulic conductance
+// and draw less flow at equal pressure head. The full chain
+// (ModulatedChannel -> modulated_channel_conductance -> HydraulicNetwork
+// -> flow_fractions -> coarsen_fractions -> set_cavity_flow_profile)
+// must compose.
+TEST(FlowProfile, WidthModulationRedistributesCavityFlow) {
+  using namespace microchannel;
+  const Coolant fluid = water(celsius_to_kelvin(27.0));
+  const int channels = 20;
+  const double height = um(100.0);
+
+  HydraulicNetwork net;
+  const auto inlet = net.add_fixed_node(1e4);
+  const auto outlet = net.add_fixed_node(0.0);
+  std::vector<std::int32_t> edges;
+  for (int ch = 0; ch < channels; ++ch) {
+    // Channels 8..11 narrowed over their central segments (a hot spot).
+    ModulatedChannel chan;
+    chan.height = height;
+    chan.segment_lengths.assign(10, mm(1.0));
+    chan.segment_widths.assign(10, um(50.0));
+    const bool narrowed = ch >= 8 && ch < 12;
+    if (narrowed) {
+      for (int s = 4; s < 8; ++s) chan.segment_widths[s] = um(30.0);
+    }
+    edges.push_back(net.add_edge(
+        inlet, outlet, modulated_channel_conductance(chan, fluid)));
+  }
+  const auto fractions = flow_fractions(net.solve(), edges);
+  // Narrowed channels must carry less flow than uniform ones.
+  EXPECT_LT(fractions[9], fractions[0]);
+  double sum = 0.0;
+  for (const double f : fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  // And the redistribution must flow through to the RC model.
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  const int cols = soc.model().grid().cols();
+  const std::vector<double> shares = coarsen_fractions(fractions, cols);
+  const auto before = soc.model().steady_state();
+  soc.model().set_cavity_flow_profile(0, shares);
+  const auto after = soc.model().steady_state();
+  EXPECT_GT(max_abs_diff(before, after), 0.0);
+}
+
+// Energy bookkeeping stays consistent under a focused profile: the
+// advective heat removal uses the share-weighted outlet temperature.
+TEST(FlowProfile, AdvectiveRemovalConsistentWithProfile) {
+  auto pump = microchannel::PumpModel::table1();
+  auto soc = make_soc();
+  load_power(soc);
+  soc.model().set_all_flows(pump.q_max());
+  const int cols = soc.model().grid().cols();
+  std::vector<double> shares(static_cast<std::size_t>(cols), 0.0);
+  for (int c = 0; c < cols; ++c) {
+    if (soc.model().grid().column_flow_share(c) > 0.0) {
+      shares[static_cast<std::size_t>(c)] = (c < cols / 2) ? 2.0 : 1.0;
+    }
+  }
+  soc.model().set_cavity_flow_profile(0, shares);
+  const auto temps = soc.model().steady_state();
+  double removed = 0.0;
+  for (int cav = 0; cav < soc.model().n_cavities(); ++cav) {
+    removed += soc.model().advective_heat_removal(temps, cav);
+  }
+  removed += soc.model().sink_heat_removal(temps);
+  EXPECT_NEAR(removed, soc.model().total_power(),
+              0.02 * soc.model().total_power());
+}
+
+}  // namespace
+}  // namespace tac3d

@@ -18,6 +18,7 @@
 
 #include "arch/mpsoc.hpp"
 #include "microchannel/pump.hpp"
+#include "thermal/operator.hpp"
 #include "thermal/transient.hpp"
 
 #if defined(__SANITIZE_ADDRESS__)
@@ -137,19 +138,46 @@ INSTANTIATE_TEST_SUITE_P(
                       sparse::SolverKind::kBicgstabIlu0,
                       sparse::SolverKind::kBicgstabJacobi));
 
-TEST(RhsInto, MatchesDeprecatedAllocatingRhs) {
+TEST(ThermalOperatorAlloc, UpdateFlowIsAllocationFree) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  auto soc = make_soc();
+  auto pump = microchannel::PumpModel::table1();
+  soc.model().set_all_flows(pump.q_max());
+  load_power(soc);
+  thermal::ThermalOperator op(soc.model(), 0.25);
+
+  AllocCounter::start();
+  for (int i = 0; i < 32; ++i) {
+    soc.model().set_all_flows(pump.flow_per_cavity(i % pump.levels()));
+    const sparse::ValueUpdate upd = op.update_flow();
+    ASSERT_GT(upd.dirty_fraction, 0.0);
+  }
+  const long long allocs = AllocCounter::stop();
+  EXPECT_EQ(allocs, 0)
+      << "ThermalOperator::update_flow (and RcModel's indexed "
+         "apply_cavity_flow) must not allocate";
+}
+
+TEST(RhsInto, FusedRhsPlusScaledMatchesTwoPassBuild) {
   auto soc = make_soc();
   soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
   load_power(soc);
-  std::vector<double> in_place(soc.model().node_count());
-  soc.model().rhs_into(in_place);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const std::vector<double> allocating = soc.model().rhs();
-#pragma GCC diagnostic pop
-  ASSERT_EQ(in_place.size(), allocating.size());
-  for (std::size_t i = 0; i < in_place.size(); ++i) {
-    EXPECT_DOUBLE_EQ(in_place[i], allocating[i]) << i;
+  const std::size_t n =
+      static_cast<std::size_t>(soc.model().node_count());
+  std::vector<double> scale(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scale[i] = 0.5 + 0.001 * static_cast<double>(i);
+    x[i] = 300.0 + 0.1 * static_cast<double>(i % 17);
+  }
+  std::vector<double> fused(n);
+  soc.model().rhs_plus_scaled_into(fused, scale, x);
+  std::vector<double> two_pass(n);
+  soc.model().rhs_into(two_pass);
+  for (std::size_t i = 0; i < n; ++i) two_pass[i] += scale[i] * x[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(fused[i], two_pass[i]) << i;
   }
 }
 
