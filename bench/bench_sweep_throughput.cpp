@@ -1,18 +1,29 @@
 // Sweep-runner throughput: the paper's seven Fig. 6/7 configurations
-// executed as a batch, with and without the shared StructureCache, and
-// serial vs parallel. Emits BENCH_sweep.json (scenarios/sec, cache hit
-// counters) so design-space-exploration throughput is tracked from PR 2
-// onward, and cross-checks that cache sharing does not perturb a single
-// bit of the metrics.
+// executed as a batch. Four legs isolate where the time goes:
+//
+//   serial nocache   bank off, structures off — every scenario pays
+//                    full construction (the PR 1/2 baseline regime)
+//   serial compile   fresh ScenarioBank — first touch of every key,
+//                    misses included
+//   serial cached    the same bank, warm — the steady-state regime of
+//                    repeated design-space sweeps: construction-free
+//   parallel cached  warm bank on the worker pool
+//
+// Emits BENCH_sweep.json (scenarios/sec, setup-vs-stepping split,
+// bank + structure-cache counters) so design-space-exploration
+// throughput is tracked from PR 2 onward, and cross-checks that neither
+// cache tier perturbs a single bit of the metrics.
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "sim/bank.hpp"
 #include "sim/sweep.hpp"
 
 namespace {
@@ -48,15 +59,21 @@ int main() {
   bench::banner(
       "SWEEP - scenario batch throughput (BENCH_sweep.json)",
       "Figs. 6/7 regime: the full stack x policy matrix evaluated as one "
-      "batch; StructureCache shares the symbolic solver analysis between "
-      "same-geometry scenarios");
+      "batch; the ScenarioBank compiles each configuration once (trace / "
+      "model / steady tiers) and hands out clone-and-reset sessions");
 
   const auto scenarios = bench_scenarios();
 
-  auto run = [&](int jobs, bool share) {
+  auto run = [&](int jobs, bool use_bank,
+                 std::shared_ptr<sim::ScenarioBank> bank) {
     sim::SweepOptions opts;
     opts.jobs = jobs;
-    opts.share_structures = share;
+    opts.use_bank = use_bank;
+    opts.bank = std::move(bank);
+    // The no-cache leg turns off symbolic sharing too (a bank always
+    // shares structures through its own cache, so the flag only matters
+    // there).
+    opts.share_structures = use_bank;
     return sim::run_sweep(scenarios, opts);
   };
 
@@ -68,34 +85,50 @@ int main() {
   const int hw_cores = hw_raw > 0 ? static_cast<int>(hw_raw) : 1;
   const int parallel_jobs = std::min(sim::resolve_jobs(0), hw_cores);
 
-  const sim::SweepReport cold = run(1, false);
-  const sim::SweepReport cached = run(1, true);
-  const sim::SweepReport parallel = run(parallel_jobs, true);
+  const auto bank = std::make_shared<sim::ScenarioBank>();
+  const sim::SweepReport cold = run(1, false, nullptr);
+  const sim::SweepReport compile = run(1, true, bank);  // first touch
+  const sim::SweepReport cached = run(1, true, bank);   // warm bank
+  const sim::SweepReport parallel = run(parallel_jobs, true, bank);
 
-  for (const auto* r : {&cold, &cached, &parallel}) {
+  for (const auto* r : {&cold, &compile, &cached, &parallel}) {
     if (!r->all_ok()) {
       for (const auto& e : r->errors()) std::cerr << "ERROR: " << e << '\n';
       return 1;
     }
   }
-  const bool bitwise_ok =
-      same_metrics(cold, cached) && same_metrics(cold, parallel);
+  const bool bitwise_ok = same_metrics(cold, compile) &&
+                          same_metrics(cold, cached) &&
+                          same_metrics(cold, parallel);
 
   TextTable t;
-  t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s"});
+  t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s",
+                "setup [s]", "stepping [s]", "setup frac"});
   const auto add = [&](const char* label, const sim::SweepReport& r) {
     t.add_row({label, fmt(r.jobs_used(), 0), fmt(r.wall_seconds(), 2),
-               fmt(r.size() / r.wall_seconds(), 2)});
+               fmt(r.size() / r.wall_seconds(), 2),
+               fmt(r.setup_seconds_total(), 2),
+               fmt(r.stepping_seconds_total(), 2),
+               fmt_pct(r.setup_fraction())});
   };
-  add("serial, no structure sharing", cold);
-  add("serial, shared StructureCache", cached);
-  add("parallel, shared StructureCache", parallel);
+  add("serial, no caches", cold);
+  add("serial, bank compile (cold)", compile);
+  add("serial, bank warm", cached);
+  add("parallel, bank warm", parallel);
   std::cout << t << '\n';
 
   const auto& cache = cached.structure_cache();
+  const sim::BankCounters counters = bank->counters();
   bench::result_line("Distinct patterns analyzed",
                      static_cast<double>(cache->size()), "");
-  bench::result_line("Cache hits", static_cast<double>(cache->hits()), "");
+  bench::result_line("Structure-cache hits",
+                     static_cast<double>(cache->hits()), "");
+  bench::result_line("Bank steady-tier entries",
+                     static_cast<double>(bank->steady_entries()), "");
+  bench::result_line("Bank steady hits",
+                     static_cast<double>(counters.steady_hits), "");
+  bench::result_line("Bank steady misses",
+                     static_cast<double>(counters.steady_misses), "");
 
   // Per-job utilization of the parallel run: busy/wall per worker. Low
   // utilization means pool startup or imbalance; ~1.0 on every worker
@@ -122,10 +155,31 @@ int main() {
       .set("grid", "12x12 compact")
       .set("serial_nocache_scenarios_per_sec",
            cold.size() / cold.wall_seconds())
+      .set("serial_compile_scenarios_per_sec",
+           compile.size() / compile.wall_seconds())
       .set("serial_cached_scenarios_per_sec",
            cached.size() / cached.wall_seconds())
       .set("parallel_cached_scenarios_per_sec",
            parallel.size() / parallel.wall_seconds())
+      .set("serial_nocache_setup_seconds", cold.setup_seconds_total())
+      .set("serial_nocache_stepping_seconds", cold.stepping_seconds_total())
+      .set("serial_nocache_setup_fraction", cold.setup_fraction())
+      .set("serial_compile_setup_seconds", compile.setup_seconds_total())
+      .set("serial_compile_setup_fraction", compile.setup_fraction())
+      .set("serial_cached_setup_seconds", cached.setup_seconds_total())
+      .set("serial_cached_stepping_seconds", cached.stepping_seconds_total())
+      .set("serial_cached_setup_fraction", cached.setup_fraction())
+      .set("parallel_cached_setup_fraction", parallel.setup_fraction())
+      .set("bank_trace_hits", static_cast<std::int64_t>(counters.trace_hits))
+      .set("bank_trace_misses",
+           static_cast<std::int64_t>(counters.trace_misses))
+      .set("bank_model_hits", static_cast<std::int64_t>(counters.model_hits))
+      .set("bank_model_misses",
+           static_cast<std::int64_t>(counters.model_misses))
+      .set("bank_steady_hits",
+           static_cast<std::int64_t>(counters.steady_hits))
+      .set("bank_steady_misses",
+           static_cast<std::int64_t>(counters.steady_misses))
       .set("parallel_jobs", parallel.jobs_used())
       .set("hardware_cores", hw_cores)
       .set("parallel_job_utilization_min", util_min)
@@ -136,8 +190,8 @@ int main() {
       .set("bitwise_identical", bitwise_ok ? "yes" : "no");
   bench::write_json("BENCH_sweep.json", root);
 
-  bench::sweep_footer(scenarios.size() * 3, parallel.jobs_used(),
-                      cold.wall_seconds() + cached.wall_seconds() +
-                          parallel.wall_seconds());
+  bench::sweep_footer(scenarios.size() * 4, parallel.jobs_used(),
+                      cold.wall_seconds() + compile.wall_seconds() +
+                          cached.wall_seconds() + parallel.wall_seconds());
   return bitwise_ok ? 0 : 1;
 }

@@ -17,6 +17,13 @@ container while the gate runs on CI-class hardware:
    and CI runners is far smaller than that, so only a real uniform
    regression (or a broken build) trips it.
 
+3. Setup-fraction ceiling: "*setup_fraction*" metrics (the share of
+   sweep busy time spent on scenario construction, emitted by
+   bench_sweep_throughput) are fractions, so they are machine-
+   independent already. The ScenarioBank drives the cached fraction
+   toward 0; a fresh value above baseline * (1 + threshold) + 0.05
+   means construction cost crept back in and fails.
+
 Everything else numeric is reported informationally.
 
 Usage: check_bench_regression.py BASELINE FRESH [--threshold 0.30]
@@ -32,9 +39,15 @@ RATIO_GATES = {
     "steps_per_sec_flow_modulated": "steps_per_sec_fixed_flow",
     "parallel_cached_scenarios_per_sec": "serial_cached_scenarios_per_sec",
     "serial_cached_scenarios_per_sec": "serial_nocache_scenarios_per_sec",
+    "serial_compile_scenarios_per_sec": "serial_nocache_scenarios_per_sec",
 }
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails
+
+# Additive slack of the setup_fraction ceiling: fractions this close to
+# the baseline are timer noise on sub-millisecond setups, not a
+# construction-cost regression.
+SETUP_FRACTION_SLACK = 0.05
 
 
 def numeric_leaves(tree, prefix=""):
@@ -79,19 +92,27 @@ def main():
 
     print(f"{'metric':58s} {'baseline':>14s} {'fresh':>14s} {'ratio':>7s}")
     for key in sorted(baseline):
+        gated = "per_sec" in key or "setup_fraction" in key
         if key not in fresh:
             print(f"{key:58s} {baseline[key]:14.4g} {'MISSING':>14s}")
-            if "per_sec" in key:
+            if gated:
                 failures.append(f"{key}: missing from fresh run")
             continue
         old, new = baseline[key], fresh[key]
         ratio = new / old if old else float("inf")
-        flag = "" if "per_sec" in key else "  (informational)"
+        flag = "" if gated else "  (informational)"
         if "per_sec" in key and old > 0 and ratio < ABSOLUTE_FLOOR:
             failures.append(
                 f"{key}: {new:.4g} collapsed to {ratio:.2f}x of baseline "
                 f"{old:.4g} (absolute floor {ABSOLUTE_FLOOR:.2f}x)")
             flag = "  << COLLAPSE"
+        if "setup_fraction" in key:
+            ceiling = old * (1.0 + args.threshold) + SETUP_FRACTION_SLACK
+            if new > ceiling:
+                failures.append(
+                    f"{key}: {new:.4g} exceeds ceiling {ceiling:.4g} "
+                    f"(baseline {old:.4g} — construction cost crept back)")
+                flag = "  << SETUP CREEP"
         print(f"{key:58s} {old:14.4g} {new:14.4g} {ratio:7.2f}{flag}")
 
     print("\nScale-free ratio gates "

@@ -26,6 +26,16 @@ Mpsoc3D::Mpsoc3D(Options opts)
   }
 }
 
+Mpsoc3D::Mpsoc3D(const Mpsoc3D& other)
+    : chip_(other.chip_),
+      tiers_(other.tiers_),
+      cooling_(other.cooling_),
+      model_(std::make_unique<thermal::RcModel>(*other.model_)),
+      core_elements_(other.core_elements_),
+      l2_elements_(other.l2_elements_),
+      xbar_elements_(other.xbar_elements_),
+      misc_elements_(other.misc_elements_) {}
+
 double Mpsoc3D::core_temp(std::span<const double> temps, int core) const {
   return model_->element_max(temps, core_elements_[core]);
 }

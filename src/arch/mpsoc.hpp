@@ -31,6 +31,16 @@ class Mpsoc3D {
 
   explicit Mpsoc3D(Options opts);
 
+  /// Deep copy: clones the assembled RC model (matrix pattern, values,
+  /// resolved advection indices) instead of re-running stack build and
+  /// sparse assembly — the clone is bitwise identical to constructing
+  /// from the same Options but far cheaper, which is what makes the
+  /// model tier of a ScenarioBank (sim/bank.hpp) worthwhile.
+  Mpsoc3D(const Mpsoc3D& other);
+  Mpsoc3D& operator=(const Mpsoc3D&) = delete;
+  Mpsoc3D(Mpsoc3D&&) noexcept = default;
+  Mpsoc3D& operator=(Mpsoc3D&&) noexcept = default;
+
   const NiagaraConfig& chip() const { return chip_; }
   int tiers() const { return tiers_; }
   CoolingKind cooling() const { return cooling_; }

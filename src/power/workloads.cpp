@@ -152,6 +152,14 @@ UtilizationTrace generate_workload(WorkloadKind kind, int threads,
   return tr;
 }
 
+std::shared_ptr<const UtilizationTrace> shared_workload(WorkloadKind kind,
+                                                        int threads,
+                                                        int seconds,
+                                                        std::uint64_t seed) {
+  return std::make_shared<const UtilizationTrace>(
+      generate_workload(kind, threads, seconds, seed));
+}
+
 std::vector<WorkloadKind> average_case_workloads() {
   return {WorkloadKind::kWebServer, WorkloadKind::kDatabase,
           WorkloadKind::kMultimedia, WorkloadKind::kMixed};

@@ -10,6 +10,7 @@
 /// seed.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@ std::string workload_name(WorkloadKind kind);
 /// \p seconds.
 UtilizationTrace generate_workload(WorkloadKind kind, int threads,
                                    int seconds, std::uint64_t seed);
+
+/// generate_workload() wrapped in a shared immutable handle, so one
+/// synthesized trace can back every scenario that shares its
+/// (kind, threads, seconds, seed) — the trace tier of sim/bank.hpp and
+/// the ScenarioMatrix trace dedupe both hand these out.
+std::shared_ptr<const UtilizationTrace> shared_workload(WorkloadKind kind,
+                                                        int threads,
+                                                        int seconds,
+                                                        std::uint64_t seed);
 
 /// The average-case workload set of the evaluation (web, db, multimedia,
 /// mixed) — Fig. 6/7 report averages across these.

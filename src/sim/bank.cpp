@@ -1,0 +1,151 @@
+#include "sim/bank.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "arch/niagara.hpp"
+#include "common/error.hpp"
+#include "power/workloads.hpp"
+#include "thermal/operator.hpp"
+
+namespace tac3d::sim {
+
+ScenarioBank::ScenarioBank(std::shared_ptr<sparse::StructureCache> structures)
+    : structures_(structures != nullptr
+                      ? std::move(structures)
+                      : std::make_shared<sparse::StructureCache>()) {}
+
+template <typename Slot>
+std::shared_ptr<Slot> ScenarioBank::slot(
+    std::unordered_map<std::string, std::shared_ptr<Slot>>& map,
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Slot>& s = map[key];
+  if (s == nullptr) s = std::make_shared<Slot>();
+  return s;
+}
+
+PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
+  PreparedScenario p;
+  p.spec = spec;
+  if (p.spec.label.empty()) p.spec.label = scenario_label(p.spec);
+  if (p.spec.sim.structure_cache == nullptr) {
+    p.spec.sim.structure_cache = structures_;
+  }
+  // Keys of the scenario as handed in — before the synthesized trace is
+  // attached below — so external key computations over the same list
+  // (the sweep scheduler's has_steady probe, tests) agree with the
+  // tiers that get populated.
+  const std::string steady_key = scenario_steady_key(p.spec);
+
+  // --- trace tier --------------------------------------------------------
+  if (scenario_trace_usable(p.spec)) {
+    // Explicit chip-compatible trace: already materialized, passed
+    // through without consulting the tier (and without counting — the
+    // hit/miss counters report cache behavior, not pass-throughs).
+    p.trace = p.spec.trace;
+  } else {
+    // No attached trace, or one instantiate() would ignore (thread-count
+    // mismatch): synthesize from the axes, exactly like the bank-off
+    // path, so bank on/off stay result-identical.
+    const auto ts = slot(traces_, scenario_trace_key(p.spec));
+    bool built = false;
+    std::call_once(ts->once, [&] {
+      ts->value = power::shared_workload(
+          p.spec.workload, arch::NiagaraConfig::paper().hardware_threads(),
+          p.spec.trace_seconds, p.spec.seed);
+      built = true;
+    });
+    (built ? trace_misses_ : trace_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
+    p.trace = ts->value;
+    p.spec.trace = ts->value;  // downstream consumers share it too
+  }
+
+  // --- model tier --------------------------------------------------------
+  const auto ms = slot(models_, scenario_model_key(p.spec));
+  {
+    bool built = false;
+    std::call_once(ms->once, [&] {
+      ms->prototype = std::make_unique<const arch::Mpsoc3D>(
+          arch::Mpsoc3D::Options{p.spec.tiers, p.spec.effective_cooling(),
+                                 p.spec.grid, arch::NiagaraConfig::paper()});
+      built = true;
+    });
+    (built ? model_misses_ : model_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  p.soc = std::make_unique<arch::Mpsoc3D>(*ms->prototype);
+
+  // Operator prototype for this control_dt (the backward-Euler matrix
+  // depends on dt; ThermalOperator validates dt > 0 for us).
+  std::shared_ptr<const thermal::ThermalOperator> op;
+  {
+    const std::lock_guard<std::mutex> lock(ms->ops_mu);
+    auto& entry = ms->ops[std::bit_cast<std::uint64_t>(p.spec.sim.control_dt)];
+    if (entry == nullptr) {
+      entry = std::make_shared<const thermal::ThermalOperator>(
+          ms->prototype->model(), p.spec.sim.control_dt);
+    }
+    op = entry;
+  }
+
+  // --- steady tier -------------------------------------------------------
+  // A caller-supplied initial state wins (like structure_cache above):
+  // the scenario starts exactly where the caller said, bank on or off.
+  std::shared_ptr<const InitialThermalState> init = p.spec.sim.initial_state;
+  if (init == nullptr) {
+    const auto ss = slot(steadies_, steady_key);
+    bool built = false;
+    std::call_once(ss->once, [&] {
+      // Computed on this scenario's own clone — the identical arithmetic
+      // a from-scratch session would run, so the cached vectors are
+      // bitwise equal to what any equal-keyed session would solve.
+      ss->value = std::make_shared<const InitialThermalState>(
+          compute_initial_state(*p.soc, *p.trace, p.spec.sim));
+      built = true;
+    });
+    (built ? steady_misses_ : steady_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
+    init = ss->value;
+  }
+
+  p.policy = make_policy(p.spec.policy, *p.soc, p.spec.sim.pump);
+  p.sim = p.spec.sim;
+  p.sim.initial_state = std::move(init);
+  p.sim.operator_prototype = std::move(op);
+  return p;
+}
+
+BankCounters ScenarioBank::counters() const {
+  BankCounters c;
+  c.trace_hits = trace_hits_.load(std::memory_order_relaxed);
+  c.trace_misses = trace_misses_.load(std::memory_order_relaxed);
+  c.model_hits = model_hits_.load(std::memory_order_relaxed);
+  c.model_misses = model_misses_.load(std::memory_order_relaxed);
+  c.steady_hits = steady_hits_.load(std::memory_order_relaxed);
+  c.steady_misses = steady_misses_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t ScenarioBank::trace_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::size_t ScenarioBank::model_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+std::size_t ScenarioBank::steady_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return steadies_.size();
+}
+
+bool ScenarioBank::has_steady(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return steadies_.find(key) != steadies_.end();
+}
+
+}  // namespace tac3d::sim

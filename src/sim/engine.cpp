@@ -27,7 +27,59 @@ int count_steps(const SimulationConfig& cfg,
                   static_cast<int>(std::llround(duration / cfg.control_dt)));
 }
 
+/// The loop state every session starts from: t=0 demand balanced onto
+/// the cores at the maximum V/f level. Writes the sampled demand and
+/// the balance result into the caller's buffers (the session keeps them
+/// as members). A fresh Scheduler's first balance() is a pure function
+/// of the demand vector, so a throwaway scheduler reproduces a
+/// session's bit for bit.
+std::vector<arch::CoreState> initial_cores(
+    const arch::Mpsoc3D& soc, const power::UtilizationTrace& trace,
+    Scheduler& scheduler, std::vector<double>& thread_demand,
+    std::vector<double>& core_demand) {
+  for (int t = 0; t < trace.threads(); ++t) {
+    thread_demand[t] = trace.sample(t, 0.0);
+  }
+  core_demand = scheduler.balance(thread_demand);
+  std::vector<arch::CoreState> cores(soc.n_cores());
+  for (int c = 0; c < soc.n_cores(); ++c) {
+    cores[c] = {core_demand[c], soc.chip().vf.max_level()};
+  }
+  return cores;
+}
+
+/// Pump at full flow (liquid stacks) + the leakage-consistent steady
+/// fixed point for the given core states; captures the temperatures and
+/// the element powers the solve left applied.
+InitialThermalState steady_for_cores(arch::Mpsoc3D& soc,
+                                     const SimulationConfig& cfg,
+                                     std::span<const arch::CoreState> cores) {
+  if (soc.cooling() == arch::CoolingKind::kLiquidCooled) {
+    apply_pump(soc, cfg.pump, cfg.pump.levels() - 1);
+  }
+  InitialThermalState state;
+  state.temperatures = soc.leakage_consistent_steady(
+      cores, cfg.init_iterations, cfg.structure_cache.get());
+  const std::span<const double> powers = soc.model().element_powers();
+  state.element_powers.assign(powers.begin(), powers.end());
+  return state;
+}
+
 }  // namespace
+
+InitialThermalState compute_initial_state(arch::Mpsoc3D& soc,
+                                          const power::UtilizationTrace& trace,
+                                          const SimulationConfig& cfg) {
+  require(trace.threads() == soc.chip().hardware_threads(),
+          "compute_initial_state: trace thread count must match the chip");
+  Scheduler scheduler(trace.threads(), soc.n_cores(),
+                      soc.chip().threads_per_core, cfg.lb_imbalance);
+  std::vector<double> thread_demand(trace.threads());
+  std::vector<double> core_demand;
+  const std::vector<arch::CoreState> cores =
+      initial_cores(soc, trace, scheduler, thread_demand, core_demand);
+  return steady_for_cores(soc, cfg, cores);
+}
 
 SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
                                      const power::UtilizationTrace& trace,
@@ -48,29 +100,38 @@ SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
           "simulate: trace thread count must match the chip");
 
   // --- initial state -----------------------------------------------------
-  for (int t = 0; t < trace_.threads(); ++t) {
-    thread_demand_[t] = trace_.sample(t, 0.0);
-  }
-  core_demand_ = scheduler_.balance(thread_demand_);
-
-  cores_.resize(n_cores_);
-  for (int c = 0; c < n_cores_; ++c) {
-    cores_[c] = {core_demand_[c], soc_.chip().vf.max_level()};
-  }
+  cores_ = initial_cores(soc_, trace_, scheduler_, thread_demand_,
+                         core_demand_);
   pump_level_ = liquid_ ? cfg_.pump.levels() - 1 : -1;
   if (liquid_) {
     apply_pump(soc_, cfg_.pump, pump_level_);
   }
-  // Leakage-consistent initial steady state (fixed point).
-  std::vector<double> temps = soc_.leakage_consistent_steady(
-      cores_, cfg_.init_iterations, cfg_.structure_cache.get());
+  // Leakage-consistent initial steady state (fixed point) — or, when a
+  // ScenarioBank prepared this scenario, the cached result of the very
+  // same computation: applying the vectors reproduces the post-solve
+  // model state exactly, so both paths step identical arithmetic.
+  std::shared_ptr<const InitialThermalState> init = cfg_.initial_state;
+  if (init != nullptr) {
+    require(static_cast<std::int32_t>(init->temperatures.size()) ==
+                soc_.model().node_count(),
+            "simulate: initial_state temperature size mismatch");
+    require(static_cast<int>(init->element_powers.size()) ==
+                soc_.model().grid().element_count(),
+            "simulate: initial_state element power size mismatch");
+  } else {
+    init = std::make_shared<InitialThermalState>(
+        steady_for_cores(soc_, cfg_, cores_));
+  }
+  soc_.model().set_element_powers(init->element_powers);
 
   thermal_ = std::make_unique<thermal::TransientSolver>(
       soc_.model(), cfg_.control_dt,
       thermal::TransientSolver::Options{cfg_.solver,
                                         cfg_.structure_cache.get(),
-                                        cfg_.refresh, cfg_.warm_start_slots});
-  thermal_->set_state(std::move(temps));
+                                        cfg_.refresh, cfg_.warm_start_slots,
+                                        cfg_.operator_prototype.get(),
+                                        cfg_.solver_tolerance});
+  thermal_->set_state(init->temperatures);
 
   m_.core_hot_time.assign(n_cores_, 0.0);
 }

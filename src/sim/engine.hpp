@@ -22,10 +22,23 @@
 #include "sparse/solver.hpp"
 
 namespace tac3d::thermal {
+class ThermalOperator;
 class TransientSolver;
 }
 
 namespace tac3d::sim {
+
+/// The model state a session starts from: the leakage-consistent steady
+/// temperature field plus the element powers that produced it. Computed
+/// by compute_initial_state() (the fixed-point solve every session runs
+/// at construction) and cacheable across sessions: two scenarios whose
+/// stack, grid, cooling, initial flow and t=0 workload demand agree
+/// start from bitwise-identical state, so a ScenarioBank (sim/bank.hpp)
+/// can hand the vectors out instead of re-solving.
+struct InitialThermalState {
+  std::vector<double> temperatures;    ///< one value per thermal cell [K]
+  std::vector<double> element_powers;  ///< one value per floorplan element [W]
+};
 
 /// Knobs of a simulation run.
 struct SimulationConfig {
@@ -39,6 +52,16 @@ struct SimulationConfig {
   int init_iterations = 4;
   /// Linear solver strategy for the transient thermal steps.
   sparse::SolverKind solver = sparse::SolverKind::kBicgstabIlu0;
+  /// Relative residual tolerance of the per-step linear solves
+  /// (iterative kinds; the direct solver is exact). Backward-Euler at
+  /// the control interval carries O(dt) truncation error of order
+  /// 1e-2..1e-3 K per step, so solving the linear system ~3 orders
+  /// tighter than that is already conservative; the default trades the
+  /// historical 1e-12 near-machine precision (~6 wasted orders, and with
+  /// them most of the Krylov iterations of every step) for that
+  /// physically grounded budget. Tighten for solver studies; the
+  /// simulation stays bitwise deterministic for a fixed value.
+  double solver_tolerance = 1e-8;
   /// Staleness policy for factorization/preconditioner refreshes after
   /// the policy loop changes the coolant flow (see sparse/refresh.hpp).
   sparse::RefreshPolicy refresh;
@@ -50,7 +73,32 @@ struct SimulationConfig {
   /// ordering and ILU/banded symbolic analysis). Null = private
   /// analysis, identical numerics either way.
   std::shared_ptr<sparse::StructureCache> structure_cache;
+  /// Precomputed initial state (see InitialThermalState). When set,
+  /// session construction applies the vectors instead of running the
+  /// leakage-consistent fixed-point solve; the caller guarantees they
+  /// came from compute_initial_state() on an equivalent configuration
+  /// (sizes are validated, equivalence is not). Null = solve from
+  /// scratch, identical numerics either way.
+  std::shared_ptr<const InitialThermalState> initial_state;
+  /// Prototype backward-Euler operator to copy-and-rebind instead of
+  /// materializing A = C/dt + G from scratch (see
+  /// thermal::ThermalOperator). Must come from a model with the same
+  /// stack/grid and the same control_dt; null = build fresh. Bitwise
+  /// neutral.
+  std::shared_ptr<const thermal::ThermalOperator> operator_prototype;
 };
+
+/// The initial state SimulationSession computes at construction: apply
+/// the maximum pump level (liquid stacks), balance the trace's t=0
+/// demand onto the cores at the maximum V/f level, and run the
+/// leakage-consistent steady fixed point. Leaves \p soc with the
+/// returned powers/flows applied — exactly the state a freshly
+/// constructed session would leave it in. Deterministic in its inputs,
+/// so the result can be cached and shared across sessions (the steady
+/// tier of sim/bank.hpp).
+InitialThermalState compute_initial_state(arch::Mpsoc3D& soc,
+                                          const power::UtilizationTrace& trace,
+                                          const SimulationConfig& cfg);
 
 /// A resumable closed-loop simulation.
 ///

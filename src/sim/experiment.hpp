@@ -51,6 +51,13 @@ struct Scenario {
   std::uint64_t seed = 1;
   thermal::GridOptions grid{16, 16};
   SimulationConfig sim;  ///< control interval, pump, solver kind, ...
+  /// Optional pre-synthesized trace. When set (and its thread count
+  /// matches the chip), instantiate() references it instead of
+  /// synthesizing from (workload, seed, trace_seconds) — this is how
+  /// ScenarioMatrix::build() shares one immutable trace across every
+  /// scenario with the same trace axes, and how callers inject measured
+  /// traces. Scenarios sharing the pointer share the trace.
+  std::shared_ptr<const power::UtilizationTrace> trace;
 
   arch::CoolingKind effective_cooling() const {
     return cooling ? *cooling : cooling_for(policy);
@@ -64,15 +71,16 @@ using ExperimentSpec = Scenario;
 std::string scenario_label(const Scenario& s);
 
 /// A Scenario materialized into live objects, ready to drive a
-/// SimulationSession. Owns everything the session references.
+/// SimulationSession. Owns (or shares, for the immutable trace)
+/// everything the session references.
 struct ScenarioInstance {
   std::unique_ptr<arch::Mpsoc3D> soc;
-  power::UtilizationTrace trace;
+  std::shared_ptr<const power::UtilizationTrace> trace;
   std::unique_ptr<control::ThermalPolicy> policy;
   SimulationConfig sim;
 
   /// Start a session over the owned objects (instance must outlive it).
-  SimulationSession session() { return {*soc, trace, *policy, sim}; }
+  SimulationSession session() { return {*soc, *trace, *policy, sim}; }
 };
 
 /// Build the MPSoC, generate the trace and instantiate the policy.
@@ -106,11 +114,16 @@ class ScenarioMatrix {
   /// Keep only scenarios for which \p pred returns true (cumulative).
   ScenarioMatrix& filter(std::function<bool(const Scenario&)> pred);
 
-  /// Expand the cartesian product (labels auto-filled).
+  /// Expand the cartesian product (labels auto-filled). Every distinct
+  /// (workload, seed, trace_seconds) combination is synthesized once and
+  /// shared immutably across the scenarios that use it (Scenario::trace)
+  /// — instantiate() then references instead of re-synthesizing, with or
+  /// without a ScenarioBank. A trace already set on the base scenario is
+  /// left untouched.
   std::vector<Scenario> build() const;
 
-  /// Number of scenarios build() would return.
-  std::size_t size() const { return build().size(); }
+  /// Number of scenarios build() would return (no trace synthesis).
+  std::size_t size() const { return expand().size(); }
 
   /// The paper's seven Fig. 6/7 stack x policy configurations:
   /// {2,4} tiers x {AC_LB, AC_TDVFS_LB, LC_LB, LC_FUZZY} minus the
@@ -119,6 +132,9 @@ class ScenarioMatrix {
   static ScenarioMatrix paper_fig67();
 
  private:
+  /// Cartesian expansion without the shared-trace attachment.
+  std::vector<Scenario> expand() const;
+
   Scenario base_;
   std::vector<int> tiers_{2};
   std::vector<PolicyKind> policies_{PolicyKind::kLcFuzzy};

@@ -1,0 +1,96 @@
+#include "sim/prepared.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+#include "arch/niagara.hpp"
+#include "power/workloads.hpp"
+
+namespace tac3d::sim {
+
+namespace {
+
+/// Exact textual encoding of a double (hex of its bit pattern): two
+/// fields compare equal iff the doubles are bitwise identical, which is
+/// the sharing contract of the bank tiers.
+std::string bits(double v) {
+  std::ostringstream os;
+  os << std::hex << std::bit_cast<std::uint64_t>(v);
+  return os.str();
+}
+
+/// FNV-1a over the raw sample bits of an explicit trace. Keys by
+/// content, so the fingerprint is stable across separately built
+/// scenario lists that attached equal traces (synthesis is deterministic
+/// in its axes) and distinct for any custom trace that differs in a
+/// single bit.
+std::string trace_fingerprint(const power::UtilizationTrace& t) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(t.threads()));
+  mix(static_cast<std::uint64_t>(t.seconds()));
+  for (int th = 0; th < t.threads(); ++th) {
+    for (int s = 0; s < t.seconds(); ++s) {
+      mix(std::bit_cast<std::uint64_t>(t.at(th, s)));
+    }
+  }
+  std::ostringstream os;
+  os << std::hex << h;
+  return os.str();
+}
+
+}  // namespace
+
+bool scenario_trace_usable(const Scenario& s) {
+  return s.trace != nullptr &&
+         s.trace->threads() ==
+             arch::NiagaraConfig::paper().hardware_threads();
+}
+
+std::string scenario_trace_key(const Scenario& s) {
+  if (scenario_trace_usable(s)) {
+    // Explicit trace: content-keyed, so equal attached traces collapse
+    // even across separately built scenario lists.
+    return "trace#" + s.trace->name() + "|thr=" +
+           std::to_string(s.trace->threads()) + "|len=" +
+           std::to_string(s.trace->seconds()) + "|h=" +
+           trace_fingerprint(*s.trace);
+  }
+  // No trace attached — or one the chip cannot use (thread-count
+  // mismatch), which instantiate() ignores in favor of synthesis; key by
+  // the synthesis axes so the bank does exactly the same.
+  return "trace:" + power::workload_name(s.workload) +
+         "|seed=" + std::to_string(s.seed) +
+         "|len=" + std::to_string(s.trace_seconds);
+}
+
+std::string scenario_model_key(const Scenario& s) {
+  const thermal::GridOptions& g = s.grid;
+  return "model:tiers=" + std::to_string(s.tiers) + "|cool=" +
+         std::to_string(static_cast<int>(s.effective_cooling())) +
+         "|grid=" + std::to_string(g.rows) + "x" + std::to_string(g.cols) +
+         "|disc=" + std::to_string(g.discrete_channels ? 1 : 0) +
+         "|xr=" + std::to_string(g.x_refine) +
+         "|zr=" + std::to_string(g.z_refine);
+}
+
+std::string scenario_steady_key(const Scenario& s) {
+  // Initial flow: liquid stacks start at the pump's maximum level; air
+  // stacks carry no flow (marker distinct from any real rate).
+  const bool liquid =
+      s.effective_cooling() == arch::CoolingKind::kLiquidCooled;
+  const std::string flow =
+      liquid ? bits(s.sim.pump.flow_per_cavity(s.sim.pump.levels() - 1))
+             : "air";
+  return "steady:" + scenario_model_key(s) + "|" + scenario_trace_key(s) +
+         "|q=" + flow + "|init=" + std::to_string(s.sim.init_iterations) +
+         "|imb=" + bits(s.sim.lb_imbalance);
+}
+
+}  // namespace tac3d::sim

@@ -7,8 +7,11 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "common/units.hpp"
+#include "sim/bank.hpp"
 
 namespace tac3d::sim {
 
@@ -21,9 +24,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 /// Rough relative cost of a scenario for longest-processing-time-first
 /// scheduling: thermal cells x control steps, weighted up for policies
-/// that modulate the coolant flow (costlier thermal steps). Only the
-/// ordering matters, not the absolute scale.
-double estimated_cost(const Scenario& s) {
+/// that modulate the coolant flow (costlier thermal steps), plus a
+/// construction term — the leakage-consistent steady init costs on the
+/// order of hundreds of transient steps per fixed-point iteration.
+/// \p setup_factor discounts that term for scenarios whose steady-tier
+/// key a ScenarioBank already holds (their setup is a clone and two
+/// vector copies). Only the ordering matters, not the absolute scale.
+double estimated_cost(const Scenario& s, double setup_factor) {
   const double layers_per_tier = 3.5;  // bulk + interface (+ cavity)
   const double cells = static_cast<double>(s.grid.rows) * s.grid.cols *
                        (layers_per_tier * s.tiers + 1.0);
@@ -33,8 +40,15 @@ double estimated_cost(const Scenario& s) {
                            : static_cast<double>(s.trace_seconds);
   const double flow_weight =
       s.policy == PolicyKind::kLcFuzzy ? 2.0 : 1.0;
-  return cells * (duration / dt) * flow_weight;
+  const double steps_equivalent_per_init = 300.0;
+  const double setup = setup_factor * cells * steps_equivalent_per_init *
+                       std::max(1, s.sim.init_iterations);
+  return cells * (duration / dt) * flow_weight + setup;
 }
+
+/// Discount applied to the setup term of scenarios that will hit the
+/// bank's steady tier (clone-and-reset instead of a fixed-point solve).
+constexpr double kPreparedSetupFactor = 0.05;
 
 }  // namespace
 
@@ -84,6 +98,24 @@ SweepReport& SweepReport::sort_by(
                      return ascending ? key(a) < key(b) : key(a) > key(b);
                    });
   return *this;
+}
+
+double SweepReport::setup_seconds_total() const {
+  double sum = 0.0;
+  for (const SweepResult& r : results_) sum += r.setup_seconds;
+  return sum;
+}
+
+double SweepReport::stepping_seconds_total() const {
+  double sum = 0.0;
+  for (const SweepResult& r : results_) sum += r.stepping_seconds;
+  return sum;
+}
+
+double SweepReport::setup_fraction() const {
+  const double setup = setup_seconds_total();
+  const double busy = setup + stepping_seconds_total();
+  return busy > 0.0 ? setup / busy : 0.0;
 }
 
 std::vector<double> SweepReport::job_busy_seconds() const {
@@ -142,6 +174,14 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
                 ? opts.structure_cache
                 : std::make_shared<sparse::StructureCache>();
   }
+  std::shared_ptr<ScenarioBank> bank;
+  if (opts.use_bank) {
+    bank = opts.bank ? opts.bank : std::make_shared<ScenarioBank>(cache);
+    // One symbolic cache per sweep: the bank always carries one (a
+    // caller-supplied bank brings its own), and every scenario shares it
+    // — share_structures only governs the bank-off path (see its doc).
+    cache = bank->structures();
+  }
   std::vector<SweepResult> results(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     results[i].index = i;
@@ -164,19 +204,49 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
   // Work order: input order when serial (progressive on_result output in
   // the order the caller wrote); longest-estimated-first when parallel,
   // so one expensive scenario picked up last cannot serialize the tail
-  // of the sweep. Results stay in input order either way.
+  // of the sweep. With a bank, only the first scenario of each
+  // steady-tier key pays construction — later equal-keyed ones are
+  // costed as clone-and-reset so the scheduler doesn't overrate them.
+  // Results stay in input order either way.
   std::vector<std::size_t> order(results.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   if (jobs > 1) {
+    std::vector<double> cost(results.size());
+    std::unordered_set<std::string> seen_steady;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Scenario& s = results[i].scenario;
+      double setup_factor = 1.0;
+      if (bank != nullptr) {
+        // Discount scenarios whose steady key repeats within this sweep
+        // — or already sits in a caller-supplied warm bank.
+        const std::string key = scenario_steady_key(s);
+        if (!seen_steady.insert(key).second || bank->has_steady(key)) {
+          setup_factor = kPreparedSetupFactor;
+        }
+      }
+      cost[i] = estimated_cost(s, setup_factor);
+    }
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       return estimated_cost(scenarios[a]) >
-                              estimated_cost(scenarios[b]);
+                       return cost[a] > cost[b];
                      });
   }
 
   std::atomic<std::size_t> next{0};
   std::mutex report_mutex;
+
+  // Materialize (bank: compile), time the construction and the stepping
+  // separately, and run to the end. The owner keeps the session's
+  // referenced objects alive for its whole scope.
+  auto run_one = [](SweepResult& r, auto owner,
+                    std::chrono::steady_clock::time_point t0) {
+    SimulationSession session = owner.session();
+    r.setup_seconds = seconds_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    session.run_to_end();
+    r.metrics = session.metrics();
+    r.stepping_seconds = seconds_since(t1);
+  };
 
   auto worker = [&](int worker_id) {
     for (;;) {
@@ -186,13 +256,18 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       r.worker = worker_id;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        r.metrics = run_scenario(r.scenario);
+        if (bank != nullptr) {
+          run_one(r, bank->prepare(r.scenario), t0);
+        } else {
+          run_one(r, instantiate(r.scenario), t0);
+        }
       } catch (const std::exception& e) {
         r.error = e.what();
       } catch (...) {
         r.error = "unknown error";
       }
-      r.wall_seconds = seconds_since(t0);
+      r.wall_seconds = r.ok() ? r.setup_seconds + r.stepping_seconds
+                              : seconds_since(t0);
       if (opts.on_result) {
         const std::lock_guard<std::mutex> lock(report_mutex);
         opts.on_result(r);
@@ -211,6 +286,7 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
 
   SweepReport report(std::move(results), jobs, seconds_since(sweep_start));
   report.set_structure_cache(std::move(cache));
+  report.set_bank(std::move(bank));
   return report;
 }
 

@@ -4,11 +4,15 @@
 /// descriptions on a worker pool and aggregate the metrics into a
 /// sortable result table.
 ///
-/// Every scenario is materialized independently (its own Mpsoc3D, trace,
-/// policy and transient solver), so workers share no mutable state and a
-/// sweep is bitwise-deterministic: for identical seeds the results are
-/// identical whether it runs on one worker or many. Results are returned
-/// in input order regardless of completion order.
+/// By default scenarios are compiled through a shared ScenarioBank
+/// (sim/bank.hpp): traces, assembled models and initial steady states
+/// are cached under explicit equivalence keys and handed out as
+/// clone-and-reset sessions, so scenarios that share a stack/trace skip
+/// re-construction. The sharing is bitwise-neutral — every session steps
+/// arithmetic identical to independent materialization — so a sweep
+/// stays bitwise-deterministic: for identical seeds the results are
+/// identical whether it runs on one worker or many, bank on or off.
+/// Results are returned in input order regardless of completion order.
 
 #include <cstddef>
 #include <functional>
@@ -21,6 +25,8 @@
 #include "sim/experiment.hpp"
 
 namespace tac3d::sim {
+
+class ScenarioBank;
 
 /// Number of sweep workers to use for \p requested:
 ///   requested > 0            -> requested;
@@ -39,10 +45,15 @@ int resolve_jobs(int requested);
 struct SweepResult {
   std::size_t index = 0;  ///< position in the input scenario list
   Scenario scenario;
-  SimMetrics metrics;        ///< valid when ok()
-  double wall_seconds = 0.0; ///< wall-clock time of this scenario
-  int worker = -1;           ///< pool worker that ran it (0-based)
-  std::string error;         ///< exception text; empty on success
+  SimMetrics metrics;  ///< valid when ok()
+  /// Construction time [s]: bank prepare (or instantiate()) plus
+  /// SimulationSession setup — trace, model, policy, initial steady.
+  double setup_seconds = 0.0;
+  /// Stepping time [s]: run_to_end plus metrics extraction.
+  double stepping_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< setup_seconds + stepping_seconds
+  int worker = -1;            ///< pool worker that ran it (0-based)
+  std::string error;          ///< exception text; empty on success
 
   bool ok() const { return error.empty(); }
   const std::string& label() const { return scenario.label; }
@@ -60,6 +71,10 @@ struct SweepOptions {
   /// the same stack geometry reuse the CSR symbolic analysis (RCM
   /// ordering, ILU/banded structure). Purely symbolic — results are
   /// bitwise identical with sharing on or off, serial or parallel.
+  /// Only meaningful with use_bank off: a ScenarioBank always carries a
+  /// structure cache of its own (scenarios it prepares share symbolic
+  /// analysis through it regardless of this flag) — to A/B structure
+  /// sharing, disable the bank too.
   bool share_structures = true;
   /// Cache to share when share_structures is set; null = run_sweep
   /// creates a fresh one for this sweep. Scenarios that already carry
@@ -69,6 +84,18 @@ struct SweepOptions {
   /// with this staleness policy (e.g. RefreshPolicy::eager() for an
   /// always-refactor reference run).
   std::optional<sparse::RefreshPolicy> refresh;
+  /// Compile scenarios through a ScenarioBank (sim/bank.hpp): cache
+  /// synthesized traces, assembled models and initial steady states
+  /// under equivalence keys and start clone-and-reset sessions instead
+  /// of materializing every scenario from scratch. Bitwise-neutral like
+  /// structure sharing — results are identical with the bank on or off.
+  bool use_bank = true;
+  /// Bank to compile through when use_bank is set; null = run_sweep
+  /// creates a fresh one (wrapping the sweep's structure cache). Handing
+  /// the same bank to several sweeps keeps its artifacts warm across
+  /// them — repeated sweeps over a shared design space then pay setup
+  /// only on first touch.
+  std::shared_ptr<ScenarioBank> bank;
 };
 
 /// Results of a sweep, in input order, with sort/report helpers.
@@ -106,6 +133,18 @@ class SweepReport {
   int jobs_used() const { return jobs_used_; }
   double wall_seconds() const { return wall_seconds_; }
 
+  /// Sum of per-scenario construction time [s] (see
+  /// SweepResult::setup_seconds).
+  double setup_seconds_total() const;
+
+  /// Sum of per-scenario stepping time [s].
+  double stepping_seconds_total() const;
+
+  /// Fraction of per-scenario busy time spent on construction:
+  /// setup / (setup + stepping), 0 for an empty report. The headline
+  /// amortization metric — a warm bank drives it toward 0.
+  double setup_fraction() const;
+
   /// Per-worker busy time [s] (sum of scenario walls, jobs_used entries);
   /// busy/wall close to 1 for every worker means the pool was neither
   /// starved nor imbalanced.
@@ -123,11 +162,20 @@ class SweepReport {
     structure_cache_ = std::move(cache);
   }
 
+  /// The ScenarioBank the sweep compiled through (null when the bank was
+  /// off); exposes per-tier hit/miss counters for benches and telemetry,
+  /// and can be handed to the next sweep to keep its artifacts warm.
+  const std::shared_ptr<ScenarioBank>& bank() const { return bank_; }
+  void set_bank(std::shared_ptr<ScenarioBank> bank) {
+    bank_ = std::move(bank);
+  }
+
  private:
   std::vector<SweepResult> results_;
   int jobs_used_ = 1;
   double wall_seconds_ = 0.0;
   std::shared_ptr<sparse::StructureCache> structure_cache_;
+  std::shared_ptr<ScenarioBank> bank_;
 };
 
 /// Run every scenario (worker pool of resolve_jobs(opts.jobs) threads)

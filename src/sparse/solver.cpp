@@ -104,7 +104,7 @@ class BicgstabSolver final : public LinearSolver {
 
   void solve(std::span<const double> b, std::span<double> x) override {
     IterativeOptions opts;
-    opts.rel_tolerance = 1e-12;
+    opts.rel_tolerance = rel_tolerance_;
     opts.max_iterations = 5000;
     const bool stale = stats_.pending_dirty_fraction > 0.0;
     if (stale) {
@@ -147,6 +147,10 @@ class BicgstabSolver final : public LinearSolver {
     policy_ = policy;
   }
 
+  void set_tolerance(double rel_tolerance) override {
+    rel_tolerance_ = rel_tolerance;
+  }
+
   const char* name() const override { return name_; }
 
  private:
@@ -170,6 +174,7 @@ class BicgstabSolver final : public LinearSolver {
   std::vector<double> warm_start_;  ///< saved x for the stale-solve retry
   std::int32_t dirty_rows_ = 0;
   std::int32_t fresh_iterations_ = -1;  ///< iterations right after a refactor
+  double rel_tolerance_ = 1e-12;
   const char* name_;
 };
 

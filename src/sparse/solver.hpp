@@ -68,6 +68,13 @@ class LinearSolver {
     (void)policy;
   }
 
+  /// Relative residual tolerance ||r||/||b|| for iterative strategies
+  /// (no-op for direct solvers, which are exact). Default 1e-12 — far
+  /// below any physical scale, so callers whose accuracy budget is set
+  /// elsewhere (e.g. a time integrator's truncation error) can trade
+  /// unneeded digits for iterations.
+  virtual void set_tolerance(double rel_tolerance) { (void)rel_tolerance; }
+
   /// Refresh/solve counters (all zero for strategies that don't track).
   const SolverStats& stats() const { return stats_; }
 

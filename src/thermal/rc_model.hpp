@@ -63,6 +63,12 @@ class RcModel {
   /// Sum of all element powers [W].
   double total_power() const;
 
+  /// Current per-element powers [W] (order of grid().element(e)) — the
+  /// vector the last set_element_powers() applied. Lets callers capture
+  /// and later replay the model's power state exactly (e.g. the cached
+  /// initial state of sim/bank.hpp).
+  std::span<const double> element_powers() const { return element_power_; }
+
   // --- coolant flow ----------------------------------------------------
   /// Set the volumetric flow of one cavity [m^3/s]. Flow starts at 0.
   void set_cavity_flow(int cavity, double q_m3s);

@@ -10,7 +10,12 @@ namespace tac3d::thermal {
 
 TransientSolver::TransientSolver(RcModel& model, double dt,
                                  const Options& opts)
-    : model_(model), dt_(dt), op_(model, dt), cache_(opts.cache) {
+    : model_(model),
+      dt_(dt),
+      op_(opts.operator_prototype != nullptr
+              ? ThermalOperator(*opts.operator_prototype, model, dt)
+              : ThermalOperator(model, dt)),
+      cache_(opts.cache) {
   require(dt > 0.0, "TransientSolver: dt must be positive");
   const std::int32_t n = model_.node_count();
   state_.assign(n, std::max(model_.grid().spec().ambient,
@@ -24,6 +29,8 @@ TransientSolver::TransientSolver(RcModel& model, double dt,
       opts.kind, op_.matrix(),
       opts.cache != nullptr ? opts.cache->get(op_.matrix()) : nullptr);
   solver_->set_refresh_policy(opts.refresh);
+  rel_tolerance_ = opts.rel_tolerance;
+  solver_->set_tolerance(rel_tolerance_);
 
   if (opts.warm_start_slots > 0 && solver_->uses_initial_guess() &&
       model_.n_cavities() > 0) {
@@ -36,7 +43,13 @@ TransientSolver::TransientSolver(RcModel& model, double dt,
     }
     predicted_.assign(n, 0.0);
     prev_state_.assign(n, 0.0);
-    residual_.assign(n, 0.0);
+  }
+  if (opts.trajectory_warm_start && solver_->uses_initial_guess()) {
+    traj_prev_.assign(n, 0.0);
+    traj_guess_.assign(n, 0.0);
+  }
+  if (!slots_.empty() || !traj_prev_.empty()) {
+    residual_.assign(n, 0.0);  // shared guard scratch
   }
 }
 
@@ -49,6 +62,7 @@ void TransientSolver::set_state(std::vector<double> temps) {
   require(static_cast<std::int32_t>(temps.size()) == model_.node_count(),
           "TransientSolver::set_state: size mismatch");
   state_ = std::move(temps);
+  traj_valid_ = false;  // externally replaced state breaks the history
 }
 
 void TransientSolver::initialize_steady() {
@@ -85,7 +99,32 @@ void TransientSolver::step() {
   // rhs = P + (C/dt) T_n, built in one fused pass.
   model_.rhs_plus_scaled_into(rhs_, c_over_dt_, state_);
 
+  // Trajectory extrapolation x0 = T_n + (T_n - T_{n-1}): build the guess
+  // while T_{n-1} is still around, then roll the history forward. The
+  // closed loop drives power (and modulated flow) piecewise-linearly, so
+  // consecutive deltas nearly repeat and the guess starts the Krylov
+  // solve decades closer than the plain warm start.
+  const double tol2 = rel_tolerance_ * rel_tolerance_;
+  bool extrapolate = !traj_prev_.empty() && traj_valid_;
+  if (extrapolate) {
+    double dd = 0.0;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      const double d = state_[i] - traj_prev_[i];
+      traj_guess_[i] = state_[i] + d;
+      dd += d * d;
+    }
+    // Settled trajectory (exact fixed point, e.g. constant power and
+    // flow): the guess IS the plain warm start — skip the guard SpMVs.
+    if (dd == 0.0) extrapolate = false;
+  }
+  if (!traj_prev_.empty()) {
+    std::copy(state_.begin(), state_.end(), traj_prev_.begin());
+    traj_valid_ = true;
+  }
+
   WarmStartSlot* slot = nullptr;
+  bool predictor_used = false;
+  double rr_plain = -1.0;  // plain warm start ||b - A T_n||², lazily computed
   if (flow_changed && !slots_.empty()) {
     slot = find_slot();
     std::copy(state_.begin(), state_.end(), prev_state_.begin());
@@ -103,16 +142,36 @@ void TransientSolver::step() {
       double bb = 0.0;
       const double rr_pred = sparse::residual_norms(
           op_.matrix(), predicted_, rhs_, residual_, &bb);
-      // Already at the solver tolerance (1e-12 relative, squared norms
-      // here) — the sustained-orbit case: accept without spending a
-      // second SpMV on the plain warm start's residual.
+      // Already at the solver tolerance (squared norms here) — the
+      // sustained-orbit case: accept without spending a second SpMV on
+      // the plain warm start's residual.
       const bool use_pred =
-          rr_pred <= bb * 1e-24 ||
-          rr_pred < sparse::residual(op_.matrix(), state_, rhs_, residual_);
+          rr_pred <= bb * tol2 ||
+          rr_pred < (rr_plain = sparse::residual(op_.matrix(), state_, rhs_,
+                                                 residual_));
       if (use_pred) {
         std::copy(predicted_.begin(), predicted_.end(), state_.begin());
         ++predictor_hits_;
+        predictor_used = true;
       }
+    }
+  }
+
+  if (extrapolate && !predictor_used) {
+    // Residual-guarded: adopt the extrapolation only when it beats the
+    // plain warm start, so a kink in the trajectory (flow jump, demand
+    // discontinuity) costs two fused SpMVs, never extra iterations (and
+    // a rejected flow prediction above already paid for rr_plain).
+    double bb = 0.0;
+    const double rr_traj = sparse::residual_norms(
+        op_.matrix(), traj_guess_, rhs_, residual_, &bb);
+    if (rr_traj > bb * tol2 && rr_plain < 0.0) {
+      rr_plain = sparse::residual(op_.matrix(), state_, rhs_, residual_);
+    }
+    const bool use_traj = rr_traj <= bb * tol2 || rr_traj < rr_plain;
+    if (use_traj) {
+      std::copy(traj_guess_.begin(), traj_guess_.end(), state_.begin());
+      ++trajectory_hits_;
     }
   }
 

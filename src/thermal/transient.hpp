@@ -46,6 +46,27 @@ class TransientSolver {
     /// remembered (0 disables the predictor; ignored by direct solvers,
     /// which don't use initial guesses).
     int warm_start_slots = 16;
+    /// Optional prototype operator to copy-and-rebind instead of
+    /// materializing A = C/dt + G from scratch (must match the model's
+    /// pattern and this solver's dt; see ThermalOperator). Only read
+    /// during construction; null = build fresh. Bitwise neutral.
+    const ThermalOperator* operator_prototype = nullptr;
+    /// Relative residual tolerance of the per-step linear solves
+    /// (iterative kinds only; the direct solver is exact). The default
+    /// keeps the historical near-machine-precision contract; integrators
+    /// whose accuracy budget is the backward-Euler truncation error can
+    /// relax it — SimulationSession does (see
+    /// SimulationConfig::solver_tolerance).
+    double rel_tolerance = 1e-12;
+    /// Warm-start ordinary (flow-unchanged) steps from the linear
+    /// trajectory extrapolation x0 = T_n + (T_n - T_{n-1}) when its
+    /// residual beats the plain warm start's. The closed loop drives the
+    /// model with piecewise-linear utilization, so consecutive step
+    /// deltas are nearly equal and the extrapolation starts the Krylov
+    /// solve several decades closer to the solution. Residual-guarded:
+    /// never worse than the plain warm start; the solve tolerance
+    /// guarantees the answer either way.
+    bool trajectory_warm_start = true;
   };
 
   /// \param model the RC network (power/flows mutated externally)
@@ -92,6 +113,10 @@ class TransientSolver {
   /// Flow-change steps whose warm start came from the transition cache.
   std::uint64_t predictor_hits() const { return predictor_hits_; }
 
+  /// Ordinary steps whose warm start came from the trajectory
+  /// extrapolation (guard accepted it over the plain warm start).
+  std::uint64_t trajectory_hits() const { return trajectory_hits_; }
+
  private:
   struct WarmStartSlot {
     bool used = false;
@@ -119,6 +144,13 @@ class TransientSolver {
   std::vector<double> prev_state_;  ///< scratch: T_n for the slot update
   std::vector<double> residual_;    ///< scratch for the predictor guard
   std::uint64_t predictor_hits_ = 0;
+  // Trajectory warm start (allocated when enabled): T_{n-1} of the last
+  // ordinary step and the extrapolated guess scratch.
+  std::vector<double> traj_prev_;
+  std::vector<double> traj_guess_;
+  bool traj_valid_ = false;
+  std::uint64_t trajectory_hits_ = 0;
+  double rel_tolerance_ = 1e-12;
   double time_ = 0.0;
 };
 

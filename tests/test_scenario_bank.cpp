@@ -1,0 +1,375 @@
+// Tests of the ScenarioBank prepared-scenario subsystem: prepared /
+// cloned sessions must be bitwise identical to from-scratch
+// materialization across all three solver kinds, serial and parallel,
+// bank on and off; the steady tier must miss whenever cooling or grid
+// differ; ScenarioMatrix must dedupe trace synthesis even without a
+// bank; and a bank shared across sweeps must stay warm (and neutral).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/bank.hpp"
+#include "sim/sweep.hpp"
+#include "thermal/transient.hpp"
+
+namespace tac3d::sim {
+namespace {
+
+Scenario quick_scenario(int tiers = 2,
+                        PolicyKind policy = PolicyKind::kLcFuzzy,
+                        power::WorkloadKind workload =
+                            power::WorkloadKind::kWebServer) {
+  Scenario s;
+  s.tiers = tiers;
+  s.policy = policy;
+  s.workload = workload;
+  s.trace_seconds = 16;
+  s.grid = thermal::GridOptions{8, 8};
+  return s;
+}
+
+void expect_same_metrics(const SimMetrics& a, const SimMetrics& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.duration, b.duration) << what;
+  EXPECT_EQ(a.peak_temp, b.peak_temp) << what;
+  EXPECT_EQ(a.any_hot_time, b.any_hot_time) << what;
+  EXPECT_EQ(a.chip_energy, b.chip_energy) << what;
+  EXPECT_EQ(a.pump_energy, b.pump_energy) << what;
+  EXPECT_EQ(a.offered_work, b.offered_work) << what;
+  EXPECT_EQ(a.lost_work, b.lost_work) << what;
+  EXPECT_EQ(a.avg_flow_fraction, b.avg_flow_fraction) << what;
+  EXPECT_EQ(a.migrations, b.migrations) << what;
+  EXPECT_EQ(a.core_hot_time, b.core_hot_time) << what;
+}
+
+/// Run to the end and return (metrics, final temperature field).
+std::pair<SimMetrics, std::vector<double>> run_session(
+    SimulationSession session) {
+  session.run_to_end();
+  const auto temps = session.temperatures();
+  return {session.metrics(), {temps.begin(), temps.end()}};
+}
+
+// --- bitwise neutrality --------------------------------------------------
+
+TEST(ScenarioBank, PreparedSessionsMatchFromScratchAcrossSolverKinds) {
+  for (const sparse::SolverKind kind :
+       {sparse::SolverKind::kBicgstabIlu0, sparse::SolverKind::kBicgstabJacobi,
+        sparse::SolverKind::kBandedLu}) {
+    for (const PolicyKind policy :
+         {PolicyKind::kLcFuzzy, PolicyKind::kAcTdvfsLb}) {
+      Scenario spec = quick_scenario(2, policy);
+      spec.sim.solver = kind;
+      const std::string what = scenario_label(spec) + " solver " +
+                               std::to_string(static_cast<int>(kind));
+
+      ScenarioInstance fresh = instantiate(spec);
+      const auto [m_fresh, t_fresh] = run_session(fresh.session());
+
+      ScenarioBank bank;
+      PreparedScenario prepared = bank.prepare(spec);
+      const auto [m_prep, t_prep] = run_session(prepared.session());
+
+      expect_same_metrics(m_fresh, m_prep, what);
+      ASSERT_EQ(t_fresh.size(), t_prep.size()) << what;
+      for (std::size_t i = 0; i < t_fresh.size(); ++i) {
+        ASSERT_EQ(t_fresh[i], t_prep[i]) << what << " node " << i;
+      }
+    }
+  }
+}
+
+TEST(ScenarioBank, SecondPreparationHitsEveryTierAndStaysBitwise) {
+  const Scenario spec = quick_scenario();
+  ScenarioBank bank;
+
+  PreparedScenario first = bank.prepare(spec);
+  const auto [m1, t1] = run_session(first.session());
+  const BankCounters after_first = bank.counters();
+  EXPECT_EQ(after_first.trace_misses, 1u);
+  EXPECT_EQ(after_first.model_misses, 1u);
+  EXPECT_EQ(after_first.steady_misses, 1u);
+  EXPECT_EQ(after_first.hits(), 0u);
+
+  PreparedScenario second = bank.prepare(spec);
+  const auto [m2, t2] = run_session(second.session());
+  const BankCounters after_second = bank.counters();
+  EXPECT_EQ(after_second.trace_hits, 1u);
+  EXPECT_EQ(after_second.model_hits, 1u);
+  EXPECT_EQ(after_second.steady_hits, 1u);
+  EXPECT_EQ(after_second.misses(), 3u);  // unchanged
+
+  expect_same_metrics(m1, m2, "prepare twice");
+  EXPECT_EQ(t1, t2);
+
+  // The two prepared scenarios share the immutable artifacts but own
+  // their mutable model clones.
+  EXPECT_EQ(first.trace.get(), second.trace.get());
+  EXPECT_NE(first.soc.get(), second.soc.get());
+  EXPECT_EQ(first.sim.initial_state.get(), second.sim.initial_state.get());
+  EXPECT_EQ(first.sim.operator_prototype.get(),
+            second.sim.operator_prototype.get());
+}
+
+// --- key discrimination --------------------------------------------------
+
+TEST(ScenarioBank, SteadyTierMissesWhenCoolingOrGridDiffer) {
+  ScenarioBank bank;
+  const Scenario base = quick_scenario(2, PolicyKind::kLcLb);
+  bank.prepare(base);
+
+  Scenario other_grid = base;
+  other_grid.grid = thermal::GridOptions{10, 10};
+  bank.prepare(other_grid);
+
+  Scenario other_cooling = base;
+  other_cooling.cooling = arch::CoolingKind::kAirCooled;
+  bank.prepare(other_cooling);
+
+  const BankCounters c = bank.counters();
+  EXPECT_EQ(c.steady_misses, 3u);
+  EXPECT_EQ(c.steady_hits, 0u);
+  EXPECT_EQ(c.model_misses, 3u);
+  EXPECT_EQ(bank.steady_entries(), 3u);
+  EXPECT_EQ(bank.model_entries(), 3u);
+  // All three share the synthesized trace (same workload axes).
+  EXPECT_EQ(bank.trace_entries(), 1u);
+  EXPECT_EQ(c.trace_hits, 2u);
+
+  // Keys spell the difference out directly.
+  EXPECT_NE(scenario_steady_key(base), scenario_steady_key(other_grid));
+  EXPECT_NE(scenario_steady_key(base), scenario_steady_key(other_cooling));
+  EXPECT_EQ(scenario_steady_key(base), scenario_steady_key(base));
+}
+
+TEST(ScenarioBank, SteadyTierSharedAcrossPoliciesAndSolvers) {
+  // The initial state is policy- and stepping-solver-independent: LC_LB
+  // and LC_FUZZY on the same stack start from the same fixed point.
+  ScenarioBank bank;
+  Scenario a = quick_scenario(2, PolicyKind::kLcLb);
+  Scenario b = quick_scenario(2, PolicyKind::kLcFuzzy);
+  b.sim.solver = sparse::SolverKind::kBandedLu;
+  bank.prepare(a);
+  bank.prepare(b);
+  const BankCounters c = bank.counters();
+  EXPECT_EQ(c.steady_misses, 1u);
+  EXPECT_EQ(c.steady_hits, 1u);
+  EXPECT_EQ(c.model_hits, 1u);
+}
+
+// --- sweep integration ---------------------------------------------------
+
+std::vector<Scenario> mixed_batch() {
+  return {quick_scenario(2, PolicyKind::kLcFuzzy),
+          quick_scenario(2, PolicyKind::kLcLb),
+          quick_scenario(2, PolicyKind::kAcLb),
+          quick_scenario(4, PolicyKind::kLcFuzzy,
+                         power::WorkloadKind::kDatabase),
+          quick_scenario(2, PolicyKind::kLcFuzzy)};  // exact repeat of [0]
+}
+
+TEST(ScenarioBank, SweepIsBitwiseIdenticalBankOnOffSerialParallel) {
+  const auto scenarios = mixed_batch();
+
+  SweepOptions off_serial;
+  off_serial.jobs = 1;
+  off_serial.use_bank = false;
+  const SweepReport reference = run_sweep(scenarios, off_serial);
+  ASSERT_TRUE(reference.all_ok());
+  EXPECT_EQ(reference.bank(), nullptr);
+
+  SweepOptions on_serial;
+  on_serial.jobs = 1;
+  const SweepReport bank_serial = run_sweep(scenarios, on_serial);
+
+  SweepOptions off_parallel;
+  off_parallel.jobs = 3;
+  off_parallel.use_bank = false;
+  const SweepReport plain_parallel = run_sweep(scenarios, off_parallel);
+
+  SweepOptions on_parallel;
+  on_parallel.jobs = 3;
+  const SweepReport bank_parallel = run_sweep(scenarios, on_parallel);
+
+  for (const SweepReport* r :
+       {&bank_serial, &plain_parallel, &bank_parallel}) {
+    ASSERT_TRUE(r->all_ok());
+    ASSERT_EQ(r->size(), reference.size());
+    for (std::size_t i = 0; i < r->size(); ++i) {
+      expect_same_metrics(reference.at(i).metrics, r->at(i).metrics,
+                          reference.at(i).scenario.label);
+    }
+  }
+
+  ASSERT_NE(bank_serial.bank(), nullptr);
+  const BankCounters c = bank_serial.bank()->counters();
+  // Scenario [4] repeats [0] exactly; [1] shares its stack and start.
+  EXPECT_GE(c.steady_hits, 2u);
+  EXPECT_GE(c.model_hits, 2u);
+
+  // The setup/stepping split is populated and consistent.
+  for (const SweepResult& r : bank_serial.results()) {
+    EXPECT_GT(r.setup_seconds, 0.0) << r.scenario.label;
+    EXPECT_GT(r.stepping_seconds, 0.0) << r.scenario.label;
+    EXPECT_DOUBLE_EQ(r.wall_seconds,
+                     r.setup_seconds + r.stepping_seconds)
+        << r.scenario.label;
+  }
+  EXPECT_GT(bank_serial.setup_fraction(), 0.0);
+  EXPECT_LT(bank_serial.setup_fraction(), 1.0);
+}
+
+TEST(ScenarioBank, WarmBankKeepsArtifactsAcrossSweepsAndStaysNeutral) {
+  const auto scenarios = mixed_batch();
+  auto bank = std::make_shared<ScenarioBank>();
+
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.bank = bank;
+  const SweepReport cold = run_sweep(scenarios, opts);
+  ASSERT_TRUE(cold.all_ok());
+  EXPECT_EQ(cold.bank(), bank);
+  const BankCounters after_cold = bank.get()->counters();
+
+  const SweepReport warm = run_sweep(scenarios, opts);
+  ASSERT_TRUE(warm.all_ok());
+  const BankCounters after_warm = bank.get()->counters();
+
+  // Second sweep built nothing new: misses unchanged, hits grew by one
+  // full sweep's worth of lookups per tier.
+  EXPECT_EQ(after_warm.misses(), after_cold.misses());
+  EXPECT_EQ(after_warm.steady_hits,
+            after_cold.steady_hits + scenarios.size());
+
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    expect_same_metrics(cold.at(i).metrics, warm.at(i).metrics,
+                        cold.at(i).scenario.label);
+  }
+  // Warm setup is cheaper than cold setup in aggregate.
+  EXPECT_LT(warm.setup_seconds_total(), cold.setup_seconds_total());
+}
+
+TEST(ScenarioBank, EnvResolvedPoolWidthSharesOneBank) {
+  // jobs <= 0 resolves TAC3D_JOBS (CI's ASan bank-stress step sets 4,
+  // wider than the pinned suites above), so concurrent prepare() of
+  // equal and distinct keys runs at whatever width the environment
+  // asks for — results must still match the serial reference bitwise.
+  const auto scenarios = mixed_batch();
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const SweepReport reference = run_sweep(scenarios, serial);
+  ASSERT_TRUE(reference.all_ok());
+
+  SweepOptions env;  // jobs = 0 -> TAC3D_JOBS / hardware concurrency
+  const SweepReport wide = run_sweep(scenarios, env);
+  ASSERT_TRUE(wide.all_ok());
+  EXPECT_EQ(wide.jobs_used(), std::min<int>(resolve_jobs(0),
+                                            static_cast<int>(
+                                                scenarios.size())));
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    expect_same_metrics(reference.at(i).metrics, wide.at(i).metrics,
+                        wide.at(i).scenario.label);
+  }
+}
+
+TEST(ScenarioBank, CapturesPreparationErrorsPerScenario) {
+  auto scenarios = mixed_batch();
+  scenarios.resize(2);
+  scenarios[1].sim.control_dt = -1.0;  // prepare/session must throw
+  const SweepReport report = run_sweep(scenarios, {.jobs = 2});
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_TRUE(report.at(0).ok());
+  EXPECT_FALSE(report.at(1).ok());
+  EXPECT_FALSE(report.at(1).error.empty());
+}
+
+// --- matrix trace dedupe (bank off) --------------------------------------
+
+TEST(ScenarioMatrix, BuildSharesOneTraceAcrossEqualTraceAxes) {
+  const auto scenarios =
+      ScenarioMatrix()
+          .tiers({2, 4})
+          .policies({PolicyKind::kLcLb, PolicyKind::kLcFuzzy})
+          .seeds({1, 2})
+          .grid(thermal::GridOptions{8, 8})
+          .trace_seconds(12)
+          .build();
+  ASSERT_EQ(scenarios.size(), 8u);
+  for (const Scenario& s : scenarios) {
+    ASSERT_NE(s.trace, nullptr) << s.label;
+  }
+  // 2 seeds -> exactly 2 distinct trace objects, shared by 4 scenarios
+  // each; equal seeds share the pointer.
+  for (const Scenario& a : scenarios) {
+    for (const Scenario& b : scenarios) {
+      if (a.seed == b.seed) {
+        EXPECT_EQ(a.trace.get(), b.trace.get());
+      } else {
+        EXPECT_NE(a.trace.get(), b.trace.get());
+      }
+    }
+  }
+  // instantiate() references the shared trace instead of re-synthesizing.
+  ScenarioInstance inst = instantiate(scenarios.front());
+  EXPECT_EQ(inst.trace.get(), scenarios.front().trace.get());
+}
+
+TEST(ScenarioBank, ChipIncompatibleAttachedTraceFallsBackToSynthesis) {
+  // instantiate() ignores an attached trace whose thread count does not
+  // match the chip and synthesizes from the axes; the bank must do the
+  // same so bank on/off stay result-identical (instead of erroring).
+  Scenario spec = quick_scenario();
+  spec.trace = std::make_shared<const power::UtilizationTrace>(
+      power::generate_workload(spec.workload, 3 /* != chip threads */,
+                               spec.trace_seconds, spec.seed));
+  EXPECT_FALSE(scenario_trace_usable(spec));
+
+  ScenarioInstance fresh = instantiate(spec);
+  EXPECT_NE(fresh.trace.get(), spec.trace.get());
+  const auto [m_fresh, t_fresh] = run_session(fresh.session());
+
+  ScenarioBank bank;
+  PreparedScenario prepared = bank.prepare(spec);
+  EXPECT_NE(prepared.trace.get(), spec.trace.get());
+  const auto [m_prep, t_prep] = run_session(prepared.session());
+
+  expect_same_metrics(m_fresh, m_prep, "mismatched attached trace");
+  EXPECT_EQ(t_fresh, t_prep);
+  EXPECT_EQ(bank.counters().trace_misses, 1u);  // synthesized, not reused
+}
+
+TEST(ScenarioMatrix, AttachedTracesKeyTheBankByContent) {
+  const auto scenarios = ScenarioMatrix()
+                             .policies({PolicyKind::kLcLb})
+                             .tiers({2, 4})
+                             .grid(thermal::GridOptions{8, 8})
+                             .trace_seconds(12)
+                             .build();
+  ASSERT_EQ(scenarios.size(), 2u);
+  // Same content -> same trace key; a separately built equal matrix
+  // produces the same key even though the pointers differ.
+  const auto rebuilt = ScenarioMatrix()
+                           .policies({PolicyKind::kLcLb})
+                           .tiers({2, 4})
+                           .grid(thermal::GridOptions{8, 8})
+                           .trace_seconds(12)
+                           .build();
+  EXPECT_NE(scenarios[0].trace.get(), rebuilt[0].trace.get());
+  EXPECT_EQ(scenario_trace_key(scenarios[0]), scenario_trace_key(rebuilt[0]));
+  EXPECT_EQ(scenario_steady_key(scenarios[0]),
+            scenario_steady_key(rebuilt[0]));
+  // ... so a warm bank hits for the rebuilt scenarios too.
+  ScenarioBank bank;
+  bank.prepare(scenarios[0]);
+  bank.prepare(rebuilt[0]);
+  const BankCounters c = bank.counters();
+  EXPECT_EQ(c.steady_misses, 1u);
+  EXPECT_EQ(c.steady_hits, 1u);
+}
+
+}  // namespace
+}  // namespace tac3d::sim

@@ -51,8 +51,8 @@ TEST(SimulationSession, StepwiseRunMatchesSimulateWrapper) {
   const Scenario spec = quick_scenario();
 
   ScenarioInstance one_shot = instantiate(spec);
-  const SimMetrics reference =
-      simulate(*one_shot.soc, one_shot.trace, *one_shot.policy, one_shot.sim);
+  const SimMetrics reference = simulate(*one_shot.soc, *one_shot.trace,
+                                        *one_shot.policy, one_shot.sim);
 
   ScenarioInstance stepped = instantiate(spec);
   SimulationSession session = stepped.session();

@@ -249,6 +249,43 @@ TEST(FlowTransitionPredictor, DoesNotChangeResultsBeyondTolerance) {
   EXPECT_GT(hits_with, 40u);
 }
 
+TEST(TrajectoryWarmStart, AcceptsExtrapolationAndStaysWithinTolerance) {
+  // Drive a power ramp (the closed-loop regime: the RHS changes every
+  // step) and check that the guarded extrapolation x0 = 2 T_n - T_{n-1}
+  // actually engages, saves Krylov iterations, and never changes the
+  // answer beyond solver tolerance.
+  auto run = [&](bool trajectory) {
+    auto soc = make_soc();
+    soc.model().set_all_flows(microchannel::PumpModel::table1().q_max());
+    load_power(soc, 0.2);
+    thermal::TransientSolver::Options opts;
+    opts.trajectory_warm_start = trajectory;
+    thermal::TransientSolver sim(soc.model(), 0.1, opts);
+    sim.initialize_steady();
+    for (int i = 0; i < 60; ++i) {
+      load_power(soc, 0.2 + 0.01 * i);  // piecewise-linear-ish ramp
+      sim.step();
+    }
+    struct Out {
+      std::vector<double> temps;
+      std::uint64_t traj_hits;
+      std::uint64_t iterations;
+    };
+    return Out{{sim.temperatures().begin(), sim.temperatures().end()},
+               sim.trajectory_hits(),
+               sim.solver_stats().iterations};
+  };
+
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LT(max_abs_diff(with.temps, without.temps), 1e-8);
+  EXPECT_EQ(without.traj_hits, 0u);
+  // On a smooth ramp the guard should adopt the extrapolation on most
+  // steps and the iteration total should drop, not rise.
+  EXPECT_GT(with.traj_hits, 30u);
+  EXPECT_LE(with.iterations, without.iterations);
+}
+
 TEST(FlowProfile, HydraulicNetworkDrivesColumnShares) {
   auto pump = microchannel::PumpModel::table1();
   auto soc = make_soc();
