@@ -9,10 +9,21 @@
 //                    repeated design-space sweeps: construction-free
 //   parallel cached  warm bank on the worker pool
 //
+// (All four pin batch_width = 1 so they keep measuring the scalar
+// stepping path the baselines were recorded on.)
+//
+// A fifth/sixth leg measures batched lockstep stepping on a seed-
+// extended paper matrix (bigger same-pattern groups, the regime batching
+// targets): warm-bank serial scalar vs warm-bank serial batched, one
+// core stepping several same-pattern scenarios per matrix traversal
+// (auto batch width, currently 6 lanes). Headline: batched_per_sec and
+// the batched/serial ratio.
+//
 // Emits BENCH_sweep.json (scenarios/sec, setup-vs-stepping split,
-// bank + structure-cache counters) so design-space-exploration
-// throughput is tracked from PR 2 onward, and cross-checks that neither
-// cache tier perturbs a single bit of the metrics.
+// bank + structure-cache counters, batched leg) so design-space-
+// exploration throughput is tracked from PR 2 onward, and cross-checks
+// that neither cache tier nor lane batching perturbs a single bit of
+// the metrics.
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -33,6 +44,18 @@ using namespace tac3d;
 std::vector<sim::Scenario> bench_scenarios() {
   return sim::ScenarioMatrix::paper_fig67()
       .workloads({power::WorkloadKind::kMaxUtil})
+      .trace_seconds(30)
+      .grid(thermal::GridOptions{12, 12})
+      .build();
+}
+
+/// The batched leg's workload: the paper matrix swept over seeds, the
+/// design-space-exploration shape (policies x stacks x seeds) whose
+/// same-pattern groups are wide enough to fill 8 lanes.
+std::vector<sim::Scenario> batch_scenarios() {
+  return sim::ScenarioMatrix::paper_fig67()
+      .workloads({power::WorkloadKind::kMaxUtil})
+      .seeds({1, 2, 3, 4, 5, 6, 7, 8})
       .trace_seconds(30)
       .grid(thermal::GridOptions{12, 12})
       .build();
@@ -74,6 +97,9 @@ int main() {
     // shares structures through its own cache, so the flag only matters
     // there).
     opts.share_structures = use_bank;
+    // These legacy legs track the scalar stepping path; the batched legs
+    // below measure lockstep batching separately.
+    opts.batch_width = 1;
     return sim::run_sweep(scenarios, opts);
   };
 
@@ -91,7 +117,23 @@ int main() {
   const sim::SweepReport cached = run(1, true, bank);   // warm bank
   const sim::SweepReport parallel = run(parallel_jobs, true, bank);
 
-  for (const auto* r : {&cold, &compile, &cached, &parallel}) {
+  // Batched lockstep legs: same warm-bank serial regime, scalar vs
+  // batched, on the seed-extended matrix (one core stepping several
+  // same-pattern scenarios per matrix traversal at the auto width).
+  const auto bscenarios = batch_scenarios();
+  auto run_batchset = [&](int width) {
+    sim::SweepOptions opts;
+    opts.jobs = 1;
+    opts.bank = bank;
+    opts.batch_width = width;
+    return sim::run_sweep(bscenarios, opts);
+  };
+  run_batchset(1);  // warm the bank's seed-extended entries
+  const sim::SweepReport bserial = run_batchset(1);
+  const sim::SweepReport bbatched = run_batchset(0);  // auto width (6)
+
+  for (const auto* r :
+       {&cold, &compile, &cached, &parallel, &bserial, &bbatched}) {
     if (!r->all_ok()) {
       for (const auto& e : r->errors()) std::cerr << "ERROR: " << e << '\n';
       return 1;
@@ -99,7 +141,21 @@ int main() {
   }
   const bool bitwise_ok = same_metrics(cold, compile) &&
                           same_metrics(cold, cached) &&
-                          same_metrics(cold, parallel);
+                          same_metrics(cold, parallel) &&
+                          same_metrics(bserial, bbatched);
+
+  int batched_lanes_max = 0;
+  int batched_count = 0;
+  for (const auto& r : bbatched.results()) {
+    if (r.batch_lanes > 1) {
+      ++batched_count;
+      batched_lanes_max = std::max(batched_lanes_max, r.batch_lanes);
+    }
+  }
+  const double batched_per_sec = bbatched.size() / bbatched.wall_seconds();
+  const double batched_baseline_per_sec =
+      bserial.size() / bserial.wall_seconds();
+  const double batched_ratio = batched_per_sec / batched_baseline_per_sec;
 
   TextTable t;
   t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s",
@@ -115,7 +171,16 @@ int main() {
   add("serial, bank compile (cold)", compile);
   add("serial, bank warm", cached);
   add("parallel, bank warm", parallel);
+  add("serial scalar, warm (seeded matrix)", bserial);
+  add("serial batched, warm (seeded matrix)", bbatched);
   std::cout << t << '\n';
+
+  bench::result_line("Batched scenarios/s", batched_per_sec, "scn/s");
+  bench::result_line("Batched vs serial (warm, same matrix)", batched_ratio,
+                     "x");
+  std::cout << "  Batched lanes: " << batched_count << " of "
+            << bbatched.size() << " scenarios in lockstep batches up to "
+            << batched_lanes_max << " wide\n";
 
   const auto& cache = cached.structure_cache();
   const sim::BankCounters counters = bank->counters();
@@ -170,6 +235,12 @@ int main() {
       .set("serial_cached_stepping_seconds", cached.stepping_seconds_total())
       .set("serial_cached_setup_fraction", cached.setup_fraction())
       .set("parallel_cached_setup_fraction", parallel.setup_fraction())
+      .set("batchset_scenarios", static_cast<int>(bscenarios.size()))
+      .set("batched_serial_baseline_per_sec", batched_baseline_per_sec)
+      .set("batched_per_sec", batched_per_sec)
+      .set("batched_vs_serial_ratio", batched_ratio)
+      .set("batched_lanes_max", batched_lanes_max)
+      .set("batched_scenario_count", batched_count)
       .set("bank_trace_hits", static_cast<std::int64_t>(counters.trace_hits))
       .set("bank_trace_misses",
            static_cast<std::int64_t>(counters.trace_misses))
@@ -190,8 +261,10 @@ int main() {
       .set("bitwise_identical", bitwise_ok ? "yes" : "no");
   bench::write_json("BENCH_sweep.json", root);
 
-  bench::sweep_footer(scenarios.size() * 4, parallel.jobs_used(),
+  bench::sweep_footer(scenarios.size() * 4 + bscenarios.size() * 3,
+                      parallel.jobs_used(),
                       cold.wall_seconds() + compile.wall_seconds() +
-                          cached.wall_seconds() + parallel.wall_seconds());
+                          cached.wall_seconds() + parallel.wall_seconds() +
+                          bserial.wall_seconds() + bbatched.wall_seconds());
   return bitwise_ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 //     run the paper's seven stack x policy configurations on every
 //     workload through the parallel sweep runner (TAC3D_JOBS pins the
 //     worker count) and print the sorted result table.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -25,6 +26,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "sim/bank.hpp"
 #include "sim/sweep.hpp"
 
 namespace {
@@ -119,6 +121,35 @@ int run_matrix_sweep(int seconds) {
             << "Sorted by system energy; " << report.size()
             << " scenarios in " << fmt(report.wall_seconds(), 1) << " s on "
             << report.jobs_used() << " worker(s).\n";
+
+  // Where the time went: construction vs stepping (a warm ScenarioBank
+  // drives the setup share toward zero), how the bank's cache tiers
+  // behaved, and how many scenarios rode in batched lockstep jobs.
+  std::cout << "Setup " << fmt(report.setup_seconds_total(), 2)
+            << " s + stepping " << fmt(report.stepping_seconds_total(), 2)
+            << " s (setup fraction " << fmt_pct(report.setup_fraction())
+            << ").\n";
+  if (const auto& bank = report.bank()) {
+    const sim::BankCounters c = bank->counters();
+    std::cout << "Bank hits/misses: trace " << c.trace_hits << "/"
+              << c.trace_misses << ", model " << c.model_hits << "/"
+              << c.model_misses << ", steady " << c.steady_hits << "/"
+              << c.steady_misses
+              << " (hand the same bank to another sweep to keep them "
+                 "warm).\n";
+  }
+  int batched = 0, max_lanes = 0;
+  for (const auto& r : report.results()) {
+    if (r.batch_lanes > 1) {
+      ++batched;
+      max_lanes = std::max(max_lanes, r.batch_lanes);
+    }
+  }
+  if (batched > 0) {
+    std::cout << "Batched lockstep stepping: " << batched << " of "
+              << report.size() << " scenarios in batches up to " << max_lanes
+              << " lanes wide.\n";
+  }
   return report.all_ok() ? 0 : 1;
 }
 

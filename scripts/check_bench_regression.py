@@ -40,6 +40,10 @@ RATIO_GATES = {
     "parallel_cached_scenarios_per_sec": "serial_cached_scenarios_per_sec",
     "serial_cached_scenarios_per_sec": "serial_nocache_scenarios_per_sec",
     "serial_compile_scenarios_per_sec": "serial_nocache_scenarios_per_sec",
+    # Batched lockstep stepping: the batched-vs-serial warm-bank ratio on
+    # the seed-extended paper matrix must not collapse (losing it means
+    # the multi-lane kernels stopped amortizing the matrix traversal).
+    "batched_per_sec": "batched_serial_baseline_per_sec",
 }
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails

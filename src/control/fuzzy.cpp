@@ -11,23 +11,14 @@ MembershipFunction MembershipFunction::triangular(double a, double b,
                                                   double c) {
   require(a <= b && b <= c && a < c,
           "MembershipFunction::triangular: need a <= b <= c, a < c");
-  return MembershipFunction([a, b, c](double x) {
-    if (x <= a || x >= c) return (x == b) ? 1.0 : 0.0;
-    if (x == b) return 1.0;
-    return x < b ? (x - a) / (b - a) : (c - x) / (c - b);
-  });
+  return MembershipFunction(Kind::kTriangle, a, b, c, c);
 }
 
 MembershipFunction MembershipFunction::trapezoid(double a, double b, double c,
                                                  double d) {
   require(a <= b && b <= c && c <= d && a < d,
           "MembershipFunction::trapezoid: need a <= b <= c <= d, a < d");
-  return MembershipFunction([a, b, c, d](double x) {
-    if (x < a || x > d) return 0.0;
-    if (x >= b && x <= c) return 1.0;
-    if (x < b) return b == a ? 1.0 : (x - a) / (b - a);
-    return d == c ? 1.0 : (d - x) / (d - c);
-  });
+  return MembershipFunction(Kind::kTrapezoid, a, b, c, d);
 }
 
 LinguisticVariable::LinguisticVariable(std::string name, double lo, double hi)

@@ -7,13 +7,18 @@
 /// ICCAD'10 work) is built on this engine; it is generic so tests can
 /// exercise it independently of the thermal policy.
 
-#include <functional>
 #include <string>
 #include <vector>
 
 namespace tac3d::control {
 
 /// Membership function on a real domain, returning a grade in [0, 1].
+///
+/// Stored as shape parameters and evaluated inline (it used to wrap a
+/// std::function closure, which put an indirect call inside the centroid
+/// sampling loop — the single hottest spot of every LC_FUZZY control
+/// step). The arithmetic is expression-for-expression what the closures
+/// computed, so results are bitwise unchanged.
 class MembershipFunction {
  public:
   /// Triangle with feet at \p a and \p c and apex at \p b.
@@ -23,12 +28,26 @@ class MembershipFunction {
   /// (a == b or c == d) become crisp shoulders.
   static MembershipFunction trapezoid(double a, double b, double c, double d);
 
-  double operator()(double x) const { return fn_(x); }
+  double operator()(double x) const {
+    if (kind_ == Kind::kTriangle) {
+      if (x <= a_ || x >= c_) return (x == b_) ? 1.0 : 0.0;
+      if (x == b_) return 1.0;
+      return x < b_ ? (x - a_) / (b_ - a_) : (c_ - x) / (c_ - b_);
+    }
+    if (x < a_ || x > d_) return 0.0;
+    if (x >= b_ && x <= c_) return 1.0;
+    if (x < b_) return b_ == a_ ? 1.0 : (x - a_) / (b_ - a_);
+    return d_ == c_ ? 1.0 : (d_ - x) / (d_ - c_);
+  }
 
  private:
-  explicit MembershipFunction(std::function<double(double)> fn)
-      : fn_(std::move(fn)) {}
-  std::function<double(double)> fn_;
+  enum class Kind { kTriangle, kTrapezoid };
+
+  MembershipFunction(Kind kind, double a, double b, double c, double d)
+      : kind_(kind), a_(a), b_(b), c_(c), d_(d) {}
+
+  Kind kind_;
+  double a_, b_, c_, d_;
 };
 
 /// A named fuzzy set over a variable's domain.

@@ -1,0 +1,169 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <span>
+
+#include "common/error.hpp"
+#include "thermal/batched_transient.hpp"
+
+namespace tac3d::sim {
+
+BatchSession::BatchSession(std::vector<PreparedScenario> prepared)
+    : prepared_(std::move(prepared)) {
+  require(!prepared_.empty(), "BatchSession: no lanes");
+  const std::size_t n = prepared_.size();
+  sessions_.resize(n);
+  errors_.resize(n);
+  stepping_.assign(n, 0);
+  failed_.assign(n, 0);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    PreparedScenario& p = prepared_[l];
+    try {
+      sessions_[l].emplace(*p.soc, *p.trace, *p.policy, p.sim);
+    } catch (const std::exception& e) {
+      errors_[l] = e.what();
+    } catch (...) {
+      errors_[l] = "unknown error";
+    }
+  }
+
+  // Batch the thermal solves when every live lane runs the same
+  // iterative solver kind on the same sparsity pattern; otherwise fall
+  // back to scalar lockstep (bitwise the same results, one solve at a
+  // time). The sweep runner groups scenarios so this normally holds.
+  std::vector<int> live;
+  for (std::size_t l = 0; l < n; ++l) {
+    if (sessions_[l].has_value()) live.push_back(static_cast<int>(l));
+  }
+  // Wider than the interleaved kernels support: scalar lockstep rather
+  // than a constructor throw (the sweep runner chunks below the cap;
+  // this guards direct BatchSession users).
+  if (live.size() < 2 ||
+      live.size() > static_cast<std::size_t>(sparse::kMaxBatchLanes)) {
+    return;
+  }
+  const sparse::SolverKind kind =
+      prepared_[static_cast<std::size_t>(live.front())].sim.solver;
+  if (kind != sparse::SolverKind::kBicgstabIlu0 &&
+      kind != sparse::SolverKind::kBicgstabJacobi) {
+    return;
+  }
+  thermal::TransientSolver& first =
+      sessions_[static_cast<std::size_t>(live.front())]->thermal_solver();
+  std::vector<thermal::BatchedTransientSolver::LaneSpec> specs;
+  specs.reserve(n);
+  for (const int l : live) {
+    PreparedScenario& p = prepared_[static_cast<std::size_t>(l)];
+    thermal::TransientSolver& ts =
+        sessions_[static_cast<std::size_t>(l)]->thermal_solver();
+    if (p.sim.solver != kind ||
+        !thermal::BatchedTransientSolver::compatible(first, ts)) {
+      return;  // heterogeneous batch — scalar fallback
+    }
+    specs.push_back({&ts, p.sim.refresh});
+  }
+  // Lane indices in the batched solver == indices into `live`.
+  lane_of_ = std::move(live);
+  batched_ = std::make_unique<thermal::BatchedTransientSolver>(kind, specs);
+}
+
+BatchSession::~BatchSession() = default;
+BatchSession::BatchSession(BatchSession&&) noexcept = default;
+
+bool BatchSession::done() const {
+  for (std::size_t l = 0; l < prepared_.size(); ++l) {
+    if (!errors_[l].empty()) continue;
+    if (sessions_[l].has_value() && !sessions_[l]->done()) return false;
+  }
+  return true;
+}
+
+int BatchSession::lane_steps(int lane) const {
+  const std::size_t l = static_cast<std::size_t>(lane);
+  return sessions_[l].has_value() ? sessions_[l]->steps_done() : 0;
+}
+
+SimMetrics BatchSession::metrics(int lane) const {
+  const std::size_t l = static_cast<std::size_t>(lane);
+  require(errors_[l].empty() && sessions_[l].has_value(),
+          "BatchSession::metrics: lane errored");
+  return sessions_[l]->metrics();
+}
+
+void BatchSession::step() {
+  const std::size_t n = prepared_.size();
+
+  if (batched_ == nullptr) {
+    // Scalar-fallback lockstep: each live lane advances one interval on
+    // its own solver — the unmodified scalar path.
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!errors_[l].empty() || !sessions_[l].has_value() ||
+          sessions_[l]->done()) {
+        continue;
+      }
+      try {
+        sessions_[l]->step();
+      } catch (const std::exception& e) {
+        errors_[l] = e.what();
+      } catch (...) {
+        errors_[l] = "unknown error";
+      }
+    }
+    return;
+  }
+
+  // Batched: run every live lane's control phases, then one batched
+  // thermal advance, then the metrics phases.
+  const int L = batched_->lanes();
+  std::fill(stepping_.begin(), stepping_.end(), std::uint8_t{0});
+  for (int b = 0; b < L; ++b) {
+    const std::size_t l = static_cast<std::size_t>(lane_of_[b]);
+    if (!errors_[l].empty() || sessions_[l]->done()) continue;
+    try {
+      if (sessions_[l]->step_prepare()) {
+        stepping_[static_cast<std::size_t>(b)] = 1;
+      }
+    } catch (const std::exception& e) {
+      errors_[l] = e.what();
+    } catch (...) {
+      errors_[l] = "unknown error";
+    }
+  }
+
+  batched_->step_all(
+      std::span<const std::uint8_t>(stepping_.data(),
+                                    static_cast<std::size_t>(L)),
+      std::span<std::uint8_t>(failed_.data(), static_cast<std::size_t>(L)));
+
+  for (int b = 0; b < L; ++b) {
+    if (!stepping_[static_cast<std::size_t>(b)]) continue;
+    const std::size_t l = static_cast<std::size_t>(lane_of_[b]);
+    if (failed_[static_cast<std::size_t>(b)]) {
+      // A thrown lane keeps its exception text; plain non-convergence
+      // mirrors the scalar path's NumericalError message.
+      const std::string& what = batched_->lane_error(b);
+      errors_[l] = what.empty() ? "BicgstabSolver: failed to converge" : what;
+      continue;
+    }
+    try {
+      sessions_[l]->step_finish();
+    } catch (const std::exception& e) {
+      errors_[l] = e.what();
+    } catch (...) {
+      errors_[l] = "unknown error";
+    }
+  }
+}
+
+int BatchSession::run_to_end() {
+  int intervals = 0;
+  while (!done()) {
+    step();
+    ++intervals;
+  }
+  return intervals;
+}
+
+}  // namespace tac3d::sim

@@ -1,0 +1,100 @@
+#pragma once
+/// \file batch.hpp
+/// \brief BatchSession: K bank-prepared scenarios stepped in lockstep by
+/// one core, with the thermal solves batched per matrix traversal.
+///
+/// The closed control loop of a scenario is cheap per step (demand
+/// sampling, load balancing, a policy decision, a power update); nearly
+/// all the time goes into the per-step linear solve. When K scenarios
+/// share a sparsity pattern (same stack/grid — the ScenarioBank's model
+/// tier guarantees it) and an iterative solver kind, BatchSession runs
+/// the K control loops scalar but advances all K thermal systems through
+/// one thermal::BatchedTransientSolver, so a single traversal of the
+/// shared CSR pattern steps every lane (see sparse/batched.hpp for why
+/// that is both faster and bitwise-neutral per lane).
+///
+/// Lanes are isolated: a lane whose construction, policy loop or linear
+/// solve throws is recorded (lane_error) and deactivated; the remaining
+/// lanes keep stepping to completion. Lanes that cannot batch (direct
+/// solver, mismatched pattern or kind, or a single lane) fall back to
+/// per-lane scalar stepping — still lockstep, still the exact scalar
+/// arithmetic.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/prepared.hpp"
+
+namespace tac3d::thermal {
+class BatchedTransientSolver;
+}
+
+namespace tac3d::sim {
+
+/// K prepared scenarios advancing in lockstep.
+class BatchSession {
+ public:
+  /// Take ownership of \p prepared (one lane each) and construct the
+  /// sessions. Construction failures are captured per lane, not thrown.
+  explicit BatchSession(std::vector<PreparedScenario> prepared);
+  ~BatchSession();
+  BatchSession(BatchSession&&) noexcept;
+
+  int lanes() const { return static_cast<int>(prepared_.size()); }
+
+  /// Did the thermal solves batch (false: scalar-fallback lockstep)?
+  bool thermal_batched() const { return batched_ != nullptr; }
+
+  /// Advance every live, unfinished lane one control interval.
+  void step();
+
+  /// Step until every lane is done or errored. \return lockstep
+  /// intervals executed.
+  int run_to_end();
+
+  /// Every lane done or errored?
+  bool done() const;
+
+  /// Lane completed so far without error?
+  bool lane_ok(int lane) const {
+    return errors_[static_cast<std::size_t>(lane)].empty();
+  }
+
+  /// Error text of a failed lane (empty when ok).
+  const std::string& lane_error(int lane) const {
+    return errors_[static_cast<std::size_t>(lane)];
+  }
+
+  /// The lane's session (valid whenever construction succeeded — check
+  /// has_session(); errored lanes keep their partial state).
+  bool has_session(int lane) const {
+    return sessions_[static_cast<std::size_t>(lane)].has_value();
+  }
+  const SimulationSession& session(int lane) const {
+    return *sessions_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Steps lane \p lane completed (0 when construction failed).
+  int lane_steps(int lane) const;
+
+  /// Metrics of a completed, ok lane.
+  SimMetrics metrics(int lane) const;
+
+  /// The scenario the lane ran.
+  const Scenario& scenario(int lane) const {
+    return prepared_[static_cast<std::size_t>(lane)].spec;
+  }
+
+ private:
+  std::vector<PreparedScenario> prepared_;
+  std::vector<std::optional<SimulationSession>> sessions_;
+  std::vector<std::string> errors_;
+  std::unique_ptr<thermal::BatchedTransientSolver> batched_;
+  std::vector<int> lane_of_;  ///< batched lane index -> prepared_ index
+  std::vector<std::uint8_t> stepping_, failed_;  ///< step() scratch masks
+};
+
+}  // namespace tac3d::sim

@@ -140,7 +140,13 @@ SimulationSession::~SimulationSession() = default;
 SimulationSession::SimulationSession(SimulationSession&&) noexcept = default;
 
 void SimulationSession::step() {
-  if (done()) return;
+  if (!step_prepare()) return;
+  thermal_->step();
+  step_finish();
+}
+
+bool SimulationSession::step_prepare() {
+  if (done()) return false;
   const double now = steps_done_ * cfg_.control_dt;
 
   // 1. Workload demands and load balancing.
@@ -177,12 +183,14 @@ void SimulationSession::step() {
     m_.lost_work += (demand - executed) * cfg_.control_dt;
   }
 
-  // 4. Power (leakage from the current temperature field) and thermal
-  //    step.
+  // 4. Power (leakage from the current temperature field); the thermal
+  //    step itself runs between step_prepare and step_finish.
   soc_.model().set_element_powers(
       soc_.element_powers(cores_, thermal_->temperatures()));
-  thermal_->step();
+  return true;
+}
 
+void SimulationSession::step_finish() {
   // 5. Metrics.
   bool any_hot = false;
   for (int c = 0; c < n_cores_; ++c) {

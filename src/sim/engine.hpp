@@ -119,6 +119,23 @@ class SimulationSession {
   /// Advance one control interval. No-op once done().
   void step();
 
+  /// Lockstep phase API (used by BatchSession to batch the thermal
+  /// solve across sessions): step() is exactly
+  ///   step_prepare() + thermal_solver().step() + step_finish().
+  /// step_prepare() runs load balancing, the policy decision, the
+  /// execution/power model and leaves the thermal solver ready to
+  /// advance (false = already done(), nothing to step); after the
+  /// thermal step — scalar or one lane of a thermal::
+  /// BatchedTransientSolver — step_finish() accumulates the metrics and
+  /// commits the interval. Callers must pair them exactly.
+  bool step_prepare();
+  void step_finish();
+
+  /// The transient thermal solver this session steps (the lane handle a
+  /// BatchedTransientSolver drives between step_prepare and
+  /// step_finish).
+  thermal::TransientSolver& thermal_solver() { return *thermal_; }
+
   /// Step until simulated time reaches \p t_sim (or the run ends).
   /// \return number of steps taken.
   int run_until(double t_sim);

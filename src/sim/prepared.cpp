@@ -20,29 +20,54 @@ std::string bits(double v) {
   return os.str();
 }
 
+/// Incremental FNV-1a over 64-bit words, rendered as hex (the key
+/// fingerprints below share it).
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+
+  std::string hex() const {
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+  }
+};
+
 /// FNV-1a over the raw sample bits of an explicit trace. Keys by
 /// content, so the fingerprint is stable across separately built
 /// scenario lists that attached equal traces (synthesis is deterministic
 /// in its axes) and distinct for any custom trace that differs in a
 /// single bit.
 std::string trace_fingerprint(const power::UtilizationTrace& t) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(static_cast<std::uint64_t>(t.threads()));
-  mix(static_cast<std::uint64_t>(t.seconds()));
+  Fnv1a f;
+  f.mix(static_cast<std::uint64_t>(t.threads()));
+  f.mix(static_cast<std::uint64_t>(t.seconds()));
   for (int th = 0; th < t.threads(); ++th) {
     for (int s = 0; s < t.seconds(); ++s) {
-      mix(std::bit_cast<std::uint64_t>(t.at(th, s)));
+      f.mix(std::bit_cast<std::uint64_t>(t.at(th, s)));
     }
   }
-  std::ostringstream os;
-  os << std::hex << h;
-  return os.str();
+  return f.hex();
+}
+
+/// FNV-1a over only the t=0 sample column. The initial steady state
+/// consumes nothing else of the trace (compute_initial_state balances
+/// the t=0 demand), so the steady tier keys attached traces by this
+/// coarser fingerprint: scenarios differing only in later trace content
+/// share the cached steady solve.
+std::string trace_t0_fingerprint(const power::UtilizationTrace& t) {
+  Fnv1a f;
+  f.mix(static_cast<std::uint64_t>(t.threads()));
+  for (int th = 0; th < t.threads(); ++th) {
+    f.mix(std::bit_cast<std::uint64_t>(t.sample(th, 0.0)));
+  }
+  return f.hex();
 }
 
 }  // namespace
@@ -88,7 +113,18 @@ std::string scenario_steady_key(const Scenario& s) {
   const std::string flow =
       liquid ? bits(s.sim.pump.flow_per_cavity(s.sim.pump.levels() - 1))
              : "air";
-  return "steady:" + scenario_model_key(s) + "|" + scenario_trace_key(s) +
+  // Only the t=0 demand enters the initial steady solve, so a usable
+  // attached trace is keyed by its t=0 sample column alone — scenarios
+  // whose traces diverge later still share the cached solve. Synthesized
+  // traces keep the full synthesis-axes key: their t=0 content is a
+  // function of (workload, seed, length) that is unknown until the trace
+  // tier builds them.
+  const std::string trace_part =
+      scenario_trace_usable(s)
+          ? "t0#thr=" + std::to_string(s.trace->threads()) + "|h=" +
+                trace_t0_fingerprint(*s.trace)
+          : scenario_trace_key(s);
+  return "steady:" + scenario_model_key(s) + "|" + trace_part +
          "|q=" + flow + "|init=" + std::to_string(s.sim.init_iterations) +
          "|imb=" + bits(s.sim.lb_imbalance);
 }

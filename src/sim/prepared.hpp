@@ -14,8 +14,9 @@
 ///
 ///   trace tier   (workload, seed, trace_seconds)  [or trace identity]
 ///   model tier   (tiers, cooling, grid)
-///   steady tier  (model key, trace key, initial flow, init iterations,
-///                 LB imbalance)
+///   steady tier  (model key, t=0 demand fingerprint [attached traces]
+///                 or trace key [synthesis axes], initial flow,
+///                 init iterations, LB imbalance)
 ///
 /// Anything outside a key (policy, solver kind, refresh policy, pump
 /// power table, trace duration actually simulated, ...) must not affect
@@ -49,11 +50,15 @@ std::string scenario_trace_key(const Scenario& s);
 std::string scenario_model_key(const Scenario& s);
 
 /// Steady-tier key: identifies the leakage-consistent initial state —
-/// the model and trace keys plus the policy-independent initial
-/// conditions (maximum pump flow per cavity on liquid stacks, fixed-
-/// point iteration count, LB imbalance threshold). Deliberately excludes
-/// the solver kind: the steady solve always runs BiCGSTAB+ILU0, so
-/// scenarios differing only in the stepping solver share their start.
+/// the model key, the trace's t=0 demand (only the t=0 sample column
+/// enters compute_initial_state, so usable attached traces are keyed by
+/// its fingerprint and scenarios differing only in later trace content
+/// share the solve; synthesis-bound scenarios keep the full trace key)
+/// plus the policy-independent initial conditions (maximum pump flow per
+/// cavity on liquid stacks, fixed-point iteration count, LB imbalance
+/// threshold). Deliberately excludes the solver kind: the steady solve
+/// always runs BiCGSTAB+ILU0, so scenarios differing only in the
+/// stepping solver share their start.
 std::string scenario_steady_key(const Scenario& s);
 
 /// A Scenario compiled by a ScenarioBank (sim/bank.hpp): shared trace,

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "common/units.hpp"
 #include "sim/bank.hpp"
+#include "sim/batch.hpp"
+#include "sparse/batched.hpp"
 
 namespace tac3d::sim {
 
@@ -49,6 +53,46 @@ double estimated_cost(const Scenario& s, double setup_factor) {
 /// Discount applied to the setup term of scenarios that will hit the
 /// bank's steady tier (clone-and-reset instead of a fixed-point solve).
 constexpr double kPreparedSetupFactor = 0.05;
+
+/// Default lane count of batched lockstep jobs (SweepOptions::batch_width
+/// == 0): wide enough to amortize the pattern traversal and fill SIMD
+/// lanes, small enough that the interleaved working set (Krylov vectors,
+/// factors, matrix values — all x lanes) stays cache-resident and the
+/// per-step convergence spread across lanes stays cheap. Measured on the
+/// paper matrix, throughput plateaus at 4-6 lanes and dips at 8.
+constexpr int kAutoBatchWidth = 6;
+
+/// One unit of worker-pool work: a single scenario (scalar path) or the
+/// lanes of one batched lockstep group chunk.
+struct SweepJob {
+  std::vector<std::size_t> slots;  ///< indices into the results array
+  double cost = 0.0;               ///< summed estimated_cost (LPT key)
+};
+
+/// Can this scenario join a batched lockstep group? (Direct solvers
+/// don't batch — no initial guess, per-lane factorization.)
+bool batchable(const Scenario& s) {
+  return s.sim.solver == sparse::SolverKind::kBicgstabIlu0 ||
+         s.sim.solver == sparse::SolverKind::kBicgstabJacobi;
+}
+
+/// Grouping key of batched lockstep jobs: the bank's model key (stack/
+/// grid -> sparsity pattern) plus the control interval (operator values
+/// prototype) and the solver kind. Policies, workloads, seeds and
+/// tolerances may differ per lane — but continuously flow-modulating
+/// (fuzzy) scenarios group separately from the rest: a batch iterates
+/// until its slowest lane converges, so coupling ~0-iteration warm-
+/// started lanes to 6-8-iteration fuzzy lanes would make the cheap
+/// lanes pay the expensive lanes' Krylov work. Splitting by iteration
+/// class keeps batches homogeneous (mixed batches remain fully
+/// supported — BatchSession doesn't care — this is purely a scheduling
+/// heuristic).
+std::string batch_group_key(const Scenario& s) {
+  return scenario_model_key(s) + "|dt=" +
+         std::to_string(std::bit_cast<std::uint64_t>(s.sim.control_dt)) +
+         "|k=" + std::to_string(static_cast<int>(s.sim.solver)) +
+         "|fz=" + (s.policy == PolicyKind::kLcFuzzy ? "1" : "0");
+}
 
 }  // namespace
 
@@ -197,28 +241,17 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     }
   }
 
-  const int jobs = std::max(
-      1, std::min<int>(resolve_jobs(opts.jobs),
-                       static_cast<int>(scenarios.size())));
-
-  // Work order: input order when serial (progressive on_result output in
-  // the order the caller wrote); longest-estimated-first when parallel,
-  // so one expensive scenario picked up last cannot serialize the tail
-  // of the sweep. With a bank, only the first scenario of each
-  // steady-tier key pays construction — later equal-keyed ones are
-  // costed as clone-and-reset so the scheduler doesn't overrate them.
-  // Results stay in input order either way.
-  std::vector<std::size_t> order(results.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (jobs > 1) {
-    std::vector<double> cost(results.size());
+  // Per-scenario cost estimates (LPT scheduling key). With a bank, only
+  // the first scenario of each steady-tier key pays construction — later
+  // equal-keyed ones are costed as clone-and-reset so the scheduler
+  // doesn't overrate them.
+  std::vector<double> cost(results.size(), 0.0);
+  {
     std::unordered_set<std::string> seen_steady;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Scenario& s = results[i].scenario;
       double setup_factor = 1.0;
       if (bank != nullptr) {
-        // Discount scenarios whose steady key repeats within this sweep
-        // — or already sits in a caller-supplied warm bank.
         const std::string key = scenario_steady_key(s);
         if (!seen_steady.insert(key).second || bank->has_steady(key)) {
           setup_factor = kPreparedSetupFactor;
@@ -226,11 +259,75 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       }
       cost[i] = estimated_cost(s, setup_factor);
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return cost[a] > cost[b];
-                     });
   }
+
+  // Partition the sweep into jobs: with the bank on and batching
+  // enabled, scenarios sharing a batch group key (pattern, dt, solver
+  // kind) are chunked into lockstep BatchSession jobs of up to
+  // batch_width lanes; everything else runs scalar, one job per
+  // scenario. Chunks honor input order within a group.
+  const int batch_width =
+      bank == nullptr || opts.batch_width == 1
+          ? 1
+          : std::min(opts.batch_width > 0 ? opts.batch_width
+                                          : kAutoBatchWidth,
+                     sparse::kMaxBatchLanes);
+  std::vector<SweepJob> sweep_jobs;
+  {
+    std::vector<std::string> group_order;
+    std::unordered_map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Scenario& s = results[i].scenario;
+      if (batch_width > 1 && batchable(s)) {
+        const std::string key = batch_group_key(s);
+        auto [it, fresh] = groups.try_emplace(key);
+        if (fresh) group_order.push_back(key);
+        it->second.push_back(i);
+      } else {
+        sweep_jobs.push_back({{i}, cost[i]});
+      }
+    }
+    for (const std::string& key : group_order) {
+      const std::vector<std::size_t>& members = groups[key];
+      // Balanced chunking: a group of 8 at width 6 becomes 4+4, not 6+2
+      // — equal-width batches amortize the shared traversals evenly
+      // instead of leaving a runt batch.
+      const std::size_t chunks =
+          (members.size() + static_cast<std::size_t>(batch_width) - 1) /
+          static_cast<std::size_t>(batch_width);
+      std::size_t at = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t take =
+            (members.size() - at + (chunks - c) - 1) / (chunks - c);
+        SweepJob job;
+        for (std::size_t m = at; m < at + take; ++m) {
+          job.slots.push_back(members[m]);
+          job.cost += cost[members[m]];
+        }
+        at += take;
+        sweep_jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  const int jobs = std::max(
+      1, std::min<int>(resolve_jobs(opts.jobs),
+                       static_cast<int>(sweep_jobs.size())));
+
+  // Work order: first-slot order when serial (progressive on_result
+  // output close to the order the caller wrote); longest-estimated-first
+  // when parallel, so one expensive job picked up last cannot serialize
+  // the tail of the sweep. Results stay in input order either way.
+  std::vector<std::size_t> order(sweep_jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs > 1) {
+                       return sweep_jobs[a].cost > sweep_jobs[b].cost;
+                     }
+                     return sweep_jobs[a].slots.front() <
+                            sweep_jobs[b].slots.front();
+                   });
 
   std::atomic<std::size_t> next{0};
   std::mutex report_mutex;
@@ -248,29 +345,105 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     r.stepping_seconds = seconds_since(t1);
   };
 
-  auto worker = [&](int worker_id) {
-    for (;;) {
-      const std::size_t slot = next.fetch_add(1);
-      if (slot >= order.size()) return;
-      SweepResult& r = results[order[slot]];
+  auto deliver = [&](const SweepResult& r) {
+    if (opts.on_result) {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      opts.on_result(r);
+    }
+  };
+
+  // One scenario on the scalar path (bank or from-scratch).
+  auto run_scalar = [&](SweepResult& r, int worker_id) {
+    r.worker = worker_id;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      if (bank != nullptr) {
+        run_one(r, bank->prepare(r.scenario), t0);
+      } else {
+        run_one(r, instantiate(r.scenario), t0);
+      }
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    } catch (...) {
+      r.error = "unknown error";
+    }
+    r.wall_seconds = r.ok() ? r.setup_seconds + r.stepping_seconds
+                            : seconds_since(t0);
+    deliver(r);
+  };
+
+  // One batched lockstep job: prepare every lane through the bank
+  // (per-lane setup timing, per-lane error isolation), run the
+  // BatchSession to completion, split the shared stepping wall across
+  // lanes by their step counts.
+  auto run_batch = [&](const SweepJob& job, int worker_id) {
+    std::vector<PreparedScenario> prep;
+    std::vector<std::size_t> lane_slots;
+    prep.reserve(job.slots.size());
+    for (const std::size_t slot : job.slots) {
+      SweepResult& r = results[slot];
       r.worker = worker_id;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        if (bank != nullptr) {
-          run_one(r, bank->prepare(r.scenario), t0);
-        } else {
-          run_one(r, instantiate(r.scenario), t0);
-        }
+        prep.push_back(bank->prepare(r.scenario));
+        lane_slots.push_back(slot);
+        r.setup_seconds = seconds_since(t0);
       } catch (const std::exception& e) {
         r.error = e.what();
       } catch (...) {
         r.error = "unknown error";
       }
-      r.wall_seconds = r.ok() ? r.setup_seconds + r.stepping_seconds
-                              : seconds_since(t0);
-      if (opts.on_result) {
-        const std::lock_guard<std::mutex> lock(report_mutex);
-        opts.on_result(r);
+      if (!r.ok()) {
+        r.wall_seconds = seconds_since(t0);
+        deliver(r);
+      }
+    }
+    if (lane_slots.empty()) return;
+
+    const int lanes = static_cast<int>(lane_slots.size());
+    const auto t1 = std::chrono::steady_clock::now();
+    try {
+      BatchSession batch(std::move(prep));
+      batch.run_to_end();
+      const double stepping = seconds_since(t1);
+      double total_steps = 0.0;
+      for (int l = 0; l < lanes; ++l) total_steps += batch.lane_steps(l);
+      for (int l = 0; l < lanes; ++l) {
+        SweepResult& r = results[lane_slots[static_cast<std::size_t>(l)]];
+        r.batch_lanes = lanes;
+        r.stepping_seconds =
+            total_steps > 0.0 ? stepping * batch.lane_steps(l) / total_steps
+                              : stepping / lanes;
+        r.wall_seconds = r.setup_seconds + r.stepping_seconds;
+        if (batch.lane_ok(l)) {
+          r.metrics = batch.metrics(l);
+        } else {
+          r.error = batch.lane_error(l);
+        }
+        deliver(r);
+      }
+    } catch (const std::exception& e) {
+      // Lane-level failures are isolated inside BatchSession; reaching
+      // here means the batch itself could not run (e.g. a driver
+      // invariant) — fail every lane rather than the whole sweep.
+      for (const std::size_t slot : lane_slots) {
+        SweepResult& r = results[slot];
+        r.error = e.what();
+        r.wall_seconds = r.setup_seconds + seconds_since(t1);
+        deliver(r);
+      }
+    }
+  };
+
+  auto worker = [&](int worker_id) {
+    for (;;) {
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= order.size()) return;
+      SweepJob& job = sweep_jobs[order[slot]];
+      if (job.slots.size() == 1) {
+        run_scalar(results[job.slots.front()], worker_id);
+      } else {
+        run_batch(job, worker_id);
       }
     }
   };

@@ -53,6 +53,10 @@ struct SweepResult {
   double stepping_seconds = 0.0;
   double wall_seconds = 0.0;  ///< setup_seconds + stepping_seconds
   int worker = -1;            ///< pool worker that ran it (0-based)
+  /// Lanes of the batched lockstep job this scenario rode in (see
+  /// SweepOptions::batch_width); 0 = ran on the scalar path. Batched
+  /// stepping wall time is attributed to lanes by their step counts.
+  int batch_lanes = 0;
   std::string error;          ///< exception text; empty on success
 
   bool ok() const { return error.empty(); }
@@ -96,6 +100,16 @@ struct SweepOptions {
   /// them — repeated sweeps over a shared design space then pay setup
   /// only on first touch.
   std::shared_ptr<ScenarioBank> bank;
+  /// Batched lockstep stepping (requires the bank): scenarios that share
+  /// a model/pattern key, control interval and iterative solver kind are
+  /// grouped into BatchSession jobs of up to this many lanes, so one
+  /// worker advances all of them per matrix traversal
+  /// (sim/batch.hpp; per-lane results are bitwise identical to the
+  /// scalar path). 0 = auto width (currently 6), 1 = batching off,
+  /// values above sparse::kMaxBatchLanes are clamped. Singleton groups,
+  /// direct-solver scenarios and bank-off sweeps take the scalar path
+  /// unchanged.
+  int batch_width = 0;
 };
 
 /// Results of a sweep, in input order, with sort/report helpers.

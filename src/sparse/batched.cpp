@@ -1,0 +1,907 @@
+#include "sparse/batched.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace tac3d::sparse {
+
+// ---------------------------------------------------------------------------
+// BatchedCsr
+// ---------------------------------------------------------------------------
+
+BatchedCsr::BatchedCsr(const CsrMatrix& pattern, int lanes)
+    : rows_(pattern.rows()), nnz_(pattern.nnz()), lanes_(lanes) {
+  require(lanes >= 1 && lanes <= kMaxBatchLanes,
+          "BatchedCsr: lane count out of range");
+  require(pattern.rows() == pattern.cols(),
+          "BatchedCsr: pattern must be square");
+  row_ptr_.assign(pattern.row_ptr().begin(), pattern.row_ptr().end());
+  col_idx_.assign(pattern.col_idx().begin(), pattern.col_idx().end());
+  values_.assign(static_cast<std::size_t>(nnz_) * lanes_, 0.0);
+  const std::span<const double> pv = pattern.values();
+  for (std::int64_t k = 0; k < nnz_; ++k) {
+    for (int l = 0; l < lanes_; ++l) {
+      values_[static_cast<std::size_t>(k) * lanes_ + l] =
+          pv[static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+void BatchedCsr::load_lane(int lane, const CsrMatrix& a) {
+  require(lane >= 0 && lane < lanes_, "BatchedCsr::load_lane: bad lane");
+  require(a.nnz() == nnz_ && a.rows() == rows_,
+          "BatchedCsr::load_lane: pattern mismatch");
+  const double* __restrict src = a.values().data();
+  double* __restrict dst = values_.data();
+  const int L = lanes_;
+  for (std::int64_t k = 0; k < nnz_; ++k) {
+    dst[k * L + lane] = src[k];
+  }
+}
+
+void BatchedCsr::load_lane_rows(int lane, const CsrMatrix& a,
+                                std::span<const std::int32_t> rows) {
+  require(lane >= 0 && lane < lanes_, "BatchedCsr::load_lane_rows: bad lane");
+  require(a.nnz() == nnz_ && a.rows() == rows_,
+          "BatchedCsr::load_lane_rows: pattern mismatch");
+  const std::int32_t* __restrict rp = row_ptr_.data();
+  const double* __restrict src = a.values().data();
+  double* __restrict dst = values_.data();
+  const int L = lanes_;
+  for (const std::int32_t r : rows) {
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      dst[static_cast<std::int64_t>(k) * L + lane] = src[k];
+    }
+  }
+}
+
+bool BatchedCsr::matches(const CsrMatrix& a) const {
+  return a.rows() == rows_ && a.nnz() == nnz_ &&
+         std::equal(row_ptr_.begin(), row_ptr_.end(), a.row_ptr().begin()) &&
+         std::equal(col_idx_.begin(), col_idx_.end(), a.col_idx().begin());
+}
+
+void pack_lane(std::span<double> dst, int lanes, int lane,
+               std::span<const double> src) {
+  require(dst.size() == src.size() * static_cast<std::size_t>(lanes),
+          "pack_lane: size mismatch");
+  double* __restrict d = dst.data();
+  const double* __restrict s = src.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) d[i * lanes + lane] = s[i];
+}
+
+void unpack_lane(std::span<const double> src, int lanes, int lane,
+                 std::span<double> dst) {
+  require(src.size() == dst.size() * static_cast<std::size_t>(lanes),
+          "unpack_lane: size mismatch");
+  const double* __restrict s = src.data();
+  double* __restrict d = dst.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = s[i * lanes + lane];
+}
+
+void pack_lanes(std::span<double> dst, int lanes,
+                const double* const* srcs, std::size_t n) {
+  require(dst.size() == n * static_cast<std::size_t>(lanes),
+          "pack_lanes: size mismatch");
+  double* __restrict d = dst.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int l = 0; l < lanes; ++l) {
+      if (srcs[l] != nullptr) d[i * lanes + l] = srcs[l][i];
+    }
+  }
+}
+
+void unpack_lanes(std::span<const double> src, int lanes,
+                  double* const* dsts, std::size_t n) {
+  require(src.size() == n * static_cast<std::size_t>(lanes),
+          "unpack_lanes: size mismatch");
+  const double* __restrict s = src.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int l = 0; l < lanes; ++l) {
+      if (dsts[l] != nullptr) dsts[l][i] = s[i * lanes + l];
+    }
+  }
+}
+
+void BatchedKrylovWorkspace::resize(std::size_t n, int lanes) {
+  if (n_ == n && lanes_ == lanes) return;
+  n_ = n;
+  lanes_ = lanes;
+  const std::size_t total = n * static_cast<std::size_t>(lanes);
+  for (auto* vec : {&r, &r0, &p, &v, &s, &t, &ph, &sh, &snap}) {
+    vec->assign(total, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused batched kernels. Each mirrors its serial counterpart in
+// kernels.cpp with the lane dimension as the inner loop: per lane, the
+// floating-point expression shapes and accumulation order are identical,
+// which is what keeps a batched lane bitwise equal to a serial solve.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The fused batched kernels are templated on a compile-time lane count
+/// CL (0 = generic runtime width): with the width known, the lane inner
+/// loops have constant trip counts, so the compiler unrolls them into
+/// SIMD lanes and keeps the per-lane accumulators in registers — the
+/// actual mechanism by which one pattern traversal advances K systems at
+/// roughly the cost of one. dispatch_lanes() selects the instantiation.
+template <typename F>
+void dispatch_lanes(int lanes, F&& f) {
+  switch (lanes) {
+    case 1: f(std::integral_constant<int, 1>{}); return;
+    case 2: f(std::integral_constant<int, 2>{}); return;
+    case 3: f(std::integral_constant<int, 3>{}); return;
+    case 4: f(std::integral_constant<int, 4>{}); return;
+    case 5: f(std::integral_constant<int, 5>{}); return;
+    case 6: f(std::integral_constant<int, 6>{}); return;
+    case 7: f(std::integral_constant<int, 7>{}); return;
+    case 8: f(std::integral_constant<int, 8>{}); return;
+    case 16: f(std::integral_constant<int, 16>{}); return;
+    default: f(std::integral_constant<int, 0>{}); return;
+  }
+}
+
+/// r = b - A x per lane; rr[l] = dot(r, r), bb[l] = dot(b, b)
+/// (residual_norms).
+template <int CL>
+void t_residual_norms(const BatchedCsr& a, const double* __restrict x,
+                      const double* __restrict b, double* __restrict r,
+                      double* __restrict rr, double* __restrict bb) {
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const std::int32_t n = a.rows();
+  const int L = CL > 0 ? CL : a.lanes();
+  for (int l = 0; l < L; ++l) {
+    rr[l] = 0.0;
+    bb[l] = 0.0;
+  }
+  double acc[kMaxBatchLanes];
+  for (std::int32_t row = 0; row < n; ++row) {
+    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
+      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+    }
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
+    for (int l = 0; l < L; ++l) {
+      const double bi = b[rk + l];
+      const double res = bi - acc[l];
+      r[rk + l] = res;
+      rr[l] += res * res;
+      bb[l] += bi * bi;
+    }
+  }
+}
+
+void b_residual_norms(const BatchedCsr& a, const double* x, const double* b,
+                      double* r, double* rr, double* bb) {
+  dispatch_lanes(a.lanes(), [&](auto cl) {
+    t_residual_norms<cl.value>(a, x, b, r, rr, bb);
+  });
+}
+
+/// out[l] = dot(a_vec, b_vec) per lane.
+template <int CL>
+void t_dot(std::size_t n, int lanes, const double* __restrict a,
+           const double* __restrict b, double* __restrict out) {
+  const int L = CL > 0 ? CL : lanes;
+  for (int l = 0; l < L; ++l) out[l] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i * L;
+    for (int l = 0; l < L; ++l) out[l] += a[k + l] * b[k + l];
+  }
+}
+
+void b_dot(std::size_t n, int lanes, const double* a, const double* b,
+           double* out) {
+  dispatch_lanes(lanes,
+                 [&](auto cl) { t_dot<cl.value>(n, lanes, a, b, out); });
+}
+
+/// p = r + beta * (p - omega * v) per lane (bicgstab_p_update).
+template <int CL>
+void t_p_update(std::size_t n, int lanes, const double* __restrict r,
+                const double* __restrict beta, const double* __restrict omega,
+                const double* __restrict v, double* __restrict p) {
+  const int L = CL > 0 ? CL : lanes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i * L;
+    for (int l = 0; l < L; ++l) {
+      p[k + l] = r[k + l] + beta[l] * (p[k + l] - omega[l] * v[k + l]);
+    }
+  }
+}
+
+void b_p_update(std::size_t n, int lanes, const double* r, const double* beta,
+                const double* omega, const double* v, double* p) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_p_update<cl.value>(n, lanes, r, beta, omega, v, p);
+  });
+}
+
+/// y = A x per lane; out[l] = dot(w, y) (spmv_dot).
+template <int CL>
+void t_spmv_dot(const BatchedCsr& a, const double* __restrict x,
+                double* __restrict y, const double* __restrict w,
+                double* __restrict out) {
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const std::int32_t n = a.rows();
+  const int L = CL > 0 ? CL : a.lanes();
+  for (int l = 0; l < L; ++l) out[l] = 0.0;
+  double acc[kMaxBatchLanes];
+  for (std::int32_t row = 0; row < n; ++row) {
+    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
+      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+    }
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
+    for (int l = 0; l < L; ++l) {
+      y[rk + l] = acc[l];
+      out[l] += w[rk + l] * acc[l];
+    }
+  }
+}
+
+void b_spmv_dot(const BatchedCsr& a, const double* x, double* y,
+                const double* w, double* out) {
+  dispatch_lanes(a.lanes(),
+                 [&](auto cl) { t_spmv_dot<cl.value>(a, x, y, w, out); });
+}
+
+/// y = A x per lane; yy[l] = dot(y, y), wy[l] = dot(w, y) (spmv_dot2).
+template <int CL>
+void t_spmv_dot2(const BatchedCsr& a, const double* __restrict x,
+                 double* __restrict y, const double* __restrict w,
+                 double* __restrict yy, double* __restrict wy) {
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
+  const double* __restrict v = a.values().data();
+  const std::int32_t n = a.rows();
+  const int L = CL > 0 ? CL : a.lanes();
+  for (int l = 0; l < L; ++l) {
+    yy[l] = 0.0;
+    wy[l] = 0.0;
+  }
+  double acc[kMaxBatchLanes];
+  for (std::int32_t row = 0; row < n; ++row) {
+    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
+      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+    }
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
+    for (int l = 0; l < L; ++l) {
+      y[rk + l] = acc[l];
+      yy[l] += acc[l] * acc[l];
+      wy[l] += w[rk + l] * acc[l];
+    }
+  }
+}
+
+void b_spmv_dot2(const BatchedCsr& a, const double* x, double* y,
+                 const double* w, double* yy, double* wy) {
+  dispatch_lanes(a.lanes(),
+                 [&](auto cl) { t_spmv_dot2<cl.value>(a, x, y, w, yy, wy); });
+}
+
+/// w = x + alpha * y per lane; out[l] = dot(w, w) (waxpby).
+template <int CL>
+void t_waxpby(std::size_t n, int lanes, double* __restrict w,
+              const double* __restrict x, const double* __restrict alpha,
+              const double* __restrict y, double* __restrict out) {
+  const int L = CL > 0 ? CL : lanes;
+  for (int l = 0; l < L; ++l) out[l] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i * L;
+    for (int l = 0; l < L; ++l) {
+      const double wi = x[k + l] + alpha[l] * y[k + l];
+      w[k + l] = wi;
+      out[l] += wi * wi;
+    }
+  }
+}
+
+void b_waxpby(std::size_t n, int lanes, double* w, const double* x,
+              const double* alpha, const double* y, double* out) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_waxpby<cl.value>(n, lanes, w, x, alpha, y, out);
+  });
+}
+
+/// x += alpha * ph + omega * sh; r = s - omega * t; rr[l] = dot(r, r)
+/// per lane (bicgstab_final_update).
+template <int CL>
+void t_final_update(std::size_t n, int lanes, const double* __restrict alpha,
+                    const double* __restrict ph,
+                    const double* __restrict omega,
+                    const double* __restrict sh, const double* __restrict s,
+                    const double* __restrict t, double* __restrict x,
+                    double* __restrict r, double* __restrict rr) {
+  const int L = CL > 0 ? CL : lanes;
+  for (int l = 0; l < L; ++l) rr[l] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = i * L;
+    for (int l = 0; l < L; ++l) {
+      x[k + l] += alpha[l] * ph[k + l] + omega[l] * sh[k + l];
+      const double ri = s[k + l] - omega[l] * t[k + l];
+      r[k + l] = ri;
+      rr[l] += ri * ri;
+    }
+  }
+}
+
+void b_final_update(std::size_t n, int lanes, const double* alpha,
+                    const double* ph, const double* omega, const double* sh,
+                    const double* s, const double* t, double* x, double* r,
+                    double* rr) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_final_update<cl.value>(n, lanes, alpha, ph, omega, sh, s, t, x, r, rr);
+  });
+}
+
+/// ILU(0) forward/backward substitution across lanes (the row-
+/// sequential dependency is within a lane; every row's update runs
+/// lane-wide, in the serial solver's exact entry order per lane).
+template <int CL>
+void t_ilu_apply(std::int32_t rows, int lanes,
+                 const std::int32_t* __restrict rp,
+                 const std::int32_t* __restrict ci,
+                 const double* __restrict v, const double* __restrict rs,
+                 double* __restrict zs) {
+  const int L = CL > 0 ? CL : lanes;
+  double acc[kMaxBatchLanes];
+  double dii[kMaxBatchLanes];
+  // Forward solve L z = r (unit diagonal).
+  for (std::int32_t i = 0; i < rows; ++i) {
+    const std::int64_t ik = static_cast<std::int64_t>(i) * L;
+    for (int l = 0; l < L; ++l) acc[l] = rs[ik + l];
+    for (std::int32_t k = rp[i]; k < rp[i + 1] && ci[k] < i; ++k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
+      const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L;
+      for (int l = 0; l < L; ++l) acc[l] -= v[vk + l] * zs[zk + l];
+    }
+    for (int l = 0; l < L; ++l) zs[ik + l] = acc[l];
+  }
+  // Backward solve U z = z (entry walk in the serial solver's reverse
+  // order, so the per-lane subtraction chains match bitwise).
+  for (std::int32_t i = rows - 1; i >= 0; --i) {
+    const std::int64_t ik = static_cast<std::int64_t>(i) * L;
+    for (int l = 0; l < L; ++l) {
+      acc[l] = zs[ik + l];
+      dii[l] = 0.0;
+    }
+    for (std::int32_t k = rp[i + 1] - 1; k >= rp[i] && ci[k] >= i; --k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
+      if (ci[k] == i) {
+        for (int l = 0; l < L; ++l) dii[l] = v[vk + l];
+      } else {
+        const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L;
+        for (int l = 0; l < L; ++l) acc[l] -= v[vk + l] * zs[zk + l];
+      }
+    }
+    for (int l = 0; l < L; ++l) zs[ik + l] = acc[l] / dii[l];
+  }
+}
+
+}  // namespace
+
+void batched_residual_norms(const BatchedCsr& a, std::span<const double> x,
+                            std::span<const double> b, std::span<double> r,
+                            std::span<double> rr, std::span<double> bb) {
+  const std::size_t total =
+      static_cast<std::size_t>(a.rows()) * static_cast<std::size_t>(a.lanes());
+  require(x.size() == total && b.size() == total && r.size() == total &&
+              rr.size() == static_cast<std::size_t>(a.lanes()) &&
+              bb.size() == rr.size(),
+          "batched_residual_norms: size mismatch");
+  b_residual_norms(a, x.data(), b.data(), r.data(), rr.data(), bb.data());
+}
+
+// ---------------------------------------------------------------------------
+// Batched preconditioners
+// ---------------------------------------------------------------------------
+
+BatchedJacobiPreconditioner::BatchedJacobiPreconditioner(const BatchedCsr& a)
+    : lanes_(a.lanes()) {
+  inv_diag_.assign(static_cast<std::size_t>(a.rows()) * lanes_, 0.0);
+  for (int l = 0; l < lanes_; ++l) refactor_lane(l, a);
+}
+
+void BatchedJacobiPreconditioner::refactor_lane(int lane,
+                                                const BatchedCsr& a) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  const int L = lanes_;
+  for (std::int32_t r = 0; r < a.rows(); ++r) {
+    double d = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) d = v[static_cast<std::size_t>(k) * L + lane];
+    }
+    require(d != 0.0, "BatchedJacobiPreconditioner: zero diagonal entry");
+    inv_diag_[static_cast<std::size_t>(r) * L + lane] = 1.0 / d;
+  }
+}
+
+void BatchedJacobiPreconditioner::refactor_rows_lane(
+    int lane, const BatchedCsr& a, std::span<const std::int32_t> rows) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  const int L = lanes_;
+  for (const std::int32_t r : rows) {
+    double d = 0.0;
+    for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) d = v[static_cast<std::size_t>(k) * L + lane];
+    }
+    require(d != 0.0, "BatchedJacobiPreconditioner: zero diagonal entry");
+    inv_diag_[static_cast<std::size_t>(r) * L + lane] = 1.0 / d;
+  }
+}
+
+void BatchedJacobiPreconditioner::apply(std::span<const double> r,
+                                        std::span<double> z) const {
+  require(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+          "BatchedJacobiPreconditioner: size mismatch");
+  const double* __restrict rs = r.data();
+  const double* __restrict ds = inv_diag_.data();
+  double* __restrict zs = z.data();
+  const std::size_t total = r.size();
+  for (std::size_t i = 0; i < total; ++i) zs[i] = rs[i] * ds[i];
+}
+
+BatchedIlu0Preconditioner::BatchedIlu0Preconditioner(const BatchedCsr& a)
+    : lanes_(a.lanes()), rows_(a.rows()) {
+  row_ptr_.assign(a.row_ptr().begin(), a.row_ptr().end());
+  col_idx_.assign(a.col_idx().begin(), a.col_idx().end());
+  lu_.assign(static_cast<std::size_t>(a.nnz()) * lanes_, 0.0);
+  diag_.assign(static_cast<std::size_t>(rows_), -1);
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) diag_[r] = k;
+    }
+    require(diag_[r] >= 0,
+            "BatchedIlu0Preconditioner: missing diagonal entry");
+  }
+  for (int l = 0; l < lanes_; ++l) refactor_lane(l, a);
+}
+
+void BatchedIlu0Preconditioner::refactor_lane(int lane, const BatchedCsr& a) {
+  require(a.nnz() * lanes_ == static_cast<std::int64_t>(lu_.size()) &&
+              a.rows() == rows_,
+          "BatchedIlu0Preconditioner::refactor_lane: pattern mismatch");
+  const std::int32_t* __restrict rp = row_ptr_.data();
+  const std::int32_t* __restrict ci = col_idx_.data();
+  const double* __restrict av = a.values().data();
+  double* __restrict v = lu_.data();
+  const int L = lanes_;
+  const std::int64_t nnz = a.nnz();
+  for (std::int64_t k = 0; k < nnz; ++k) v[k * L + lane] = av[k * L + lane];
+
+  // IKJ-variant ILU(0), identical per-lane arithmetic to the serial
+  // Ilu0Preconditioner::refactor (the lane stride is the only change).
+  for (std::int32_t i = 0; i < rows_; ++i) {
+    for (std::int32_t kk = rp[i]; kk < rp[i + 1]; ++kk) {
+      const std::int32_t k = ci[kk];
+      if (k >= i) break;
+      const double pivot = v[static_cast<std::int64_t>(diag_[k]) * L + lane];
+      require(pivot != 0.0 && std::isfinite(pivot),
+              "BatchedIlu0Preconditioner: zero pivot");
+      const double lij = v[static_cast<std::int64_t>(kk) * L + lane] / pivot;
+      v[static_cast<std::int64_t>(kk) * L + lane] = lij;
+      std::int32_t pi = kk + 1;
+      for (std::int32_t pk = diag_[k] + 1; pk < rp[k + 1]; ++pk) {
+        const std::int32_t col = ci[pk];
+        while (pi < rp[i + 1] && ci[pi] < col) ++pi;
+        if (pi < rp[i + 1] && ci[pi] == col) {
+          v[static_cast<std::int64_t>(pi) * L + lane] -=
+              lij * v[static_cast<std::int64_t>(pk) * L + lane];
+        }
+      }
+    }
+  }
+}
+
+void BatchedIlu0Preconditioner::apply(std::span<const double> r,
+                                      std::span<double> z) const {
+  require(r.size() == static_cast<std::size_t>(rows_) * lanes_ &&
+              z.size() == r.size(),
+          "BatchedIlu0Preconditioner: size mismatch");
+  dispatch_lanes(lanes_, [&](auto cl) {
+    t_ilu_apply<cl.value>(rows_, lanes_, row_ptr_.data(), col_idx_.data(),
+                          lu_.data(), r.data(), z.data());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// batched_bicgstab
+// ---------------------------------------------------------------------------
+
+void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
+                      std::span<double> x, const BatchedPreconditioner& m,
+                      std::span<const double> rel_tolerance,
+                      std::int32_t max_iterations,
+                      std::span<const std::uint8_t> active,
+                      BatchedKrylovWorkspace& ws,
+                      std::span<BatchedLaneResult> results) {
+  const std::int32_t n = a.rows();
+  const int L = a.lanes();
+  const std::size_t total = static_cast<std::size_t>(n) * L;
+  require(b.size() == total && x.size() == total &&
+              rel_tolerance.size() == static_cast<std::size_t>(L) &&
+              active.size() == static_cast<std::size_t>(L) &&
+              results.size() == static_cast<std::size_t>(L),
+          "batched_bicgstab: size mismatch");
+  ws.resize(static_cast<std::size_t>(n), L);
+
+  double rr[kMaxBatchLanes], bb[kMaxBatchLanes], bnorm[kMaxBatchLanes];
+  double rho[kMaxBatchLanes], alpha[kMaxBatchLanes], omega[kMaxBatchLanes];
+  double beta[kMaxBatchLanes], rho_new[kMaxBatchLanes], r0v[kMaxBatchLanes];
+  double neg_alpha[kMaxBatchLanes], ss[kMaxBatchLanes];
+  double tt[kMaxBatchLanes], ts[kMaxBatchLanes];
+  std::uint8_t running[kMaxBatchLanes];
+  int n_running = 0;
+
+  // Freeze lane l's current column of x into the snapshot buffer.
+  const auto snap_x = [&](int l) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      ws.snap[static_cast<std::size_t>(i) * L + l] =
+          x[static_cast<std::size_t>(i) * L + l];
+    }
+  };
+  // Mid-iteration convergence exit: the serial solver finishes with
+  // axpy(alpha, ph, x) — freeze x + alpha*ph without disturbing x.
+  const auto snap_x_plus_alpha_ph = [&](int l) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i) * L + l;
+      ws.snap[k] = x[k] + alpha[l] * ws.ph[k];
+    }
+  };
+  const auto finish = [&](int l, bool converged) {
+    results[l].converged = converged;
+    running[l] = 0;
+    --n_running;
+  };
+
+  b_residual_norms(a, x.data(), b.data(), ws.r.data(), rr, bb);
+  for (int l = 0; l < L; ++l) {
+    results[l] = BatchedLaneResult{};
+    running[l] = 0;
+    if (!active[l]) continue;
+    bnorm[l] = std::max(std::sqrt(bb[l]), 1e-300);
+    results[l].residual_norm = std::sqrt(rr[l]);
+    if (results[l].residual_norm / bnorm[l] <= rel_tolerance[l]) {
+      results[l].converged = true;  // warm start was good enough
+    } else {
+      running[l] = 1;
+      ++n_running;
+    }
+  }
+  // Every warm start was good enough: x is untouched (only the residual
+  // scratch was written), so skip the snapshot/restore machinery and the
+  // workspace setup entirely — the common case of well-warm-started
+  // lockstep batches.
+  if (n_running == 0) return;
+  for (int l = 0; l < L; ++l) {
+    if (active[l] && !running[l]) snap_x(l);
+  }
+
+  std::copy(ws.r.begin(), ws.r.end(), ws.r0.begin());
+  for (int l = 0; l < L; ++l) {
+    rho[l] = 1.0;
+    alpha[l] = 1.0;
+    omega[l] = 1.0;
+  }
+  std::fill(ws.p.begin(), ws.p.end(), 0.0);
+  std::fill(ws.v.begin(), ws.v.end(), 0.0);
+
+  for (std::int32_t it = 1; it <= max_iterations && n_running > 0; ++it) {
+    if (it == 1) {
+      // rho_1 = dot(r0, r) with r0 == r: element-for-element the sum
+      // residual_norms already accumulated in the same order — reuse it
+      // (bitwise equal, one streaming pass saved).
+      for (int l = 0; l < L; ++l) rho_new[l] = rr[l];
+    } else {
+      b_dot(static_cast<std::size_t>(n), L, ws.r0.data(), ws.r.data(),
+            rho_new);
+    }
+    for (int l = 0; l < L; ++l) {
+      if (running[l] && rho_new[l] == 0.0) {
+        snap_x(l);  // breakdown; report non-convergence
+        finish(l, false);
+      }
+    }
+    if (n_running == 0) break;
+    for (int l = 0; l < L; ++l) {
+      beta[l] = (rho_new[l] / rho[l]) * (alpha[l] / omega[l]);
+      rho[l] = rho_new[l];
+    }
+    b_p_update(static_cast<std::size_t>(n), L, ws.r.data(), beta, omega,
+               ws.v.data(), ws.p.data());
+    m.apply(ws.p, ws.ph);
+    b_spmv_dot(a, ws.ph.data(), ws.v.data(), ws.r0.data(), r0v);
+    for (int l = 0; l < L; ++l) {
+      if (running[l] && r0v[l] == 0.0) {
+        snap_x(l);
+        finish(l, false);
+      }
+    }
+    if (n_running == 0) break;
+    for (int l = 0; l < L; ++l) {
+      alpha[l] = rho[l] / r0v[l];
+      neg_alpha[l] = -alpha[l];
+    }
+    b_waxpby(static_cast<std::size_t>(n), L, ws.s.data(), ws.r.data(),
+             neg_alpha, ws.v.data(), ss);
+    for (int l = 0; l < L; ++l) {
+      if (!running[l]) continue;
+      results[l].iterations = it;
+      const double snorm = std::sqrt(ss[l]);
+      if (snorm / bnorm[l] <= rel_tolerance[l]) {
+        // Serial exit point "s is small": x += alpha * ph. (The serial
+        // solver additionally re-derives residual_norm with a reporting
+        // SpMV; the batched path reports ||s|| instead — x and the
+        // iteration count are unaffected.)
+        snap_x_plus_alpha_ph(l);
+        results[l].residual_norm = snorm;
+        finish(l, true);
+      }
+    }
+    if (n_running == 0) break;
+    m.apply(ws.s, ws.sh);
+    b_spmv_dot2(a, ws.sh.data(), ws.t.data(), ws.s.data(), tt, ts);
+    for (int l = 0; l < L; ++l) {
+      if (running[l] && tt[l] == 0.0) {
+        snap_x(l);
+        finish(l, false);
+      }
+    }
+    if (n_running == 0) break;
+    for (int l = 0; l < L; ++l) omega[l] = ts[l] / tt[l];
+    b_final_update(static_cast<std::size_t>(n), L, alpha, ws.ph.data(), omega,
+                   ws.sh.data(), ws.s.data(), ws.t.data(), x.data(),
+                   ws.r.data(), rr);
+    for (int l = 0; l < L; ++l) {
+      if (!running[l]) continue;
+      results[l].residual_norm = std::sqrt(rr[l]);
+      if (results[l].residual_norm / bnorm[l] <= rel_tolerance[l]) {
+        snap_x(l);
+        finish(l, true);
+      } else if (omega[l] == 0.0) {
+        snap_x(l);  // stagnation breakdown, same as the serial break
+        finish(l, false);
+      }
+    }
+  }
+
+  // Iteration budget exhausted with lanes still running: their current
+  // iterate is the answer the serial solver would have returned too.
+  for (int l = 0; l < L; ++l) {
+    if (running[l]) {
+      snap_x(l);
+      finish(l, false);
+    }
+  }
+  // Restore every active lane's frozen solution (later kernels kept
+  // streaming garbage through finished lanes' slots). One fused pass.
+  {
+    double* __restrict xs = x.data();
+    const double* __restrict snap = ws.snap.data();
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i) * L;
+      for (int l = 0; l < L; ++l) {
+        if (active[l]) xs[k + l] = snap[k + l];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchedBicgstabSolver
+// ---------------------------------------------------------------------------
+
+BatchedBicgstabSolver::BatchedBicgstabSolver(SolverKind kind,
+                                             const BatchedCsr& a)
+    : kind_(kind) {
+  switch (kind) {
+    case SolverKind::kBicgstabIlu0:
+      precond_ = std::make_unique<BatchedIlu0Preconditioner>(a);
+      name_ = "batched-bicgstab+ilu0";
+      break;
+    case SolverKind::kBicgstabJacobi:
+      precond_ = std::make_unique<BatchedJacobiPreconditioner>(a);
+      name_ = "batched-bicgstab+jacobi";
+      break;
+    default:
+      throw InvalidArgument(
+          "BatchedBicgstabSolver: kind must be an iterative BiCGSTAB "
+          "strategy");
+  }
+  const int L = a.lanes();
+  lanes_.resize(static_cast<std::size_t>(L));
+  for (LaneState& st : lanes_) {
+    st.row_dirty.assign(static_cast<std::size_t>(a.rows()), 0);
+  }
+  tol_.assign(static_cast<std::size_t>(L), 1e-12);
+  warm_save_.assign(static_cast<std::size_t>(a.rows()) * L, 0.0);
+  results_.resize(static_cast<std::size_t>(L));
+  retry_.assign(static_cast<std::size_t>(L), 0);
+  ws_.resize(static_cast<std::size_t>(a.rows()), L);
+}
+
+void BatchedBicgstabSolver::set_refresh_policy(int lane,
+                                               const RefreshPolicy& policy) {
+  lanes_[static_cast<std::size_t>(lane)].policy = policy;
+}
+
+void BatchedBicgstabSolver::set_tolerance(int lane, double rel_tolerance) {
+  lanes_[static_cast<std::size_t>(lane)].rel_tolerance = rel_tolerance;
+  tol_[static_cast<std::size_t>(lane)] = rel_tolerance;
+}
+
+void BatchedBicgstabSolver::refactor_lane_now(int lane, const BatchedCsr& a) {
+  precond_->refactor_lane(lane, a);
+  LaneState& st = lanes_[static_cast<std::size_t>(lane)];
+  ++st.stats.refactors;
+  st.stats.pending_dirty_fraction = 0.0;
+  if (st.dirty_rows > 0) {
+    std::fill(st.row_dirty.begin(), st.row_dirty.end(), std::uint8_t{0});
+    st.dirty_rows = 0;
+  }
+  st.fresh_iterations = -1;  // re-baseline on the next clean solve
+}
+
+void BatchedBicgstabSolver::update_lane_values(int lane, const BatchedCsr& a,
+                                               const ValueUpdate& update) {
+  LaneState& st = lanes_[static_cast<std::size_t>(lane)];
+  if (update.rows.empty() && update.dirty_fraction == 0.0) return;
+  if (!st.policy.lazy || update.rows.empty()) {
+    refactor_lane_now(lane, a);
+    return;
+  }
+  if (kind_ == SolverKind::kBicgstabJacobi) {
+    // The inverse diagonal over the dirty rows IS the exact refresh.
+    precond_->refactor_rows_lane(lane, a, update.rows);
+    ++st.stats.partial_refactors;
+    return;
+  }
+  // ILU(0): leave the lane's factors stale and track dirtiness, exactly
+  // like the serial BicgstabSolver.
+  ++st.stats.deferred_updates;
+  for (const std::int32_t r : update.rows) {
+    if (!st.row_dirty[static_cast<std::size_t>(r)]) {
+      st.row_dirty[static_cast<std::size_t>(r)] = 1;
+      ++st.dirty_rows;
+    }
+  }
+  st.stats.pending_dirty_fraction =
+      static_cast<double>(st.dirty_rows) / static_cast<double>(a.rows());
+  if (st.stats.pending_dirty_fraction > st.policy.max_dirty_fraction) {
+    refactor_lane_now(lane, a);
+  }
+}
+
+void BatchedBicgstabSolver::solve(const BatchedCsr& a,
+                                  std::span<const double> b,
+                                  std::span<double> x,
+                                  std::span<const std::uint8_t> active,
+                                  std::span<std::uint8_t> failed) {
+  const int L = lanes();
+  const std::int32_t n = a.rows();
+  require(active.size() == static_cast<std::size_t>(L) &&
+              failed.size() == static_cast<std::size_t>(L),
+          "BatchedBicgstabSolver::solve: mask size mismatch");
+  std::fill(failed.begin(), failed.end(), std::uint8_t{0});
+
+  // Save stale lanes' warm starts so a diverged stale attempt (which
+  // mutates x, possibly to NaN) can be retried cleanly.
+  std::uint8_t stale[kMaxBatchLanes] = {};
+  for (int l = 0; l < L; ++l) {
+    if (active[l] &&
+        lanes_[static_cast<std::size_t>(l)].stats.pending_dirty_fraction >
+            0.0) {
+      stale[l] = 1;
+      for (std::int32_t i = 0; i < n; ++i) {
+        const std::size_t k = static_cast<std::size_t>(i) * L + l;
+        warm_save_[k] = x[k];
+      }
+    }
+  }
+
+  batched_bicgstab(a, b, x, *precond_, tol_, 5000, active, ws_, results_);
+
+  // Stale-factor retry, per lane: refresh, restore the warm start, and
+  // give the failed lanes one more batched pass together.
+  bool any_retry = false;
+  std::fill(retry_.begin(), retry_.end(), std::uint8_t{0});
+  for (int l = 0; l < L; ++l) {
+    if (!active[l] || results_[l].converged || !stale[l]) continue;
+    try {
+      refactor_lane_now(l, a);
+    } catch (...) {
+      // Refactor blew up on this lane's values (zero pivot); fail the
+      // lane alone — its batchmates' solves are already committed.
+      failed[l] = 1;
+      continue;
+    }
+    ++lanes_[static_cast<std::size_t>(l)].stats.retries;
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i) * L + l;
+      x[k] = warm_save_[k];
+    }
+    retry_[static_cast<std::size_t>(l)] = 1;
+    any_retry = true;
+  }
+  if (any_retry) {
+    // The retry pass streams every lane's x column through the fused
+    // kernels again (lanes never mix, but finished batchmates' columns
+    // do get overwritten and only retried lanes are restored from the
+    // snapshot) — save the non-retried lanes' committed solutions and
+    // put them back afterwards.
+    if (x_save_.size() != x.size()) x_save_.assign(x.size(), 0.0);
+    std::copy(x.begin(), x.end(), x_save_.begin());
+    std::array<BatchedLaneResult, kMaxBatchLanes> retry_results;
+    batched_bicgstab(a, b, x, *precond_, tol_, 5000, retry_, ws_,
+                     std::span<BatchedLaneResult>(retry_results.data(),
+                                                  static_cast<std::size_t>(L)));
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(i) * L;
+      for (int l = 0; l < L; ++l) {
+        if (!retry_[static_cast<std::size_t>(l)]) x[k + l] = x_save_[k + l];
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      if (retry_[static_cast<std::size_t>(l)]) {
+        results_[l] = retry_results[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+
+  for (int l = 0; l < L; ++l) {
+    if (!active[l]) continue;
+    LaneState& st = lanes_[static_cast<std::size_t>(l)];
+    if (!results_[l].converged) {
+      failed[l] = 1;  // serial path: NumericalError
+      continue;
+    }
+    ++st.stats.solves;
+    st.stats.iterations += static_cast<std::uint64_t>(results_[l].iterations);
+    st.stats.last_iterations = results_[l].iterations;
+    if (st.fresh_iterations < 0 && st.stats.pending_dirty_fraction == 0.0) {
+      st.fresh_iterations = results_[l].iterations;
+    }
+    if (st.stats.pending_dirty_fraction > 0.0) {
+      const double limit =
+          st.policy.max_iteration_growth *
+              std::max(std::int32_t{1}, st.fresh_iterations) +
+          st.policy.iteration_slack;
+      if (static_cast<double>(results_[l].iterations) > limit) {
+        try {
+          refactor_lane_now(l, a);
+        } catch (...) {
+          // The serial path would throw out of solve() here; fail only
+          // this lane (its solution this step was still committed).
+          failed[l] = 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tac3d::sparse

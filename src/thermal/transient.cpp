@@ -90,11 +90,64 @@ TransientSolver::WarmStartSlot* TransientSolver::find_slot() {
   return &victim;
 }
 
-void TransientSolver::step() {
-  const bool flow_changed = !op_.in_sync();
-  if (flow_changed) {
-    const sparse::ValueUpdate update = op_.update_flow();
-    solver_->update_values(op_.matrix(), update);
+bool TransientSolver::interpolate_prediction() {
+  const int n_cav = model_.n_cavities();
+  for (std::size_t ia = 0; ia + 1 < slots_.size(); ++ia) {
+    const WarmStartSlot& a = slots_[ia];
+    if (!a.used) continue;
+    for (std::size_t ib = ia + 1; ib < slots_.size(); ++ib) {
+      const WarmStartSlot& b = slots_[ib];
+      if (!b.used) continue;
+      // Shared interpolation parameter: cur = a + theta * (b - a) for
+      // every cavity, theta strictly inside (0, 1), profiles matching.
+      double theta = -1.0;
+      bool ok = true;
+      for (int cav = 0; cav < n_cav && ok; ++cav) {
+        const std::size_t c = static_cast<std::size_t>(cav);
+        const std::uint64_t prof = model_.cavity_profile_version(cav);
+        if (a.profiles[c] != prof || b.profiles[c] != prof) {
+          ok = false;
+          break;
+        }
+        const double cur = model_.cavity_flow(cav);
+        const double span = b.flows[c] - a.flows[c];
+        if (span == 0.0) {
+          ok = cur == a.flows[c];
+          continue;
+        }
+        const double t = (cur - a.flows[c]) / span;
+        if (theta < 0.0) {
+          if (t <= 0.0 || t >= 1.0) {
+            ok = false;
+          } else {
+            theta = t;
+          }
+        } else {
+          // All cavities must agree on the parameter (the one-knob
+          // modulation family the policies actually drive).
+          ok = std::abs(t - theta) <=
+               1e-9 * std::max(1.0, std::abs(theta));
+        }
+      }
+      if (!ok || theta < 0.0) continue;
+      // x0 = T_n + jump_a + theta * (jump_b - jump_a), where jump_s is
+      // the temperature jump the cached step at slot s produced.
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        const double jump_a = a.solution[i] - a.state_before[i];
+        const double jump_b = b.solution[i] - b.state_before[i];
+        predicted_[i] = state_[i] + (jump_a + theta * (jump_b - jump_a));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+TransientSolver::StepPrep TransientSolver::begin_step_prepare() {
+  StepPrep prep;
+  prep.flow_changed = !op_.in_sync();
+  if (prep.flow_changed) {
+    prep.update = op_.update_flow();
   }
   // rhs = P + (C/dt) T_n, built in one fused pass.
   model_.rhs_plus_scaled_into(rhs_, c_over_dt_, state_);
@@ -104,7 +157,6 @@ void TransientSolver::step() {
   // closed loop drives power (and modulated flow) piecewise-linearly, so
   // consecutive deltas nearly repeat and the guess starts the Krylov
   // solve decades closer than the plain warm start.
-  const double tol2 = rel_tolerance_ * rel_tolerance_;
   bool extrapolate = !traj_prev_.empty() && traj_valid_;
   if (extrapolate) {
     double dd = 0.0;
@@ -121,63 +173,103 @@ void TransientSolver::step() {
     std::copy(state_.begin(), state_.end(), traj_prev_.begin());
     traj_valid_ = true;
   }
+  prep.want_trajectory = extrapolate;
 
-  WarmStartSlot* slot = nullptr;
-  bool predictor_used = false;
-  double rr_plain = -1.0;  // plain warm start ||b - A T_n||², lazily computed
-  if (flow_changed && !slots_.empty()) {
-    slot = find_slot();
+  pending_slot_ = nullptr;
+  if (prep.flow_changed && !slots_.empty()) {
+    WarmStartSlot* slot = find_slot();
+    pending_slot_ = slot;
     std::copy(state_.begin(), state_.end(), prev_state_.begin());
+    // Predict the post-flow-change solution as the current state plus a
+    // jump derived from the transition cache: on an exact flow-state
+    // match, the jump the cached step at these exact flows produced
+    // (x0 = T_n + solution - state_before; on a sustained modulation
+    // orbit this is the solution itself); on a miss, the linear
+    // interpolation between two cached jumps whose flow states bracket
+    // the new one (continuous fuzzy modulation rarely revisits exact
+    // states, but walks between cached ones all the time).
     if (slot->used) {
-      // Predict the post-flow-change solution as the current state plus
-      // the jump the cached step at these exact flows produced:
-      //   x0 = T_n + (solution - state_before).
-      // On a sustained modulation orbit this is the solution itself.
-      // Guard: keep the prediction only if its residual actually beats
-      // the plain warm start's (one fused SpMV each).
       for (std::size_t i = 0; i < state_.size(); ++i) {
         predicted_[i] =
             state_[i] + (slot->solution[i] - slot->state_before[i]);
       }
-      double bb = 0.0;
-      const double rr_pred = sparse::residual_norms(
-          op_.matrix(), predicted_, rhs_, residual_, &bb);
-      // Already at the solver tolerance (squared norms here) — the
-      // sustained-orbit case: accept without spending a second SpMV on
-      // the plain warm start's residual.
-      const bool use_pred =
-          rr_pred <= bb * tol2 ||
-          rr_pred < (rr_plain = sparse::residual(op_.matrix(), state_, rhs_,
-                                                 residual_));
-      if (use_pred) {
-        std::copy(predicted_.begin(), predicted_.end(), state_.begin());
-        ++predictor_hits_;
-        predictor_used = true;
-      }
+      prep.want_predicted = true;
+    } else if (interpolate_prediction()) {
+      prep.want_predicted = true;
+      prep.predicted_is_interpolation = true;
     }
   }
+  pending_ = prep;
+  return prep;
+}
 
-  if (extrapolate && !predictor_used) {
-    // Residual-guarded: adopt the extrapolation only when it beats the
-    // plain warm start, so a kink in the trajectory (flow jump, demand
-    // discontinuity) costs two fused SpMVs, never extra iterations (and
-    // a rejected flow prediction above already paid for rr_plain).
-    double bb = 0.0;
-    const double rr_traj = sparse::residual_norms(
-        op_.matrix(), traj_guess_, rhs_, residual_, &bb);
-    if (rr_traj > bb * tol2 && rr_plain < 0.0) {
-      rr_plain = sparse::residual(op_.matrix(), state_, rhs_, residual_);
+void TransientSolver::begin_step_commit(double rr_predicted,
+                                        double rr_trajectory, double rr_plain,
+                                        double bb) {
+  // The guards compare squared residual norms; a candidate wins when it
+  // is already at the solve tolerance or beats the plain warm start.
+  // Callers that evaluate eagerly (the batched driver) pass every value;
+  // the serial wrapper passes exactly what it computed — a value is only
+  // read on paths where the serial evaluation computed it too, so the
+  // decisions (and the chosen state) are identical either way.
+  const double tol2 = rel_tolerance_ * rel_tolerance_;
+  bool predictor_used = false;
+  if (pending_.want_predicted) {
+    const bool use_pred =
+        rr_predicted <= bb * tol2 || rr_predicted < rr_plain;
+    if (use_pred) {
+      std::copy(predicted_.begin(), predicted_.end(), state_.begin());
+      ++(pending_.predicted_is_interpolation ? predictor_interp_hits_
+                                             : predictor_hits_);
+      predictor_used = true;
     }
-    const bool use_traj = rr_traj <= bb * tol2 || rr_traj < rr_plain;
+  }
+  if (pending_.want_trajectory && !predictor_used) {
+    const bool use_traj =
+        rr_trajectory <= bb * tol2 || rr_trajectory < rr_plain;
     if (use_traj) {
       std::copy(traj_guess_.begin(), traj_guess_.end(), state_.begin());
       ++trajectory_hits_;
     }
   }
+  pending_ = StepPrep{};
+}
 
-  solver_->solve(rhs_, state_);
+TransientSolver::StepPrep TransientSolver::begin_step() {
+  const StepPrep prep = begin_step_prepare();
+  // Serial guard evaluation, lazy like it always was: the plain warm
+  // start's residual is only spent when a candidate is not already at
+  // the solve tolerance, and the trajectory guard is skipped once the
+  // flow prediction wins. begin_step_commit re-derives the same
+  // decisions from these values.
+  const double tol2 = rel_tolerance_ * rel_tolerance_;
+  double rr_pred = 0.0, rr_traj = 0.0, bb = 0.0;
+  double rr_plain = -1.0;  // plain warm start ||b - A T_n||², lazily computed
+  bool traj_pending = prep.want_trajectory;
+  if (prep.want_predicted) {
+    rr_pred = sparse::residual_norms(op_.matrix(), predicted_, rhs_,
+                                     residual_, &bb);
+    if (rr_pred <= bb * tol2) {
+      traj_pending = false;  // prediction accepted at tolerance
+    } else {
+      rr_plain = sparse::residual(op_.matrix(), state_, rhs_, residual_);
+      if (rr_pred < rr_plain) traj_pending = false;  // prediction wins
+    }
+  }
+  if (traj_pending) {
+    rr_traj = sparse::residual_norms(op_.matrix(), traj_guess_, rhs_,
+                                     residual_, &bb);
+    if (rr_traj > bb * tol2 && rr_plain < 0.0) {
+      rr_plain = sparse::residual(op_.matrix(), state_, rhs_, residual_);
+    }
+  }
+  begin_step_commit(rr_pred, rr_traj, rr_plain, bb);
+  return prep;
+}
 
-  if (slot != nullptr) {
+void TransientSolver::end_step() {
+  if (pending_slot_ != nullptr) {
+    WarmStartSlot* slot = pending_slot_;
     for (int cav = 0; cav < model_.n_cavities(); ++cav) {
       const std::size_t c = static_cast<std::size_t>(cav);
       slot->flows[c] = model_.cavity_flow(cav);
@@ -187,8 +279,21 @@ void TransientSolver::step() {
               slot->state_before.begin());
     std::copy(state_.begin(), state_.end(), slot->solution.begin());
     slot->used = true;
+    pending_slot_ = nullptr;
   }
   time_ += dt_;
+}
+
+void TransientSolver::step() {
+  const StepPrep prep = begin_step();
+  // The refresh notification may run after the warm-start guards (which
+  // read only the matrix, already synced by begin_step), as long as it
+  // precedes the solve.
+  if (prep.flow_changed) {
+    solver_->update_values(op_.matrix(), prep.update);
+  }
+  solver_->solve(rhs_, state_);
+  end_step();
 }
 
 void TransientSolver::advance(double duration) {

@@ -95,6 +95,61 @@ class TransientSolver {
   /// Performs no heap allocations.
   void step();
 
+  /// What begin_step_prepare() found: did the flow state change, which
+  /// matrix rows were rewritten (spans into operator scratch, valid
+  /// until the next flow update), and which warm-start candidates exist
+  /// whose guard residuals begin_step_commit() expects.
+  struct StepPrep {
+    bool flow_changed = false;
+    sparse::ValueUpdate update;
+    /// predicted_candidate() is primed (flow-transition prediction,
+    /// exact-match or interpolated) — its squared residual gates it.
+    bool want_predicted = false;
+    bool predicted_is_interpolation = false;
+    /// trajectory_candidate() is primed (x0 = 2 T_n - T_{n-1}).
+    bool want_trajectory = false;
+  };
+
+  /// Lockstep phase API (used by BatchedTransientSolver; step() is
+  /// exactly begin_step() + solver update/solve + end_step()).
+  /// begin_step() runs everything up to the linear solve — flow sync,
+  /// RHS build, warm-start/predictor selection — leaving step_rhs() as b
+  /// and step_solution() primed with the initial guess. The caller then
+  /// solves A x = b its own way (writing the solution into
+  /// step_solution()) and must call end_step() exactly once to commit
+  /// (transition-slot bookkeeping, time advance). Performs no heap
+  /// allocations.
+  StepPrep begin_step();
+
+  /// Finer split of begin_step() for drivers that evaluate the warm-
+  /// start guard residuals themselves (the batched driver runs them as
+  /// shared multi-lane matrix traversals):
+  ///   prepare -> caller computes ||rhs - A c||² for the candidates the
+  ///   returned StepPrep requests (and the plain warm start) -> commit.
+  /// The commit decisions are pure comparisons of those values, so
+  /// eager external evaluation selects exactly the state the lazy
+  /// serial evaluation in begin_step() would.
+  StepPrep begin_step_prepare();
+  std::span<const double> predicted_candidate() const { return predicted_; }
+  std::span<const double> trajectory_candidate() const { return traj_guess_; }
+  /// \p rr_* are squared guard residuals ||rhs - A candidate||²;
+  /// \p rr_plain the plain warm start's (current temperatures);
+  /// \p bb = ||rhs||². Values whose candidate was not requested are
+  /// ignored; rr_plain is only read when a requested candidate is not
+  /// already at the solve tolerance.
+  void begin_step_commit(double rr_predicted, double rr_trajectory,
+                         double rr_plain, double bb);
+
+  /// The backward-Euler RHS built by the last begin_step().
+  std::span<const double> step_rhs() const { return rhs_; }
+
+  /// Between begin_step() and end_step(): the initial guess on entry,
+  /// the solution on exit (aliases temperatures()).
+  std::span<double> step_solution() { return state_; }
+
+  /// Commit the solve the caller wrote into step_solution().
+  void end_step();
+
   /// Advance ceil(duration/dt) steps.
   void advance(double duration);
 
@@ -110,8 +165,18 @@ class TransientSolver {
     return solver_->stats();
   }
 
-  /// Flow-change steps whose warm start came from the transition cache.
+  /// Relative residual tolerance of the per-step linear solves.
+  double rel_tolerance() const { return rel_tolerance_; }
+
+  /// Flow-change steps whose warm start came from an exact transition-
+  /// cache match.
   std::uint64_t predictor_hits() const { return predictor_hits_; }
+
+  /// Flow-change steps whose warm start was interpolated between two
+  /// cached flow states bracketing the new one (exact match missed).
+  std::uint64_t predictor_interpolations() const {
+    return predictor_interp_hits_;
+  }
 
   /// Ordinary steps whose warm start came from the trajectory
   /// extrapolation (guard accepted it over the plain warm start).
@@ -130,6 +195,14 @@ class TransientSolver {
   /// round-robin victim (marked unused). Null when the predictor is off.
   WarmStartSlot* find_slot();
 
+  /// Exact-match miss fallback: when two cached flow states bracket the
+  /// model's current one (per-cavity collinear, shared parameter in
+  /// (0, 1), equal profile versions), write the linearly interpolated
+  /// jump prediction into predicted_ and return true. Targets
+  /// continuously modulated (fuzzy-policy) stepping, where the exact
+  /// cache almost never hits.
+  bool interpolate_prediction();
+
   RcModel& model_;
   double dt_;
   ThermalOperator op_;
@@ -143,7 +216,10 @@ class TransientSolver {
   std::vector<double> predicted_;   ///< scratch: predicted T_{n+1}
   std::vector<double> prev_state_;  ///< scratch: T_n for the slot update
   std::vector<double> residual_;    ///< scratch for the predictor guard
+  WarmStartSlot* pending_slot_ = nullptr;  ///< begin_step -> end_step
+  StepPrep pending_;  ///< candidates awaiting begin_step_commit
   std::uint64_t predictor_hits_ = 0;
+  std::uint64_t predictor_interp_hits_ = 0;
   // Trajectory warm start (allocated when enabled): T_{n-1} of the last
   // ordinary step and the extrapolated guess scratch.
   std::vector<double> traj_prev_;

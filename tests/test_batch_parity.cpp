@@ -1,0 +1,266 @@
+// Batched lockstep stepping must be invisible in the results: a lane of
+// a BatchSession — one shared matrix traversal advancing K scenarios —
+// steps bitwise identically to the same scenario on the scalar path,
+// across solver kinds (direct solvers fall back to scalar lockstep),
+// mixed policies/workloads/durations within a batch, and through the
+// sweep runner's batch dispatch. Lanes are isolated: one throwing lane
+// must not perturb its batchmates' bits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/bank.hpp"
+#include "sim/batch.hpp"
+#include "sim/sweep.hpp"
+#include "sparse/batched.hpp"
+
+namespace tac3d::sim {
+namespace {
+
+Scenario lane_scenario(PolicyKind policy, power::WorkloadKind workload,
+                       std::uint64_t seed, int trace_seconds = 16) {
+  Scenario s;
+  s.tiers = 2;
+  s.policy = policy;
+  s.workload = workload;
+  s.seed = seed;
+  s.trace_seconds = trace_seconds;
+  s.grid = thermal::GridOptions{8, 8};
+  return s;
+}
+
+/// Mixed-policy, mixed-workload, mixed-duration lanes that share one
+/// model key (2-tier liquid) — the regime the sweep runner batches.
+std::vector<Scenario> liquid_lanes(sparse::SolverKind kind) {
+  std::vector<Scenario> lanes = {
+      lane_scenario(PolicyKind::kLcLb, power::WorkloadKind::kWebServer, 1),
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kWebServer, 1),
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kDatabase, 2),
+      // Shorter trace: this lane finishes first and must sit masked
+      // while the others keep stepping.
+      lane_scenario(PolicyKind::kLcLb, power::WorkloadKind::kMixed, 3, 12),
+  };
+  for (Scenario& s : lanes) s.sim.solver = kind;
+  return lanes;
+}
+
+struct LaneReference {
+  SimMetrics metrics;
+  std::vector<double> temps;
+};
+
+/// Scalar-path reference: prepare through \p bank and run each scenario
+/// alone (prepared sessions are bitwise equal to from-scratch ones —
+/// test_scenario_bank).
+std::vector<LaneReference> scalar_reference(ScenarioBank& bank,
+                                            const std::vector<Scenario>& v) {
+  std::vector<LaneReference> out;
+  for (const Scenario& s : v) {
+    PreparedScenario p = bank.prepare(s);
+    SimulationSession session = p.session();
+    session.run_to_end();
+    const auto t = session.temperatures();
+    out.push_back({session.metrics(), {t.begin(), t.end()}});
+  }
+  return out;
+}
+
+void expect_same_metrics(const SimMetrics& a, const SimMetrics& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.duration, b.duration) << what;
+  EXPECT_EQ(a.peak_temp, b.peak_temp) << what;
+  EXPECT_EQ(a.any_hot_time, b.any_hot_time) << what;
+  EXPECT_EQ(a.chip_energy, b.chip_energy) << what;
+  EXPECT_EQ(a.pump_energy, b.pump_energy) << what;
+  EXPECT_EQ(a.offered_work, b.offered_work) << what;
+  EXPECT_EQ(a.lost_work, b.lost_work) << what;
+  EXPECT_EQ(a.avg_flow_fraction, b.avg_flow_fraction) << what;
+  EXPECT_EQ(a.migrations, b.migrations) << what;
+  EXPECT_EQ(a.core_hot_time, b.core_hot_time) << what;
+}
+
+void expect_lane_matches(const BatchSession& batch, int lane,
+                         const LaneReference& ref, const std::string& what) {
+  ASSERT_TRUE(batch.lane_ok(lane)) << what << ": " << batch.lane_error(lane);
+  expect_same_metrics(batch.metrics(lane), ref.metrics, what);
+  const auto temps = batch.session(lane).temperatures();
+  ASSERT_EQ(temps.size(), ref.temps.size()) << what;
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    ASSERT_EQ(temps[i], ref.temps[i]) << what << " node " << i;
+  }
+}
+
+class BatchParityTest : public ::testing::TestWithParam<sparse::SolverKind> {};
+
+TEST_P(BatchParityTest, LanesMatchScalarPathBitwise) {
+  const sparse::SolverKind kind = GetParam();
+  const std::vector<Scenario> lanes = liquid_lanes(kind);
+  ScenarioBank bank;
+  const std::vector<LaneReference> refs = scalar_reference(bank, lanes);
+
+  std::vector<PreparedScenario> prepared;
+  for (const Scenario& s : lanes) prepared.push_back(bank.prepare(s));
+  BatchSession batch(std::move(prepared));
+  // Iterative kinds batch the thermal solves; the direct solver falls
+  // back to scalar lockstep — and must be just as invisible.
+  EXPECT_EQ(batch.thermal_batched(),
+            kind != sparse::SolverKind::kBandedLu);
+  batch.run_to_end();
+  EXPECT_TRUE(batch.done());
+
+  for (int l = 0; l < batch.lanes(); ++l) {
+    expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
+                        "lane " + std::to_string(l) + " kind " +
+                            std::to_string(static_cast<int>(kind)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolverKinds, BatchParityTest,
+    ::testing::Values(sparse::SolverKind::kBicgstabIlu0,
+                      sparse::SolverKind::kBicgstabJacobi,
+                      sparse::SolverKind::kBandedLu));
+
+TEST(BatchSession, SingleLaneFallsBackToScalar) {
+  ScenarioBank bank;
+  const Scenario s = lane_scenario(PolicyKind::kLcFuzzy,
+                                   power::WorkloadKind::kWebServer, 1);
+  const std::vector<LaneReference> refs = scalar_reference(bank, {s});
+
+  std::vector<PreparedScenario> prepared;
+  prepared.push_back(bank.prepare(s));
+  BatchSession batch(std::move(prepared));
+  EXPECT_FALSE(batch.thermal_batched());
+  batch.run_to_end();
+  expect_lane_matches(batch, 0, refs[0], "single lane");
+}
+
+TEST(BatchSession, WiderThanKernelCapFallsBackToScalar) {
+  // sparse::kMaxBatchLanes bounds the interleaved kernels; a wider
+  // BatchSession must degrade to scalar lockstep, not throw (the sweep
+  // runner chunks below the cap — this guards direct users).
+  ScenarioBank bank;
+  std::vector<PreparedScenario> prepared;
+  for (std::uint64_t seed = 1;
+       seed <= static_cast<std::uint64_t>(sparse::kMaxBatchLanes) + 1;
+       ++seed) {
+    Scenario s = lane_scenario(PolicyKind::kLcLb,
+                               power::WorkloadKind::kWebServer, seed, 8);
+    prepared.push_back(bank.prepare(s));
+  }
+  BatchSession batch(std::move(prepared));
+  EXPECT_FALSE(batch.thermal_batched());
+  batch.run_to_end();
+  for (int l = 0; l < batch.lanes(); ++l) {
+    EXPECT_TRUE(batch.lane_ok(l)) << batch.lane_error(l);
+  }
+}
+
+/// Forwards to the real policy until a trigger step, then throws —
+/// injected into one lane to prove batch isolation.
+class ThrowAfterPolicy final : public control::ThermalPolicy {
+ public:
+  ThrowAfterPolicy(std::unique_ptr<control::ThermalPolicy> inner, int after)
+      : inner_(std::move(inner)), after_(after) {}
+
+  control::PolicyActions decide(const control::PolicyInputs& in) override {
+    if (++calls_ > after_) {
+      throw std::runtime_error("injected mid-batch policy failure");
+    }
+    return inner_->decide(in);
+  }
+
+  std::string name() const override { return "throw-after"; }
+
+ private:
+  std::unique_ptr<control::ThermalPolicy> inner_;
+  int after_;
+  int calls_ = 0;
+};
+
+TEST(BatchSession, ThrowingLaneLeavesOtherLanesIntact) {
+  const std::vector<Scenario> lanes =
+      liquid_lanes(sparse::SolverKind::kBicgstabIlu0);
+  ScenarioBank bank;
+  const std::vector<LaneReference> refs = scalar_reference(bank, lanes);
+
+  std::vector<PreparedScenario> prepared;
+  for (const Scenario& s : lanes) prepared.push_back(bank.prepare(s));
+  // Lane 1 blows up mid-run (after 5 control intervals).
+  prepared[1].policy =
+      std::make_unique<ThrowAfterPolicy>(std::move(prepared[1].policy), 5);
+  BatchSession batch(std::move(prepared));
+  EXPECT_TRUE(batch.thermal_batched());
+  batch.run_to_end();
+  EXPECT_TRUE(batch.done());
+
+  EXPECT_FALSE(batch.lane_ok(1));
+  EXPECT_NE(batch.lane_error(1).find("injected"), std::string::npos);
+  for (const int l : {0, 2, 3}) {
+    expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
+                        "surviving lane " + std::to_string(l));
+  }
+}
+
+TEST(SweepBatching, BatchedSweepIsBitwiseIdenticalToScalarSweep) {
+  // A design-space slice with two batchable groups (ilu0 + jacobi), a
+  // direct-solver scenario (grouping must fall it back to scalar), and
+  // group sizes that don't divide the batch width evenly.
+  std::vector<Scenario> scenarios;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    scenarios.push_back(lane_scenario(PolicyKind::kLcFuzzy,
+                                      power::WorkloadKind::kWebServer, seed));
+    scenarios.push_back(lane_scenario(PolicyKind::kLcLb,
+                                      power::WorkloadKind::kWebServer, seed));
+  }
+  scenarios[4].sim.solver = sparse::SolverKind::kBicgstabJacobi;
+  scenarios[5].sim.solver = sparse::SolverKind::kBandedLu;
+
+  SweepOptions off;
+  off.jobs = 1;
+  off.batch_width = 1;  // batching off — the unchanged scalar sweep
+  const SweepReport scalar = run_sweep(scenarios, off);
+
+  SweepOptions on;
+  on.jobs = 1;
+  on.batch_width = 3;
+  const SweepReport batched = run_sweep(scenarios, on);
+
+  SweepOptions parallel;
+  parallel.jobs = 2;
+  const SweepReport wide = run_sweep(scenarios, parallel);  // auto width
+
+  ASSERT_TRUE(scalar.all_ok());
+  ASSERT_TRUE(batched.all_ok());
+  ASSERT_TRUE(wide.all_ok());
+  ASSERT_EQ(scalar.size(), scenarios.size());
+
+  bool any_batched = false;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::string what = scalar.at(i).scenario.label;
+    EXPECT_EQ(scalar.at(i).batch_lanes, 0) << what;
+    expect_same_metrics(scalar.at(i).metrics, batched.at(i).metrics, what);
+    expect_same_metrics(scalar.at(i).metrics, wide.at(i).metrics, what);
+    any_batched |= batched.at(i).batch_lanes > 1;
+  }
+  EXPECT_TRUE(any_batched) << "batch dispatch never engaged";
+  // The direct-solver scenario must have taken the scalar path.
+  EXPECT_EQ(batched.at(5).batch_lanes, 0);
+  // Grouping splits fuzzy from non-fuzzy (iteration-class scheduling):
+  // the ilu0 scenarios form two 2-lane batches, not one 3+1 chunk.
+  EXPECT_EQ(batched.at(0).batch_lanes, 2);  // fuzzy s1 + fuzzy s2
+  EXPECT_EQ(batched.at(1).batch_lanes, 2);  // lclb s1 + lclb s2
+  int widest = 0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    widest = std::max(widest, batched.at(i).batch_lanes);
+  }
+  EXPECT_EQ(widest, 2);
+}
+
+}  // namespace
+}  // namespace tac3d::sim

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/niagara.hpp"
 #include "sim/bank.hpp"
 #include "sim/sweep.hpp"
 #include "thermal/transient.hpp"
@@ -369,6 +370,53 @@ TEST(ScenarioMatrix, AttachedTracesKeyTheBankByContent) {
   const BankCounters c = bank.counters();
   EXPECT_EQ(c.steady_misses, 1u);
   EXPECT_EQ(c.steady_hits, 1u);
+}
+
+TEST(ScenarioBank, SteadyTierKeysAttachedTracesByTZeroDemand) {
+  // Only the t=0 demand enters compute_initial_state, so attached traces
+  // that agree at t=0 but diverge later must share one cached steady
+  // solve — and a t=0 difference must still miss.
+  const int threads = arch::NiagaraConfig::paper().hardware_threads();
+  const power::UtilizationTrace base = power::generate_workload(
+      power::WorkloadKind::kWebServer, threads, 12, 1);
+  power::UtilizationTrace later = base;
+  for (int th = 0; th < threads; ++th) {
+    for (int t = 1; t < later.seconds(); ++t) {
+      later.set(th, t, std::min(1.0, 0.5 * base.at(th, t) + 0.1));
+    }
+  }
+  power::UtilizationTrace t0diff = base;
+  t0diff.set(0, 0, base.at(0, 0) > 0.5 ? 0.1 : 0.9);
+
+  Scenario a = quick_scenario();
+  a.trace = std::make_shared<const power::UtilizationTrace>(base);
+  Scenario b = quick_scenario();
+  b.trace = std::make_shared<const power::UtilizationTrace>(later);
+  Scenario c2 = quick_scenario();
+  c2.trace = std::make_shared<const power::UtilizationTrace>(t0diff);
+
+  EXPECT_NE(scenario_trace_key(a), scenario_trace_key(b));  // full content
+  EXPECT_EQ(scenario_steady_key(a), scenario_steady_key(b));  // t=0 equal
+  EXPECT_NE(scenario_steady_key(a), scenario_steady_key(c2));
+
+  ScenarioBank bank;
+  bank.prepare(a);
+  bank.prepare(b);
+  bank.prepare(c2);
+  const BankCounters cnt = bank.counters();
+  EXPECT_EQ(cnt.steady_misses, 2u);
+  EXPECT_EQ(cnt.steady_hits, 1u);  // b reused a's steady solve
+  EXPECT_EQ(bank.steady_entries(), 2u);
+
+  // The coarser key is sound: b started from the shared solve must step
+  // bitwise like b prepared in a bank of its own.
+  ScenarioBank lone;
+  PreparedScenario pb = lone.prepare(b);
+  const auto [m_lone, t_lone] = run_session(pb.session());
+  PreparedScenario shared_b = bank.prepare(b);
+  const auto [m_shared, t_shared] = run_session(shared_b.session());
+  expect_same_metrics(m_lone, m_shared, "t0-shared steady");
+  EXPECT_EQ(t_lone, t_shared);
 }
 
 }  // namespace

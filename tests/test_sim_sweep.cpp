@@ -193,18 +193,29 @@ TEST(Sweep, SerialAndParallelRunsAreBitwiseIdentical) {
 
   SweepOptions parallel;
   parallel.jobs = 4;
+  parallel.batch_width = 1;  // one scenario per job: all 4 workers engage
   const SweepReport b = run_sweep(scenarios, parallel);
+
+  // Batched lockstep stepping (default auto width) groups same-pattern
+  // scenarios into shared jobs — fewer jobs, same bits.
+  SweepOptions batched;
+  batched.jobs = 4;
+  const SweepReport c = run_sweep(scenarios, batched);
 
   ASSERT_TRUE(a.all_ok());
   ASSERT_TRUE(b.all_ok());
+  ASSERT_TRUE(c.all_ok());
   ASSERT_EQ(a.size(), scenarios.size());
   ASSERT_EQ(b.size(), scenarios.size());
+  ASSERT_EQ(c.size(), scenarios.size());
   EXPECT_EQ(a.jobs_used(), 1);
   EXPECT_EQ(b.jobs_used(), 4);
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.at(i).scenario.label, b.at(i).scenario.label) << i;
     expect_same_metrics(a.at(i).metrics, b.at(i).metrics,
                         a.at(i).scenario.label);
+    expect_same_metrics(a.at(i).metrics, c.at(i).metrics,
+                        a.at(i).scenario.label + " (batched)");
   }
 }
 

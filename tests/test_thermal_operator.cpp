@@ -249,6 +249,43 @@ TEST(FlowTransitionPredictor, DoesNotChangeResultsBeyondTolerance) {
   EXPECT_GT(hits_with, 40u);
 }
 
+TEST(FlowTransitionPredictor, InterpolatesBetweenBracketingCachedStates) {
+  // Continuous modulation (the fuzzy-policy regime) almost never
+  // revisits an exact flow state, so the exact-match cache misses every
+  // step — but the new state usually lies between two cached ones, and
+  // the interpolated jump prediction should engage (residual-guarded,
+  // so the answer stays within solver tolerance regardless).
+  auto pump = microchannel::PumpModel::table1();
+  const double q0 = pump.flow_per_cavity(8);
+
+  auto run = [&](int slots) {
+    auto soc = make_soc();
+    load_power(soc);
+    soc.model().set_all_flows(pump.q_max());
+    thermal::TransientSolver::Options opts;
+    opts.warm_start_slots = slots;
+    thermal::TransientSolver sim(soc.model(), 0.1, opts);
+    sim.initialize_steady();
+    // Smooth incommensurate oscillation: sin(i) for integer i never
+    // repeats, so every step is an exact-cache miss with plenty of
+    // bracketing neighbors once the slots fill.
+    for (int i = 0; i < 60; ++i) {
+      soc.model().set_all_flows(q0 * (1.0 + 0.25 * std::sin(0.7 * i)));
+      sim.step();
+    }
+    return std::pair<std::vector<double>, std::uint64_t>(
+        std::vector<double>(sim.temperatures().begin(),
+                            sim.temperatures().end()),
+        sim.predictor_interpolations());
+  };
+
+  const auto [with, interps] = run(16);
+  const auto [without, none] = run(0);
+  EXPECT_EQ(none, 0u);
+  EXPECT_GE(interps, 5u) << "interpolating warm start never engaged";
+  EXPECT_LT(max_abs_diff(with, without), 1e-8);
+}
+
 TEST(TrajectoryWarmStart, AcceptsExtrapolationAndStaysWithinTolerance) {
   // Drive a power ramp (the closed-loop regime: the RHS changes every
   // step) and check that the guarded extrapolation x0 = 2 T_n - T_{n-1}
