@@ -61,6 +61,23 @@ std::vector<sim::Scenario> batch_scenarios() {
       .build();
 }
 
+/// The fuzzy-group leg: one 8-seed group of continuously flow-modulating
+/// (LC_FUZZY) scenarios — the staggered-convergence regime. Fuzzy lanes
+/// run real 4-8-iteration Krylov solves whose lanes converge at
+/// different iterations, so this is where mid-solve lane compaction
+/// (narrowing the fused kernels as lanes finish) earns its keep; the
+/// mixed matrix above is dominated by ~0-iteration warm-started steps.
+std::vector<sim::Scenario> fuzzy_scenarios() {
+  return sim::ScenarioMatrix{}
+      .tiers({2})
+      .policies({sim::PolicyKind::kLcFuzzy})
+      .workloads({power::WorkloadKind::kMaxUtil})
+      .seeds({1, 2, 3, 4, 5, 6, 7, 8})
+      .trace_seconds(30)
+      .grid(thermal::GridOptions{12, 12})
+      .build();
+}
+
 bool same_metrics(const sim::SweepReport& a, const sim::SweepReport& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -130,10 +147,24 @@ int main() {
   };
   run_batchset(1);  // warm the bank's seed-extended entries
   const sim::SweepReport bserial = run_batchset(1);
-  const sim::SweepReport bbatched = run_batchset(0);  // auto width (6)
+  const sim::SweepReport bbatched = run_batchset(0);  // auto width
 
-  for (const auto* r :
-       {&cold, &compile, &cached, &parallel, &bserial, &bbatched}) {
+  // Fuzzy-group legs: one same-pattern group of staggered-convergence
+  // lanes, scalar vs batched (where lane compaction pays).
+  const auto fscenarios = fuzzy_scenarios();
+  auto run_fuzzyset = [&](int width) {
+    sim::SweepOptions opts;
+    opts.jobs = 1;
+    opts.bank = bank;
+    opts.batch_width = width;
+    return sim::run_sweep(fscenarios, opts);
+  };
+  run_fuzzyset(1);  // warm the bank's fuzzy entries
+  const sim::SweepReport fserial = run_fuzzyset(1);
+  const sim::SweepReport fbatched = run_fuzzyset(0);  // auto width
+
+  for (const auto* r : {&cold, &compile, &cached, &parallel, &bserial,
+                        &bbatched, &fserial, &fbatched}) {
     if (!r->all_ok()) {
       for (const auto& e : r->errors()) std::cerr << "ERROR: " << e << '\n';
       return 1;
@@ -142,7 +173,8 @@ int main() {
   const bool bitwise_ok = same_metrics(cold, compile) &&
                           same_metrics(cold, cached) &&
                           same_metrics(cold, parallel) &&
-                          same_metrics(bserial, bbatched);
+                          same_metrics(bserial, bbatched) &&
+                          same_metrics(fserial, fbatched);
 
   int batched_lanes_max = 0;
   int batched_count = 0;
@@ -156,6 +188,11 @@ int main() {
   const double batched_baseline_per_sec =
       bserial.size() / bserial.wall_seconds();
   const double batched_ratio = batched_per_sec / batched_baseline_per_sec;
+
+  const double fuzzy_serial_per_sec = fserial.size() / fserial.wall_seconds();
+  const double fuzzy_group_per_sec =
+      fbatched.size() / fbatched.wall_seconds();
+  const double fuzzy_ratio = fuzzy_group_per_sec / fuzzy_serial_per_sec;
 
   TextTable t;
   t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s",
@@ -173,6 +210,8 @@ int main() {
   add("parallel, bank warm", parallel);
   add("serial scalar, warm (seeded matrix)", bserial);
   add("serial batched, warm (seeded matrix)", bbatched);
+  add("serial scalar, warm (fuzzy group)", fserial);
+  add("serial batched, warm (fuzzy group)", fbatched);
   std::cout << t << '\n';
 
   bench::result_line("Batched scenarios/s", batched_per_sec, "scn/s");
@@ -180,7 +219,16 @@ int main() {
                      "x");
   std::cout << "  Batched lanes: " << batched_count << " of "
             << bbatched.size() << " scenarios in lockstep batches up to "
-            << batched_lanes_max << " wide\n";
+            << batched_lanes_max << " wide (chunk width "
+            << bbatched.batch_width_used() << ", "
+            << bbatched.batch_compaction_events()
+            << " mid-solve compactions)\n";
+  bench::result_line("Fuzzy-group batched scenarios/s", fuzzy_group_per_sec,
+                     "scn/s");
+  bench::result_line("Fuzzy-group batched vs serial", fuzzy_ratio, "x");
+  std::cout << "  Fuzzy-group mid-solve compactions: "
+            << fbatched.batch_compaction_events() << " (chunk width "
+            << fbatched.batch_width_used() << ")\n";
 
   const auto& cache = cached.structure_cache();
   const sim::BankCounters counters = bank->counters();
@@ -241,6 +289,14 @@ int main() {
       .set("batched_vs_serial_ratio", batched_ratio)
       .set("batched_lanes_max", batched_lanes_max)
       .set("batched_scenario_count", batched_count)
+      .set("batched_width_used", bbatched.batch_width_used())
+      .set("batched_compaction_events",
+           static_cast<std::int64_t>(bbatched.batch_compaction_events()))
+      .set("batched_fuzzy_serial_per_sec", fuzzy_serial_per_sec)
+      .set("batched_fuzzy_group_per_sec", fuzzy_group_per_sec)
+      .set("batched_fuzzy_vs_serial_ratio", fuzzy_ratio)
+      .set("batched_fuzzy_compaction_events",
+           static_cast<std::int64_t>(fbatched.batch_compaction_events()))
       .set("bank_trace_hits", static_cast<std::int64_t>(counters.trace_hits))
       .set("bank_trace_misses",
            static_cast<std::int64_t>(counters.trace_misses))
@@ -261,10 +317,12 @@ int main() {
       .set("bitwise_identical", bitwise_ok ? "yes" : "no");
   bench::write_json("BENCH_sweep.json", root);
 
-  bench::sweep_footer(scenarios.size() * 4 + bscenarios.size() * 3,
+  bench::sweep_footer(scenarios.size() * 4 + bscenarios.size() * 3 +
+                          fscenarios.size() * 3,
                       parallel.jobs_used(),
                       cold.wall_seconds() + compile.wall_seconds() +
                           cached.wall_seconds() + parallel.wall_seconds() +
-                          bserial.wall_seconds() + bbatched.wall_seconds());
+                          bserial.wall_seconds() + bbatched.wall_seconds() +
+                          fserial.wall_seconds() + fbatched.wall_seconds());
   return bitwise_ok ? 0 : 1;
 }

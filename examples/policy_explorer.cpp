@@ -148,7 +148,9 @@ int run_matrix_sweep(int seconds) {
   if (batched > 0) {
     std::cout << "Batched lockstep stepping: " << batched << " of "
               << report.size() << " scenarios in batches up to " << max_lanes
-              << " lanes wide.\n";
+              << " lanes wide (chunk width " << report.batch_width_used()
+              << ", " << report.batch_compaction_events()
+              << " mid-solve lane compactions).\n";
   }
   return report.all_ok() ? 0 : 1;
 }

@@ -44,6 +44,12 @@ RATIO_GATES = {
     # the seed-extended paper matrix must not collapse (losing it means
     # the multi-lane kernels stopped amortizing the matrix traversal).
     "batched_per_sec": "batched_serial_baseline_per_sec",
+    # Staggered-convergence (LC_FUZZY) batch group: the regime mid-solve
+    # lane compaction targets — lanes converge at different Krylov
+    # iterations, and the fused kernels re-dispatch narrower as they do.
+    # Losing this ratio means compaction (or the batched path under it)
+    # stopped paying on real multi-iteration solves.
+    "batched_fuzzy_group_per_sec": "batched_fuzzy_serial_per_sec",
 }
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails

@@ -85,6 +85,10 @@ int BatchSession::lane_steps(int lane) const {
   return sessions_[l].has_value() ? sessions_[l]->steps_done() : 0;
 }
 
+std::uint64_t BatchSession::compaction_events() const {
+  return batched_ != nullptr ? batched_->compaction_events() : 0;
+}
+
 SimMetrics BatchSession::metrics(int lane) const {
   const std::size_t l = static_cast<std::size_t>(lane);
   require(errors_[l].empty() && sessions_[l].has_value(),

@@ -80,6 +80,10 @@ class BatchSession {
   /// Steps lane \p lane completed (0 when construction failed).
   int lane_steps(int lane) const;
 
+  /// Mid-solve lane-compaction events of the batched thermal solver
+  /// (0 on the scalar-fallback path); sweep-footer telemetry.
+  std::uint64_t compaction_events() const;
+
   /// Metrics of a completed, ok lane.
   SimMetrics metrics(int lane) const;
 

@@ -12,6 +12,10 @@
 #include <unordered_set>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/units.hpp"
 #include "sim/bank.hpp"
 #include "sim/batch.hpp"
@@ -54,13 +58,42 @@ double estimated_cost(const Scenario& s, double setup_factor) {
 /// bank's steady tier (clone-and-reset instead of a fixed-point solve).
 constexpr double kPreparedSetupFactor = 0.05;
 
-/// Default lane count of batched lockstep jobs (SweepOptions::batch_width
-/// == 0): wide enough to amortize the pattern traversal and fill SIMD
-/// lanes, small enough that the interleaved working set (Krylov vectors,
-/// factors, matrix values — all x lanes) stays cache-resident and the
-/// per-step convergence spread across lanes stays cheap. Measured on the
-/// paper matrix, throughput plateaus at 4-6 lanes and dips at 8.
-constexpr int kAutoBatchWidth = 6;
+/// Fallback lane count of batched lockstep jobs when the cache topology
+/// is unknown (SweepOptions::batch_width == 0 and no L2 size reported):
+/// wide enough to amortize the pattern traversal and fill SIMD lanes,
+/// small enough that the interleaved working set stays cache-resident on
+/// common parts. Measured on the paper matrix with a 2 MiB L2,
+/// throughput plateaus at 4-6 lanes and dips at 8.
+constexpr int kFallbackBatchWidth = 6;
+
+/// Auto lane count of a batch group (SweepOptions::batch_width == 0):
+/// the widest fused-kernel dispatch width whose per-lane slice of the
+/// interleaved working set fits in ~2/3 of the L2 cache. One batched
+/// step streams, per lane, a column of the interleaved matrix values and
+/// ILU factors (~6.3 nonzeros/row each on the paper's structured grids —
+/// 7-point conduction stencil thinned by boundaries, plus the advection
+/// band) and of ~9 Krylov/step n-vectors; once the sum across lanes
+/// spills L2 every traversal re-fetches from L3/DRAM and wider stops
+/// paying (the measured 8-lane dip). The width is rounded down to a
+/// dispatch width the batched kernels instantiate ({1..8} direct, 16
+/// cache-blocked), so the auto choice can exceed 8 only on parts whose
+/// L2 genuinely holds 16 lanes.
+int auto_batch_width(const Scenario& s) {
+  const double layers_per_tier = 3.5;  // bulk + interface (+ cavity)
+  const double n = static_cast<double>(s.grid.rows) * s.grid.cols *
+                   (layers_per_tier * s.tiers + 1.0);
+  const double lane_bytes = (6.3 * n + 9.0 * n) * 8.0;
+  long l2 = -1;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+  if (l2 <= 0) return kFallbackBatchWidth;
+  const double budget = 2.0 / 3.0 * static_cast<double>(l2);
+  const int fit = static_cast<int>(budget / lane_bytes);
+  if (fit >= sparse::kMaxBatchLanes) return sparse::kMaxBatchLanes;
+  if (fit > 8) return 8;
+  return std::max(fit, 1);
+}
 
 /// One unit of worker-pool work: a single scenario (scalar path) or the
 /// lanes of one batched lockstep group chunk.
@@ -263,22 +296,22 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
 
   // Partition the sweep into jobs: with the bank on and batching
   // enabled, scenarios sharing a batch group key (pattern, dt, solver
-  // kind) are chunked into lockstep BatchSession jobs of up to
-  // batch_width lanes; everything else runs scalar, one job per
-  // scenario. Chunks honor input order within a group.
-  const int batch_width =
-      bank == nullptr || opts.batch_width == 1
-          ? 1
-          : std::min(opts.batch_width > 0 ? opts.batch_width
-                                          : kAutoBatchWidth,
-                     sparse::kMaxBatchLanes);
+  // kind) are chunked into lockstep BatchSession jobs of up to the
+  // group's lane cap — the explicit SweepOptions::batch_width, or the
+  // cache-fit auto width of the group's model (auto_batch_width);
+  // everything else runs scalar, one job per scenario. Chunks honor
+  // input order within a group.
+  const bool batching = bank != nullptr && opts.batch_width != 1;
+  const int explicit_width =
+      std::min(opts.batch_width, sparse::kMaxBatchLanes);
+  int batch_width_used = 0;
   std::vector<SweepJob> sweep_jobs;
   {
     std::vector<std::string> group_order;
     std::unordered_map<std::string, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Scenario& s = results[i].scenario;
-      if (batch_width > 1 && batchable(s)) {
+      if (batching && batchable(s)) {
         const std::string key = batch_group_key(s);
         auto [it, fresh] = groups.try_emplace(key);
         if (fresh) group_order.push_back(key);
@@ -289,6 +322,13 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     }
     for (const std::string& key : group_order) {
       const std::vector<std::size_t>& members = groups[key];
+      const int batch_width =
+          explicit_width > 0
+              ? explicit_width
+              : auto_batch_width(results[members.front()].scenario);
+      if (members.size() > 1 && batch_width > 1) {
+        batch_width_used = std::max(batch_width_used, batch_width);
+      }
       // Balanced chunking: a group of 8 at width 6 becomes 4+4, not 6+2
       // — equal-width batches amortize the shared traversals evenly
       // instead of leaving a runt batch.
@@ -330,6 +370,7 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
                    });
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> compaction_total{0};
   std::mutex report_mutex;
 
   // Materialize (bank: compile), time the construction and the stepping
@@ -405,6 +446,8 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     try {
       BatchSession batch(std::move(prep));
       batch.run_to_end();
+      compaction_total.fetch_add(batch.compaction_events(),
+                                 std::memory_order_relaxed);
       const double stepping = seconds_since(t1);
       double total_steps = 0.0;
       for (int l = 0; l < lanes; ++l) total_steps += batch.lane_steps(l);
@@ -460,6 +503,8 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
   SweepReport report(std::move(results), jobs, seconds_since(sweep_start));
   report.set_structure_cache(std::move(cache));
   report.set_bank(std::move(bank));
+  report.set_batch_telemetry(batch_width_used,
+                             compaction_total.load(std::memory_order_relaxed));
   return report;
 }
 

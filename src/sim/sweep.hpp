@@ -15,6 +15,7 @@
 /// Results are returned in input order regardless of completion order.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -105,10 +106,13 @@ struct SweepOptions {
   /// grouped into BatchSession jobs of up to this many lanes, so one
   /// worker advances all of them per matrix traversal
   /// (sim/batch.hpp; per-lane results are bitwise identical to the
-  /// scalar path). 0 = auto width (currently 6), 1 = batching off,
-  /// values above sparse::kMaxBatchLanes are clamped. Singleton groups,
-  /// direct-solver scenarios and bank-off sweeps take the scalar path
-  /// unchanged.
+  /// scalar path). 0 = auto width: per batch group, the widest fused-
+  /// kernel dispatch width whose interleaved per-lane working set
+  /// (matrix values, factors, Krylov vectors) fits in ~2/3 of the L2
+  /// cache — 6 on the paper stack with a 2 MiB L2 (see
+  /// SweepReport::batch_width_used). 1 = batching off; values above
+  /// sparse::kMaxBatchLanes are clamped. Singleton groups, direct-solver
+  /// scenarios and bank-off sweeps take the scalar path unchanged.
   int batch_width = 0;
 };
 
@@ -184,12 +188,28 @@ class SweepReport {
     bank_ = std::move(bank);
   }
 
+  /// Widest lane count the sweep's batched lockstep jobs were chunked to
+  /// (the auto-selected width when SweepOptions::batch_width == 0);
+  /// 0 when no batched job ran.
+  int batch_width_used() const { return batch_width_used_; }
+  /// Total mid-solve lane-compaction events across the sweep's batched
+  /// jobs (see sparse::BatchedBicgstabSolver::compaction_events).
+  std::uint64_t batch_compaction_events() const {
+    return batch_compaction_events_;
+  }
+  void set_batch_telemetry(int width_used, std::uint64_t compaction_events) {
+    batch_width_used_ = width_used;
+    batch_compaction_events_ = compaction_events;
+  }
+
  private:
   std::vector<SweepResult> results_;
   int jobs_used_ = 1;
   double wall_seconds_ = 0.0;
   std::shared_ptr<sparse::StructureCache> structure_cache_;
   std::shared_ptr<ScenarioBank> bank_;
+  int batch_width_used_ = 0;
+  std::uint64_t batch_compaction_events_ = 0;
 };
 
 /// Run every scenario (worker pool of resolve_jobs(opts.jobs) threads)

@@ -109,14 +109,19 @@ void unpack_lanes(std::span<const double> src, int lanes,
   }
 }
 
-void BatchedKrylovWorkspace::resize(std::size_t n, int lanes) {
-  if (n_ == n && lanes_ == lanes) return;
+void BatchedKrylovWorkspace::resize(std::size_t n, int lanes,
+                                    std::int64_t nnz) {
+  if (n_ == n && lanes_ == lanes && nnz_ == nnz) return;
   n_ = n;
   lanes_ = lanes;
+  nnz_ = nnz;
   const std::size_t total = n * static_cast<std::size_t>(lanes);
   for (auto* vec : {&r, &r0, &p, &v, &s, &t, &ph, &sh, &snap}) {
     vec->assign(total, 0.0);
   }
+  cx.assign(total, 0.0);
+  av.assign(static_cast<std::size_t>(nnz) * static_cast<std::size_t>(lanes),
+            0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -150,44 +155,73 @@ void dispatch_lanes(int lanes, F&& f) {
   }
 }
 
+/// The SpMV-shaped kernels work on raw (row_ptr, col_idx, values)
+/// pointers with an explicit lane stride so the compaction path can
+/// point them at the gathered-value scratch at a narrower width.
+///
+/// Width-16 cache blocking: at stride 16 a lane group spans two cache
+/// lines, so the <16, 8, OFF> instantiations process lane halves
+/// [0, 8) and [8, 16) in two passes — each pass touches exactly one
+/// line per group and carries a width-8 live vector window, which is
+/// what keeps width 16 from spilling L2. Per lane the row order and
+/// accumulation chains are unchanged, so the bitwise contract holds.
+///
+/// CL = compile-time stride (0 = runtime), W = lanes processed per pass
+/// (0 = runtime = all), OFF = first lane of the pass.
+
 /// r = b - A x per lane; rr[l] = dot(r, r), bb[l] = dot(b, b)
 /// (residual_norms).
-template <int CL>
-void t_residual_norms(const BatchedCsr& a, const double* __restrict x,
-                      const double* __restrict b, double* __restrict r,
-                      double* __restrict rr, double* __restrict bb) {
-  const std::int32_t* __restrict rp = a.row_ptr().data();
-  const std::int32_t* __restrict ci = a.col_idx().data();
-  const double* __restrict v = a.values().data();
-  const std::int32_t n = a.rows();
-  const int L = CL > 0 ? CL : a.lanes();
-  for (int l = 0; l < L; ++l) {
-    rr[l] = 0.0;
-    bb[l] = 0.0;
+template <int CL, int W, int OFF>
+void t_residual_norms_part(const std::int32_t* __restrict rp,
+                           const std::int32_t* __restrict ci,
+                           const double* __restrict v, std::int32_t n,
+                           int lanes, const double* __restrict x,
+                           const double* __restrict b, double* __restrict r,
+                           double* __restrict rr, double* __restrict bb) {
+  const int L = CL > 0 ? CL : lanes;
+  const int Wr = W > 0 ? W : lanes;
+  for (int l = 0; l < Wr; ++l) {
+    rr[OFF + l] = 0.0;
+    bb[OFF + l] = 0.0;
   }
   double acc[kMaxBatchLanes];
   for (std::int32_t row = 0; row < n; ++row) {
-    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (int l = 0; l < Wr; ++l) acc[l] = 0.0;
     for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
-      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
-      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
-      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L + OFF;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L + OFF;
+      for (int l = 0; l < Wr; ++l) acc[l] += v[vk + l] * x[xk + l];
     }
-    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
-    for (int l = 0; l < L; ++l) {
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L + OFF;
+    for (int l = 0; l < Wr; ++l) {
       const double bi = b[rk + l];
       const double res = bi - acc[l];
       r[rk + l] = res;
-      rr[l] += res * res;
-      bb[l] += bi * bi;
+      rr[OFF + l] += res * res;
+      bb[OFF + l] += bi * bi;
     }
   }
 }
 
-void b_residual_norms(const BatchedCsr& a, const double* x, const double* b,
-                      double* r, double* rr, double* bb) {
-  dispatch_lanes(a.lanes(), [&](auto cl) {
-    t_residual_norms<cl.value>(a, x, b, r, rr, bb);
+template <int CL>
+void t_residual_norms(const std::int32_t* rp, const std::int32_t* ci,
+                      const double* v, std::int32_t n, int lanes,
+                      const double* x, const double* b, double* r, double* rr,
+                      double* bb) {
+  if constexpr (CL == 16) {
+    t_residual_norms_part<16, 8, 0>(rp, ci, v, n, lanes, x, b, r, rr, bb);
+    t_residual_norms_part<16, 8, 8>(rp, ci, v, n, lanes, x, b, r, rr, bb);
+  } else {
+    t_residual_norms_part<CL, CL, 0>(rp, ci, v, n, lanes, x, b, r, rr, bb);
+  }
+}
+
+void b_residual_norms(const std::int32_t* rp, const std::int32_t* ci,
+                      const double* v, std::int32_t n, int lanes,
+                      const double* x, const double* b, double* r, double* rr,
+                      double* bb) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_residual_norms<cl.value>(rp, ci, v, n, lanes, x, b, r, rr, bb);
   });
 }
 
@@ -231,73 +265,100 @@ void b_p_update(std::size_t n, int lanes, const double* r, const double* beta,
 }
 
 /// y = A x per lane; out[l] = dot(w, y) (spmv_dot).
-template <int CL>
-void t_spmv_dot(const BatchedCsr& a, const double* __restrict x,
-                double* __restrict y, const double* __restrict w,
-                double* __restrict out) {
-  const std::int32_t* __restrict rp = a.row_ptr().data();
-  const std::int32_t* __restrict ci = a.col_idx().data();
-  const double* __restrict v = a.values().data();
-  const std::int32_t n = a.rows();
-  const int L = CL > 0 ? CL : a.lanes();
-  for (int l = 0; l < L; ++l) out[l] = 0.0;
+template <int CL, int W, int OFF>
+void t_spmv_dot_part(const std::int32_t* __restrict rp,
+                     const std::int32_t* __restrict ci,
+                     const double* __restrict v, std::int32_t n, int lanes,
+                     const double* __restrict x, double* __restrict y,
+                     const double* __restrict w, double* __restrict out) {
+  const int L = CL > 0 ? CL : lanes;
+  const int Wr = W > 0 ? W : lanes;
+  for (int l = 0; l < Wr; ++l) out[OFF + l] = 0.0;
   double acc[kMaxBatchLanes];
   for (std::int32_t row = 0; row < n; ++row) {
-    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (int l = 0; l < Wr; ++l) acc[l] = 0.0;
     for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
-      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
-      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
-      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L + OFF;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L + OFF;
+      for (int l = 0; l < Wr; ++l) acc[l] += v[vk + l] * x[xk + l];
     }
-    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
-    for (int l = 0; l < L; ++l) {
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L + OFF;
+    for (int l = 0; l < Wr; ++l) {
       y[rk + l] = acc[l];
-      out[l] += w[rk + l] * acc[l];
+      out[OFF + l] += w[rk + l] * acc[l];
     }
   }
 }
 
-void b_spmv_dot(const BatchedCsr& a, const double* x, double* y,
-                const double* w, double* out) {
-  dispatch_lanes(a.lanes(),
-                 [&](auto cl) { t_spmv_dot<cl.value>(a, x, y, w, out); });
+template <int CL>
+void t_spmv_dot(const std::int32_t* rp, const std::int32_t* ci,
+                const double* v, std::int32_t n, int lanes, const double* x,
+                double* y, const double* w, double* out) {
+  if constexpr (CL == 16) {
+    t_spmv_dot_part<16, 8, 0>(rp, ci, v, n, lanes, x, y, w, out);
+    t_spmv_dot_part<16, 8, 8>(rp, ci, v, n, lanes, x, y, w, out);
+  } else {
+    t_spmv_dot_part<CL, CL, 0>(rp, ci, v, n, lanes, x, y, w, out);
+  }
+}
+
+void b_spmv_dot(const std::int32_t* rp, const std::int32_t* ci,
+                const double* v, std::int32_t n, int lanes, const double* x,
+                double* y, const double* w, double* out) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_spmv_dot<cl.value>(rp, ci, v, n, lanes, x, y, w, out);
+  });
 }
 
 /// y = A x per lane; yy[l] = dot(y, y), wy[l] = dot(w, y) (spmv_dot2).
-template <int CL>
-void t_spmv_dot2(const BatchedCsr& a, const double* __restrict x,
-                 double* __restrict y, const double* __restrict w,
-                 double* __restrict yy, double* __restrict wy) {
-  const std::int32_t* __restrict rp = a.row_ptr().data();
-  const std::int32_t* __restrict ci = a.col_idx().data();
-  const double* __restrict v = a.values().data();
-  const std::int32_t n = a.rows();
-  const int L = CL > 0 ? CL : a.lanes();
-  for (int l = 0; l < L; ++l) {
-    yy[l] = 0.0;
-    wy[l] = 0.0;
+template <int CL, int W, int OFF>
+void t_spmv_dot2_part(const std::int32_t* __restrict rp,
+                      const std::int32_t* __restrict ci,
+                      const double* __restrict v, std::int32_t n, int lanes,
+                      const double* __restrict x, double* __restrict y,
+                      const double* __restrict w, double* __restrict yy,
+                      double* __restrict wy) {
+  const int L = CL > 0 ? CL : lanes;
+  const int Wr = W > 0 ? W : lanes;
+  for (int l = 0; l < Wr; ++l) {
+    yy[OFF + l] = 0.0;
+    wy[OFF + l] = 0.0;
   }
   double acc[kMaxBatchLanes];
   for (std::int32_t row = 0; row < n; ++row) {
-    for (int l = 0; l < L; ++l) acc[l] = 0.0;
+    for (int l = 0; l < Wr; ++l) acc[l] = 0.0;
     for (std::int32_t k = rp[row]; k < rp[row + 1]; ++k) {
-      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
-      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L;
-      for (int l = 0; l < L; ++l) acc[l] += v[vk + l] * x[xk + l];
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L + OFF;
+      const std::int64_t xk = static_cast<std::int64_t>(ci[k]) * L + OFF;
+      for (int l = 0; l < Wr; ++l) acc[l] += v[vk + l] * x[xk + l];
     }
-    const std::int64_t rk = static_cast<std::int64_t>(row) * L;
-    for (int l = 0; l < L; ++l) {
+    const std::int64_t rk = static_cast<std::int64_t>(row) * L + OFF;
+    for (int l = 0; l < Wr; ++l) {
       y[rk + l] = acc[l];
-      yy[l] += acc[l] * acc[l];
-      wy[l] += w[rk + l] * acc[l];
+      yy[OFF + l] += acc[l] * acc[l];
+      wy[OFF + l] += w[rk + l] * acc[l];
     }
   }
 }
 
-void b_spmv_dot2(const BatchedCsr& a, const double* x, double* y,
-                 const double* w, double* yy, double* wy) {
-  dispatch_lanes(a.lanes(),
-                 [&](auto cl) { t_spmv_dot2<cl.value>(a, x, y, w, yy, wy); });
+template <int CL>
+void t_spmv_dot2(const std::int32_t* rp, const std::int32_t* ci,
+                 const double* v, std::int32_t n, int lanes, const double* x,
+                 double* y, const double* w, double* yy, double* wy) {
+  if constexpr (CL == 16) {
+    t_spmv_dot2_part<16, 8, 0>(rp, ci, v, n, lanes, x, y, w, yy, wy);
+    t_spmv_dot2_part<16, 8, 8>(rp, ci, v, n, lanes, x, y, w, yy, wy);
+  } else {
+    t_spmv_dot2_part<CL, CL, 0>(rp, ci, v, n, lanes, x, y, w, yy, wy);
+  }
+}
+
+void b_spmv_dot2(const std::int32_t* rp, const std::int32_t* ci,
+                 const double* v, std::int32_t n, int lanes, const double* x,
+                 double* y, const double* w, double* yy, double* wy) {
+  dispatch_lanes(lanes, [&](auto cl) {
+    t_spmv_dot2<cl.value>(rp, ci, v, n, lanes, x, y, w, yy, wy);
+  });
 }
 
 /// w = x + alpha * y per lane; out[l] = dot(w, w) (waxpby).
@@ -358,44 +419,59 @@ void b_final_update(std::size_t n, int lanes, const double* alpha,
 /// ILU(0) forward/backward substitution across lanes (the row-
 /// sequential dependency is within a lane; every row's update runs
 /// lane-wide, in the serial solver's exact entry order per lane).
+template <int CL, int W, int OFF>
+void t_ilu_apply_part(std::int32_t rows, int lanes,
+                      const std::int32_t* __restrict rp,
+                      const std::int32_t* __restrict ci,
+                      const double* __restrict v, const double* __restrict rs,
+                      double* __restrict zs) {
+  const int L = CL > 0 ? CL : lanes;
+  const int Wr = W > 0 ? W : lanes;
+  double acc[kMaxBatchLanes];
+  double dii[kMaxBatchLanes];
+  // Forward solve L z = r (unit diagonal).
+  for (std::int32_t i = 0; i < rows; ++i) {
+    const std::int64_t ik = static_cast<std::int64_t>(i) * L + OFF;
+    for (int l = 0; l < Wr; ++l) acc[l] = rs[ik + l];
+    for (std::int32_t k = rp[i]; k < rp[i + 1] && ci[k] < i; ++k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L + OFF;
+      const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L + OFF;
+      for (int l = 0; l < Wr; ++l) acc[l] -= v[vk + l] * zs[zk + l];
+    }
+    for (int l = 0; l < Wr; ++l) zs[ik + l] = acc[l];
+  }
+  // Backward solve U z = z (entry walk in the serial solver's reverse
+  // order, so the per-lane subtraction chains match bitwise).
+  for (std::int32_t i = rows - 1; i >= 0; --i) {
+    const std::int64_t ik = static_cast<std::int64_t>(i) * L + OFF;
+    for (int l = 0; l < Wr; ++l) {
+      acc[l] = zs[ik + l];
+      dii[l] = 0.0;
+    }
+    for (std::int32_t k = rp[i + 1] - 1; k >= rp[i] && ci[k] >= i; --k) {
+      const std::int64_t vk = static_cast<std::int64_t>(k) * L + OFF;
+      if (ci[k] == i) {
+        for (int l = 0; l < Wr; ++l) dii[l] = v[vk + l];
+      } else {
+        const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L + OFF;
+        for (int l = 0; l < Wr; ++l) acc[l] -= v[vk + l] * zs[zk + l];
+      }
+    }
+    for (int l = 0; l < Wr; ++l) zs[ik + l] = acc[l] / dii[l];
+  }
+}
+
 template <int CL>
 void t_ilu_apply(std::int32_t rows, int lanes,
                  const std::int32_t* __restrict rp,
                  const std::int32_t* __restrict ci,
                  const double* __restrict v, const double* __restrict rs,
                  double* __restrict zs) {
-  const int L = CL > 0 ? CL : lanes;
-  double acc[kMaxBatchLanes];
-  double dii[kMaxBatchLanes];
-  // Forward solve L z = r (unit diagonal).
-  for (std::int32_t i = 0; i < rows; ++i) {
-    const std::int64_t ik = static_cast<std::int64_t>(i) * L;
-    for (int l = 0; l < L; ++l) acc[l] = rs[ik + l];
-    for (std::int32_t k = rp[i]; k < rp[i + 1] && ci[k] < i; ++k) {
-      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
-      const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L;
-      for (int l = 0; l < L; ++l) acc[l] -= v[vk + l] * zs[zk + l];
-    }
-    for (int l = 0; l < L; ++l) zs[ik + l] = acc[l];
-  }
-  // Backward solve U z = z (entry walk in the serial solver's reverse
-  // order, so the per-lane subtraction chains match bitwise).
-  for (std::int32_t i = rows - 1; i >= 0; --i) {
-    const std::int64_t ik = static_cast<std::int64_t>(i) * L;
-    for (int l = 0; l < L; ++l) {
-      acc[l] = zs[ik + l];
-      dii[l] = 0.0;
-    }
-    for (std::int32_t k = rp[i + 1] - 1; k >= rp[i] && ci[k] >= i; --k) {
-      const std::int64_t vk = static_cast<std::int64_t>(k) * L;
-      if (ci[k] == i) {
-        for (int l = 0; l < L; ++l) dii[l] = v[vk + l];
-      } else {
-        const std::int64_t zk = static_cast<std::int64_t>(ci[k]) * L;
-        for (int l = 0; l < L; ++l) acc[l] -= v[vk + l] * zs[zk + l];
-      }
-    }
-    for (int l = 0; l < L; ++l) zs[ik + l] = acc[l] / dii[l];
+  if constexpr (CL == 16) {
+    t_ilu_apply_part<16, 8, 0>(rows, lanes, rp, ci, v, rs, zs);
+    t_ilu_apply_part<16, 8, 8>(rows, lanes, rp, ci, v, rs, zs);
+  } else {
+    t_ilu_apply_part<CL, CL, 0>(rows, lanes, rp, ci, v, rs, zs);
   }
 }
 
@@ -410,7 +486,9 @@ void batched_residual_norms(const BatchedCsr& a, std::span<const double> x,
               rr.size() == static_cast<std::size_t>(a.lanes()) &&
               bb.size() == rr.size(),
           "batched_residual_norms: size mismatch");
-  b_residual_norms(a, x.data(), b.data(), r.data(), rr.data(), bb.data());
+  b_residual_norms(a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+                   a.rows(), a.lanes(), x.data(), b.data(), r.data(),
+                   rr.data(), bb.data());
 }
 
 // ---------------------------------------------------------------------------
@@ -418,9 +496,33 @@ void batched_residual_norms(const BatchedCsr& a, std::span<const double> x,
 // ---------------------------------------------------------------------------
 
 BatchedJacobiPreconditioner::BatchedJacobiPreconditioner(const BatchedCsr& a)
-    : lanes_(a.lanes()) {
+    : lanes_(a.lanes()), rows_(a.rows()) {
   inv_diag_.assign(static_cast<std::size_t>(a.rows()) * lanes_, 0.0);
+  cdiag_.assign(inv_diag_.size(), 0.0);  // compaction scratch, preallocated
   for (int l = 0; l < lanes_; ++l) refactor_lane(l, a);
+}
+
+void BatchedJacobiPreconditioner::compact_lanes(
+    std::span<const int> lanes) const {
+  cwidth_ = static_cast<int>(lanes.size());
+  const double* __restrict src = inv_diag_.data();
+  double* __restrict dst = cdiag_.data();
+  const int L = lanes_;
+  const int W = cwidth_;
+  for (std::int32_t i = 0; i < rows_; ++i) {
+    for (int c = 0; c < W; ++c) {
+      dst[static_cast<std::int64_t>(i) * W + c] =
+          src[static_cast<std::int64_t>(i) * L + lanes[c]];
+    }
+  }
+}
+
+void BatchedJacobiPreconditioner::apply_compacted(const double* r,
+                                                  double* z) const {
+  const double* __restrict ds = cdiag_.data();
+  const std::size_t total =
+      static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cwidth_);
+  for (std::size_t i = 0; i < total; ++i) z[i] = r[i] * ds[i];
 }
 
 void BatchedJacobiPreconditioner::refactor_lane(int lane,
@@ -471,6 +573,7 @@ BatchedIlu0Preconditioner::BatchedIlu0Preconditioner(const BatchedCsr& a)
   row_ptr_.assign(a.row_ptr().begin(), a.row_ptr().end());
   col_idx_.assign(a.col_idx().begin(), a.col_idx().end());
   lu_.assign(static_cast<std::size_t>(a.nnz()) * lanes_, 0.0);
+  clu_.assign(lu_.size(), 0.0);  // compaction scratch, preallocated
   diag_.assign(static_cast<std::size_t>(rows_), -1);
   for (std::int32_t r = 0; r < rows_; ++r) {
     for (std::int32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
@@ -529,17 +632,50 @@ void BatchedIlu0Preconditioner::apply(std::span<const double> r,
   });
 }
 
+void BatchedIlu0Preconditioner::compact_lanes(
+    std::span<const int> lanes) const {
+  cwidth_ = static_cast<int>(lanes.size());
+  const double* __restrict src = lu_.data();
+  double* __restrict dst = clu_.data();
+  const int L = lanes_;
+  const int W = cwidth_;
+  const std::int64_t nnz =
+      static_cast<std::int64_t>(lu_.size()) / static_cast<std::int64_t>(L);
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    for (int c = 0; c < W; ++c) dst[k * W + c] = src[k * L + lanes[c]];
+  }
+}
+
+void BatchedIlu0Preconditioner::apply_compacted(const double* r,
+                                                double* z) const {
+  dispatch_lanes(cwidth_, [&](auto cl) {
+    t_ilu_apply<cl.value>(rows_, cwidth_, row_ptr_.data(), col_idx_.data(),
+                          clu_.data(), r, z);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // batched_bicgstab
 // ---------------------------------------------------------------------------
 
-void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
-                      std::span<double> x, const BatchedPreconditioner& m,
-                      std::span<const double> rel_tolerance,
-                      std::int32_t max_iterations,
-                      std::span<const std::uint8_t> active,
-                      BatchedKrylovWorkspace& ws,
-                      std::span<BatchedLaneResult> results) {
+namespace {
+
+/// Narrowest fused-kernel dispatch width that holds \p k live lanes
+/// (every width in [1, 8] has a dedicated instantiation; above that the
+/// next stop is the cache-blocked 16).
+int compaction_width(int k) {
+  return k <= 8 ? std::max(k, 1) : 16;
+}
+
+}  // namespace
+
+int batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
+                     std::span<double> x, const BatchedPreconditioner& m,
+                     std::span<const double> rel_tolerance,
+                     std::int32_t max_iterations,
+                     std::span<const std::uint8_t> active,
+                     BatchedKrylovWorkspace& ws,
+                     std::span<BatchedLaneResult> results) {
   const std::int32_t n = a.rows();
   const int L = a.lanes();
   const std::size_t total = static_cast<std::size_t>(n) * L;
@@ -548,38 +684,153 @@ void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
               active.size() == static_cast<std::size_t>(L) &&
               results.size() == static_cast<std::size_t>(L),
           "batched_bicgstab: size mismatch");
-  ws.resize(static_cast<std::size_t>(n), L);
+  ws.resize(static_cast<std::size_t>(n), L, a.nnz());
+  const std::int32_t* __restrict rp = a.row_ptr().data();
+  const std::int32_t* __restrict ci = a.col_idx().data();
 
+  // Everything below runs in SLOT space: slot s carries original lane
+  // slot_lane[s] at the current kernel width W. Before the first
+  // compaction W == L and slots are the identity; a compaction event
+  // repacks the surviving lanes into slots [0, live) of the next
+  // narrower dispatch width (padding slots stream garbage exactly like
+  // finished lanes always did). x is viewed through xv (the caller's
+  // buffer until the first compaction moves it into ws.cx) and the
+  // matrix values through mv (a's interleaved values until the first
+  // compaction gathers the survivors into ws.av).
   double rr[kMaxBatchLanes], bb[kMaxBatchLanes], bnorm[kMaxBatchLanes];
   double rho[kMaxBatchLanes], alpha[kMaxBatchLanes], omega[kMaxBatchLanes];
   double beta[kMaxBatchLanes], rho_new[kMaxBatchLanes], r0v[kMaxBatchLanes];
   double neg_alpha[kMaxBatchLanes], ss[kMaxBatchLanes];
-  double tt[kMaxBatchLanes], ts[kMaxBatchLanes];
+  double tt[kMaxBatchLanes], ts[kMaxBatchLanes], ctol[kMaxBatchLanes];
   std::uint8_t running[kMaxBatchLanes];
+  int slot_lane[kMaxBatchLanes];
   int n_running = 0;
+  int W = L;
+  int events = 0;
+  bool compacted = false;
+  double* xv = x.data();
+  const double* mv = a.values().data();
 
-  // Freeze lane l's current column of x into the snapshot buffer.
-  const auto snap_x = [&](int l) {
+  for (int l = 0; l < L; ++l) {
+    slot_lane[l] = l;
+    ctol[l] = rel_tolerance[l];
+  }
+
+  // Freeze slot s's current column of x into the snapshot buffer (which
+  // stays at the caller's stride L, keyed by original lane).
+  const auto snap_x = [&](int s) {
+    const int lane = slot_lane[s];
     for (std::int32_t i = 0; i < n; ++i) {
-      ws.snap[static_cast<std::size_t>(i) * L + l] =
-          x[static_cast<std::size_t>(i) * L + l];
+      ws.snap[static_cast<std::size_t>(i) * L + lane] =
+          xv[static_cast<std::size_t>(i) * W + s];
     }
   };
   // Mid-iteration convergence exit: the serial solver finishes with
   // axpy(alpha, ph, x) — freeze x + alpha*ph without disturbing x.
-  const auto snap_x_plus_alpha_ph = [&](int l) {
+  const auto snap_x_plus_alpha_ph = [&](int s) {
+    const int lane = slot_lane[s];
     for (std::int32_t i = 0; i < n; ++i) {
-      const std::size_t k = static_cast<std::size_t>(i) * L + l;
-      ws.snap[k] = x[k] + alpha[l] * ws.ph[k];
+      const std::size_t k = static_cast<std::size_t>(i) * W + s;
+      ws.snap[static_cast<std::size_t>(i) * L + lane] =
+          xv[k] + alpha[s] * ws.ph[k];
     }
   };
-  const auto finish = [&](int l, bool converged) {
-    results[l].converged = converged;
-    running[l] = 0;
+  const auto finish = [&](int s, bool converged) {
+    results[slot_lane[s]].converged = converged;
+    running[s] = 0;
     --n_running;
   };
+  const auto apply_m = [&](const std::vector<double>& src,
+                           std::vector<double>& dst) {
+    if (!compacted) {
+      m.apply(src, dst);
+    } else {
+      m.apply_compacted(src.data(), dst.data());
+    }
+  };
 
-  b_residual_norms(a, x.data(), b.data(), ws.r.data(), rr, bb);
+  // Repack the surviving lanes' solver state to the next narrower
+  // dispatch width. Whole lane columns move — no per-lane arithmetic —
+  // so each lane's bitwise trajectory is unchanged; the per-iteration
+  // kernels just stop paying for finished lanes.
+  const auto compact = [&]() {
+    const int nw = compaction_width(n_running);
+    int keep[kMaxBatchLanes];
+    int live = 0;
+    for (int s = 0; s < W; ++s) {
+      if (running[s]) keep[live++] = s;
+    }
+    // Scalars: keep[] ascends, so in-place moves read ahead of writes.
+    for (int c = 0; c < live; ++c) {
+      const int s = keep[c];
+      rr[c] = rr[s];
+      bnorm[c] = bnorm[s];
+      rho[c] = rho[s];
+      alpha[c] = alpha[s];
+      omega[c] = omega[s];
+      ctol[c] = ctol[s];
+      slot_lane[c] = slot_lane[s];
+      running[c] = 1;
+    }
+    for (int c = live; c < nw; ++c) {
+      // Padding slots: finite scalars, slot 0's lane data — they stream
+      // through the kernels like finished lanes always did and are never
+      // read back.
+      rr[c] = 0.0;
+      bnorm[c] = 1.0;
+      rho[c] = 1.0;
+      alpha[c] = 1.0;
+      omega[c] = 1.0;
+      ctol[c] = 1.0;
+      slot_lane[c] = slot_lane[0];
+      running[c] = 0;
+    }
+    // State vectors that live across iterations: x (via cx), r, r0, p,
+    // v. (s, t, ph, sh are rebuilt every iteration before use; b is only
+    // read by the initial residual.) Row-by-row with a bounce buffer:
+    // row i's writes land at or before its reads, ascending.
+    double tmp[kMaxBatchLanes];
+    const auto repack = [&](double* vec) {
+      for (std::int32_t i = 0; i < n; ++i) {
+        const std::int64_t src = static_cast<std::int64_t>(i) * W;
+        const std::int64_t dst = static_cast<std::int64_t>(i) * nw;
+        for (int c = 0; c < live; ++c) tmp[c] = vec[src + keep[c]];
+        for (int c = 0; c < live; ++c) vec[dst + c] = tmp[c];
+      }
+    };
+    if (!compacted) {
+      for (std::int32_t i = 0; i < n; ++i) {
+        const std::int64_t src = static_cast<std::int64_t>(i) * W;
+        const std::int64_t dst = static_cast<std::int64_t>(i) * nw;
+        for (int c = 0; c < live; ++c) ws.cx[dst + c] = xv[src + keep[c]];
+      }
+      xv = ws.cx.data();
+    } else {
+      repack(ws.cx.data());
+    }
+    repack(ws.r.data());
+    repack(ws.r0.data());
+    repack(ws.p.data());
+    repack(ws.v.data());
+    // Gather the survivors' matrix values (always from the original
+    // interleave) and preconditioner factors at the new width.
+    {
+      const double* __restrict src = a.values().data();
+      double* __restrict dst = ws.av.data();
+      const std::int64_t nnz = a.nnz();
+      for (std::int64_t k = 0; k < nnz; ++k) {
+        for (int c = 0; c < nw; ++c) {
+          dst[k * nw + c] = src[k * L + slot_lane[c]];
+        }
+      }
+      mv = ws.av.data();
+    }
+    m.compact_lanes(std::span<const int>(slot_lane, static_cast<std::size_t>(nw)));
+    compacted = true;
+    W = nw;
+  };
+
+  b_residual_norms(rp, ci, mv, n, L, xv, b.data(), ws.r.data(), rr, bb);
   for (int l = 0; l < L; ++l) {
     results[l] = BatchedLaneResult{};
     running[l] = 0;
@@ -597,7 +848,7 @@ void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
   // scratch was written), so skip the snapshot/restore machinery and the
   // workspace setup entirely — the common case of well-warm-started
   // lockstep batches.
-  if (n_running == 0) return;
+  if (n_running == 0) return 0;
   for (int l = 0; l < L; ++l) {
     if (active[l] && !running[l]) snap_x(l);
   }
@@ -612,94 +863,102 @@ void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
   std::fill(ws.v.begin(), ws.v.end(), 0.0);
 
   for (std::int32_t it = 1; it <= max_iterations && n_running > 0; ++it) {
+    if (compaction_width(n_running) < W) {
+      compact();
+      ++events;
+    }
     if (it == 1) {
       // rho_1 = dot(r0, r) with r0 == r: element-for-element the sum
       // residual_norms already accumulated in the same order — reuse it
       // (bitwise equal, one streaming pass saved).
-      for (int l = 0; l < L; ++l) rho_new[l] = rr[l];
+      for (int s = 0; s < W; ++s) rho_new[s] = rr[s];
     } else {
-      b_dot(static_cast<std::size_t>(n), L, ws.r0.data(), ws.r.data(),
+      b_dot(static_cast<std::size_t>(n), W, ws.r0.data(), ws.r.data(),
             rho_new);
     }
-    for (int l = 0; l < L; ++l) {
-      if (running[l] && rho_new[l] == 0.0) {
-        snap_x(l);  // breakdown; report non-convergence
-        finish(l, false);
+    for (int s = 0; s < W; ++s) {
+      if (running[s] && rho_new[s] == 0.0) {
+        snap_x(s);  // breakdown; report non-convergence
+        finish(s, false);
       }
     }
     if (n_running == 0) break;
-    for (int l = 0; l < L; ++l) {
-      beta[l] = (rho_new[l] / rho[l]) * (alpha[l] / omega[l]);
-      rho[l] = rho_new[l];
+    for (int s = 0; s < W; ++s) {
+      beta[s] = (rho_new[s] / rho[s]) * (alpha[s] / omega[s]);
+      rho[s] = rho_new[s];
     }
-    b_p_update(static_cast<std::size_t>(n), L, ws.r.data(), beta, omega,
+    b_p_update(static_cast<std::size_t>(n), W, ws.r.data(), beta, omega,
                ws.v.data(), ws.p.data());
-    m.apply(ws.p, ws.ph);
-    b_spmv_dot(a, ws.ph.data(), ws.v.data(), ws.r0.data(), r0v);
-    for (int l = 0; l < L; ++l) {
-      if (running[l] && r0v[l] == 0.0) {
-        snap_x(l);
-        finish(l, false);
+    apply_m(ws.p, ws.ph);
+    b_spmv_dot(rp, ci, mv, n, W, ws.ph.data(), ws.v.data(), ws.r0.data(),
+               r0v);
+    for (int s = 0; s < W; ++s) {
+      if (running[s] && r0v[s] == 0.0) {
+        snap_x(s);
+        finish(s, false);
       }
     }
     if (n_running == 0) break;
-    for (int l = 0; l < L; ++l) {
-      alpha[l] = rho[l] / r0v[l];
-      neg_alpha[l] = -alpha[l];
+    for (int s = 0; s < W; ++s) {
+      alpha[s] = rho[s] / r0v[s];
+      neg_alpha[s] = -alpha[s];
     }
-    b_waxpby(static_cast<std::size_t>(n), L, ws.s.data(), ws.r.data(),
+    b_waxpby(static_cast<std::size_t>(n), W, ws.s.data(), ws.r.data(),
              neg_alpha, ws.v.data(), ss);
-    for (int l = 0; l < L; ++l) {
-      if (!running[l]) continue;
-      results[l].iterations = it;
-      const double snorm = std::sqrt(ss[l]);
-      if (snorm / bnorm[l] <= rel_tolerance[l]) {
+    for (int s = 0; s < W; ++s) {
+      if (!running[s]) continue;
+      results[slot_lane[s]].iterations = it;
+      const double snorm = std::sqrt(ss[s]);
+      if (snorm / bnorm[s] <= ctol[s]) {
         // Serial exit point "s is small": x += alpha * ph. (The serial
         // solver additionally re-derives residual_norm with a reporting
         // SpMV; the batched path reports ||s|| instead — x and the
         // iteration count are unaffected.)
-        snap_x_plus_alpha_ph(l);
-        results[l].residual_norm = snorm;
-        finish(l, true);
+        snap_x_plus_alpha_ph(s);
+        results[slot_lane[s]].residual_norm = snorm;
+        finish(s, true);
       }
     }
     if (n_running == 0) break;
-    m.apply(ws.s, ws.sh);
-    b_spmv_dot2(a, ws.sh.data(), ws.t.data(), ws.s.data(), tt, ts);
-    for (int l = 0; l < L; ++l) {
-      if (running[l] && tt[l] == 0.0) {
-        snap_x(l);
-        finish(l, false);
+    apply_m(ws.s, ws.sh);
+    b_spmv_dot2(rp, ci, mv, n, W, ws.sh.data(), ws.t.data(), ws.s.data(), tt,
+                ts);
+    for (int s = 0; s < W; ++s) {
+      if (running[s] && tt[s] == 0.0) {
+        snap_x(s);
+        finish(s, false);
       }
     }
     if (n_running == 0) break;
-    for (int l = 0; l < L; ++l) omega[l] = ts[l] / tt[l];
-    b_final_update(static_cast<std::size_t>(n), L, alpha, ws.ph.data(), omega,
-                   ws.sh.data(), ws.s.data(), ws.t.data(), x.data(),
-                   ws.r.data(), rr);
-    for (int l = 0; l < L; ++l) {
-      if (!running[l]) continue;
-      results[l].residual_norm = std::sqrt(rr[l]);
-      if (results[l].residual_norm / bnorm[l] <= rel_tolerance[l]) {
-        snap_x(l);
-        finish(l, true);
-      } else if (omega[l] == 0.0) {
-        snap_x(l);  // stagnation breakdown, same as the serial break
-        finish(l, false);
+    for (int s = 0; s < W; ++s) omega[s] = ts[s] / tt[s];
+    b_final_update(static_cast<std::size_t>(n), W, alpha, ws.ph.data(), omega,
+                   ws.sh.data(), ws.s.data(), ws.t.data(), xv, ws.r.data(),
+                   rr);
+    for (int s = 0; s < W; ++s) {
+      if (!running[s]) continue;
+      const double rnorm = std::sqrt(rr[s]);
+      results[slot_lane[s]].residual_norm = rnorm;
+      if (rnorm / bnorm[s] <= ctol[s]) {
+        snap_x(s);
+        finish(s, true);
+      } else if (omega[s] == 0.0) {
+        snap_x(s);  // stagnation breakdown, same as the serial break
+        finish(s, false);
       }
     }
   }
 
   // Iteration budget exhausted with lanes still running: their current
   // iterate is the answer the serial solver would have returned too.
-  for (int l = 0; l < L; ++l) {
-    if (running[l]) {
-      snap_x(l);
-      finish(l, false);
+  for (int s = 0; s < W; ++s) {
+    if (running[s]) {
+      snap_x(s);
+      finish(s, false);
     }
   }
   // Restore every active lane's frozen solution (later kernels kept
-  // streaming garbage through finished lanes' slots). One fused pass.
+  // streaming garbage through finished lanes' slots; compaction may have
+  // moved the live columns out of x entirely). One fused pass.
   {
     double* __restrict xs = x.data();
     const double* __restrict snap = ws.snap.data();
@@ -710,6 +969,7 @@ void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
       }
     }
   }
+  return events;
 }
 
 // ---------------------------------------------------------------------------
@@ -742,7 +1002,7 @@ BatchedBicgstabSolver::BatchedBicgstabSolver(SolverKind kind,
   warm_save_.assign(static_cast<std::size_t>(a.rows()) * L, 0.0);
   results_.resize(static_cast<std::size_t>(L));
   retry_.assign(static_cast<std::size_t>(L), 0);
-  ws_.resize(static_cast<std::size_t>(a.rows()), L);
+  ws_.resize(static_cast<std::size_t>(a.rows()), L, a.nnz());
 }
 
 void BatchedBicgstabSolver::set_refresh_policy(int lane,
@@ -824,7 +1084,8 @@ void BatchedBicgstabSolver::solve(const BatchedCsr& a,
     }
   }
 
-  batched_bicgstab(a, b, x, *precond_, tol_, 5000, active, ws_, results_);
+  compaction_events_ += static_cast<std::uint64_t>(
+      batched_bicgstab(a, b, x, *precond_, tol_, 5000, active, ws_, results_));
 
   // Stale-factor retry, per lane: refresh, restore the warm start, and
   // give the failed lanes one more batched pass together.
@@ -857,9 +1118,10 @@ void BatchedBicgstabSolver::solve(const BatchedCsr& a,
     if (x_save_.size() != x.size()) x_save_.assign(x.size(), 0.0);
     std::copy(x.begin(), x.end(), x_save_.begin());
     std::array<BatchedLaneResult, kMaxBatchLanes> retry_results;
-    batched_bicgstab(a, b, x, *precond_, tol_, 5000, retry_, ws_,
-                     std::span<BatchedLaneResult>(retry_results.data(),
-                                                  static_cast<std::size_t>(L)));
+    compaction_events_ += static_cast<std::uint64_t>(batched_bicgstab(
+        a, b, x, *precond_, tol_, 5000, retry_, ws_,
+        std::span<BatchedLaneResult>(retry_results.data(),
+                                     static_cast<std::size_t>(L))));
     for (std::int32_t i = 0; i < n; ++i) {
       const std::size_t k = static_cast<std::size_t>(i) * L;
       for (int l = 0; l < L; ++l) {

@@ -113,16 +113,21 @@ struct BatchedLaneResult {
 /// already match.
 class BatchedKrylovWorkspace {
  public:
-  void resize(std::size_t n, int lanes);
+  void resize(std::size_t n, int lanes, std::int64_t nnz = 0);
 
   std::vector<double> r, r0, p, v, s, t, ph, sh;
   /// Snapshot buffer: a finished lane's solution frozen while its slot
   /// keeps churning through the fused kernels.
   std::vector<double> snap;
+  /// Mid-solve lane-compaction scratch (see batched_bicgstab): the
+  /// surviving lanes' x columns and matrix values gathered at the
+  /// compacted width.
+  std::vector<double> cx, av;
 
  private:
   std::size_t n_ = 0;
   int lanes_ = 0;
+  std::int64_t nnz_ = 0;
 };
 
 /// r = b - A x for every lane in one traversal of the shared pattern;
@@ -150,6 +155,14 @@ class BatchedPreconditioner {
     (void)rows;
     refactor_lane(lane, a);
   }
+  /// Mid-solve lane compaction support: gather the listed lanes' factors
+  /// into an internal view of width lanes.size() so apply_compacted()
+  /// serves only the surviving lanes. const because it only rewrites
+  /// mutable scratch — the factors themselves are untouched.
+  virtual void compact_lanes(std::span<const int> lanes) const = 0;
+  /// z = M^{-1} r over the compacted view built by the last
+  /// compact_lanes() call (interleaved at that width).
+  virtual void apply_compacted(const double* r, double* z) const = 0;
 };
 
 /// Lane-interleaved Jacobi: inverse diagonals, refreshed per lane.
@@ -160,10 +173,15 @@ class BatchedJacobiPreconditioner final : public BatchedPreconditioner {
   void refactor_lane(int lane, const BatchedCsr& a) override;
   void refactor_rows_lane(int lane, const BatchedCsr& a,
                           std::span<const std::int32_t> rows) override;
+  void compact_lanes(std::span<const int> lanes) const override;
+  void apply_compacted(const double* r, double* z) const override;
 
  private:
   int lanes_;
+  std::int32_t rows_;
   std::vector<double> inv_diag_;  ///< interleaved [row*lanes + lane]
+  mutable std::vector<double> cdiag_;  ///< compacted-view scratch
+  mutable int cwidth_ = 0;
 };
 
 /// Lane-interleaved ILU(0): factors on the shared pattern, triangular
@@ -174,12 +192,16 @@ class BatchedIlu0Preconditioner final : public BatchedPreconditioner {
   explicit BatchedIlu0Preconditioner(const BatchedCsr& a);
   void apply(std::span<const double> r, std::span<double> z) const override;
   void refactor_lane(int lane, const BatchedCsr& a) override;
+  void compact_lanes(std::span<const int> lanes) const override;
+  void apply_compacted(const double* r, double* z) const override;
 
  private:
   int lanes_;
   std::int32_t rows_;
   std::vector<std::int32_t> row_ptr_, col_idx_, diag_;
   std::vector<double> lu_;  ///< interleaved factors [k*lanes + lane]
+  mutable std::vector<double> clu_;  ///< compacted-view scratch
+  mutable int cwidth_ = 0;
 };
 
 /// Preconditioned BiCGSTAB over a BatchedCsr: per-lane scalars,
@@ -192,13 +214,24 @@ class BatchedIlu0Preconditioner final : public BatchedPreconditioner {
 /// iteration count, same bits in x. (Only residual_norm may differ on
 /// the mid-iteration convergence exit, where the serial solver spends an
 /// extra reporting SpMV that the batched path skips.)
-void batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
-                      std::span<double> x, const BatchedPreconditioner& m,
-                      std::span<const double> rel_tolerance,
-                      std::int32_t max_iterations,
-                      std::span<const std::uint8_t> active,
-                      BatchedKrylovWorkspace& ws,
-                      std::span<BatchedLaneResult> results);
+///
+/// Mid-solve lane compaction: whenever the number of still-running lanes
+/// drops below the current kernel width, the surviving lanes' state
+/// vectors, matrix values and preconditioner factors are repacked to the
+/// next narrower dispatch width (… 16 -> 8 -> … -> 1), so per-iteration
+/// cost tracks the number of live lanes instead of the batch width —
+/// staggered-convergence batches stop paying the slowest lane's width.
+/// The repack moves whole lane columns (per-lane arithmetic untouched),
+/// so the bitwise contract above is unaffected.
+///
+/// \returns the number of compaction events performed.
+int batched_bicgstab(const BatchedCsr& a, std::span<const double> b,
+                     std::span<double> x, const BatchedPreconditioner& m,
+                     std::span<const double> rel_tolerance,
+                     std::int32_t max_iterations,
+                     std::span<const std::uint8_t> active,
+                     BatchedKrylovWorkspace& ws,
+                     std::span<BatchedLaneResult> results);
 
 /// The batched counterpart of the BicgstabSolver strategy in solver.cpp:
 /// per-lane RefreshPolicy state (dirty-row tracking, iteration-
@@ -234,6 +267,10 @@ class BatchedBicgstabSolver {
     return lanes_[static_cast<std::size_t>(lane)].stats;
   }
 
+  /// Cumulative mid-solve lane-compaction events across all solves (see
+  /// batched_bicgstab) — sweep telemetry.
+  std::uint64_t compaction_events() const { return compaction_events_; }
+
   const char* name() const { return name_; }
 
  private:
@@ -257,6 +294,7 @@ class BatchedBicgstabSolver {
   std::vector<double> x_save_;     ///< batchmates' solutions across a retry
   std::vector<BatchedLaneResult> results_;
   std::vector<std::uint8_t> retry_;
+  std::uint64_t compaction_events_ = 0;
   const char* name_;
 };
 

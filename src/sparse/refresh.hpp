@@ -52,6 +52,15 @@ struct RefreshPolicy {
   /// iterations while stale.
   double max_iteration_growth = 3.0;
   std::int32_t iteration_slack = 8;
+  /// Banded-LU factor-slot cache size: the solver keeps up to this many
+  /// complete factorizations keyed by the flow-dependent matrix values,
+  /// so revisiting a flow state (pump levels cycle through a small
+  /// discrete set) switches factors in O(dirty) instead of
+  /// re-eliminating the band. 16 covers PumpModel::table1()'s default
+  /// level count; <= 1 disables the cache (storage is band_bytes *
+  /// factor_slots, so shrink it for very large stacks). Iterative
+  /// solvers ignore this.
+  std::int32_t factor_slots = 16;
 
   static RefreshPolicy eager() {
     RefreshPolicy p;
@@ -67,6 +76,7 @@ struct SolverStats {
   std::uint64_t refactors = 0;    ///< full factorization/preconditioner rebuilds
   std::uint64_t partial_refactors = 0;  ///< band-tail / dirty-row refreshes
   std::uint64_t deferred_updates = 0;   ///< updates absorbed without refactor
+  std::uint64_t factor_cache_hits = 0;  ///< updates served by a cached factor slot
   std::uint64_t retries = 0;  ///< solves redone after a stale-factor failure
   std::int32_t last_iterations = 0;
   /// Distinct rows dirtied since the last (full) refactor / rows.

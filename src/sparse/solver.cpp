@@ -1,25 +1,67 @@
 #include "sparse/solver.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <type_traits>
 
 #include "common/error.hpp"
 #include "sparse/banded_lu.hpp"
 #include "sparse/iterative.hpp"
 #include "sparse/preconditioner.hpp"
+#include "sparse/rcm.hpp"
 
 namespace tac3d::sparse {
 
 namespace {
 
+/// Direct banded solver with a per-flow-state factor-slot cache.
+///
+/// Flow-modulated stepping revisits a small discrete set of pump levels;
+/// each level corresponds to one set of advection values and therefore
+/// one LU. Instead of re-eliminating the band on every flow change
+/// (~full factor cost when the dirty rows permute near row 0), the
+/// solver keeps up to RefreshPolicy::factor_slots complete
+/// factorizations keyed by the values of the tracked (ever-dirtied)
+/// rows. A revisited state is an O(tracked-nnz) key probe plus an
+/// active-slot switch; only genuinely new states pay for elimination.
+/// Each slot's factor was produced by the same load/eliminate code from
+/// bitwise-identical values, so a cache hit is bitwise-equal to a fresh
+/// refactor.
 class BandedLuSolver final : public LinearSolver {
  public:
   BandedLuSolver(const CsrMatrix& a,
-                 std::shared_ptr<const SymbolicStructure> structure)
-      : structure_(std::move(structure)), lu_(a, structure_.get()) {}
+                 std::shared_ptr<const SymbolicStructure> structure,
+                 std::span<const std::int32_t> flow_tail_rows)
+      : structure_(flow_tail_rows.empty() ? std::move(structure) : nullptr),
+        lu_(flow_tail_rows.empty()
+                ? BandedLu(a, structure_.get())
+                : BandedLu(a, rcm_ordering_constrained(a, flow_tail_rows))),
+        flow_tail_(!flow_tail_rows.empty()),
+        nnz_(a.nnz()) {
+    tracked_mask_.assign(static_cast<std::size_t>(a.rows()), 0);
+    tracked_rows_.reserve(static_cast<std::size_t>(a.rows()));
+    cur_key_.reserve(static_cast<std::size_t>(nnz_));
+  }
 
   void update_values(const CsrMatrix& a) override {
-    lu_.factor(a);
+    if (active_ != nullptr) {
+      // Untracked values may have changed: the other slots' bases are no
+      // longer reconstructible from tracked rows alone.
+      for (Slot& s : slots_) {
+        if (&s != active_) {
+          s.valid = false;
+          s.base_tracked = false;
+        }
+      }
+      active_->lu.factor(a);
+      extract_key(a, active_->key);
+      active_->hash = hash_key(active_->key);
+      active_->valid = true;
+      active_->base_tracked = true;
+      active_->stamp = ++clock_;
+    } else {
+      lu_.factor(a);
+    }
     ++stats_.refactors;
   }
 
@@ -32,25 +74,132 @@ class BandedLuSolver final : public LinearSolver {
       update_values(a);
       return;
     }
-    lu_.factor_rows(a, update.rows);
-    ++stats_.partial_refactors;
+    if (active_ == nullptr) {
+      lu_.factor_rows(a, update.rows);
+      ++stats_.partial_refactors;
+      return;
+    }
+    // Grow the tracked flow-row set by union; it is stable (the
+    // advection rows) after the first orbit of updates. Growth makes the
+    // stored keys incomparable, not the stored factors unusable.
+    bool grew = false;
+    for (const std::int32_t r : update.rows) {
+      if (!tracked_mask_[static_cast<std::size_t>(r)]) {
+        tracked_mask_[static_cast<std::size_t>(r)] = 1;
+        tracked_rows_.push_back(r);
+        grew = true;
+      }
+    }
+    if (grew) {
+      std::sort(tracked_rows_.begin(), tracked_rows_.end());
+      for (Slot& s : slots_) s.valid = false;
+    }
+    extract_key(a, cur_key_);
+    const std::uint64_t h = hash_key(cur_key_);
+    for (Slot& s : slots_) {
+      if (s.valid && s.hash == h && s.key.size() == cur_key_.size() &&
+          std::equal(s.key.begin(), s.key.end(), cur_key_.begin())) {
+        active_ = &s;
+        s.stamp = ++clock_;
+        ++stats_.factor_cache_hits;
+        return;
+      }
+    }
+    // Miss: evict the least-recently-used slot and factor it for this
+    // state. A tracked base differs from \p a only inside tracked rows,
+    // so re-eliminating from the first tracked permuted row is exact.
+    Slot* victim = &slots_.front();
+    for (Slot& s : slots_) {
+      if (s.stamp < victim->stamp) victim = &s;
+    }
+    if (victim->base_tracked) {
+      victim->lu.factor_rows(a, tracked_rows_);
+      ++stats_.partial_refactors;
+    } else {
+      victim->lu.factor(a);
+      ++stats_.refactors;
+    }
+    victim->key.assign(cur_key_.begin(), cur_key_.end());
+    victim->hash = h;
+    victim->valid = true;
+    victim->base_tracked = true;
+    victim->stamp = ++clock_;
+    active_ = victim;
   }
 
   void solve(std::span<const double> b, std::span<double> x) override {
-    lu_.solve(b, x);
+    (active_ != nullptr ? active_->lu : lu_).solve(b, x);
     ++stats_.solves;
   }
 
   void set_refresh_policy(const RefreshPolicy& policy) override {
     policy_ = policy;
+    // (Re)build the factor-slot cache. This runs at solver-bind time,
+    // before the stepping loop, so allocating here keeps update_values
+    // and solve heap-free. Eager policies bypass the cache entirely.
+    const std::size_t want =
+        policy_.lazy && policy_.factor_slots > 1
+            ? static_cast<std::size_t>(policy_.factor_slots)
+            : 0;
+    if (slots_.size() != want) {
+      slots_.clear();
+      slots_.reserve(want);
+      for (std::size_t i = 0; i < want; ++i) {
+        slots_.push_back(Slot{lu_, {}, 0, 0, false, true});
+        slots_.back().key.reserve(static_cast<std::size_t>(nnz_));
+      }
+      active_ = want > 0 ? &slots_.front() : nullptr;
+    }
   }
 
-  const char* name() const override { return "banded-lu(rcm)"; }
+  const char* name() const override {
+    return flow_tail_ ? "banded-lu(rcm-flow-tail)" : "banded-lu(rcm)";
+  }
 
  private:
+  struct Slot {
+    BandedLu lu;
+    std::vector<double> key;  ///< tracked-row values this factor matches
+    std::uint64_t hash = 0;
+    std::uint64_t stamp = 0;       ///< LRU clock
+    bool valid = false;            ///< key/hash identify a flow state
+    bool base_tracked = true;      ///< differs from current a only in tracked rows
+  };
+
+  /// Values of the tracked rows in sorted-row CSR order — the part of
+  /// the matrix a flow update is allowed to change.
+  void extract_key(const CsrMatrix& a, std::vector<double>& out) const {
+    out.clear();
+    const auto rp = a.row_ptr();
+    const auto v = a.values();
+    for (const std::int32_t r : tracked_rows_) {
+      for (std::int32_t k = rp[r]; k < rp[r + 1]; ++k) out.push_back(v[k]);
+    }
+  }
+
+  static std::uint64_t hash_key(const std::vector<double>& key) {
+    // FNV-1a over the raw value bits; collisions are resolved by the
+    // exact compare at the probe site.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const double d : key) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof bits);
+      h = (h ^ bits) * 1099511628211ull;
+    }
+    return h;
+  }
+
   std::shared_ptr<const SymbolicStructure> structure_;
-  BandedLu lu_;
+  BandedLu lu_;  ///< the factorization when the slot cache is disabled
+  bool flow_tail_ = false;
+  std::int64_t nnz_ = 0;
   RefreshPolicy policy_;
+  std::vector<Slot> slots_;
+  Slot* active_ = nullptr;  ///< non-null iff the slot cache is enabled
+  std::vector<std::int32_t> tracked_rows_;  ///< sorted union of dirty rows
+  std::vector<std::uint8_t> tracked_mask_;
+  std::vector<double> cur_key_;
+  std::uint64_t clock_ = 0;
 };
 
 template <typename Precond>
@@ -182,10 +331,12 @@ class BicgstabSolver final : public LinearSolver {
 
 std::unique_ptr<LinearSolver> make_solver(
     SolverKind kind, const CsrMatrix& a,
-    std::shared_ptr<const SymbolicStructure> structure) {
+    std::shared_ptr<const SymbolicStructure> structure,
+    std::span<const std::int32_t> flow_tail_rows) {
   switch (kind) {
     case SolverKind::kBandedLu:
-      return std::make_unique<BandedLuSolver>(a, std::move(structure));
+      return std::make_unique<BandedLuSolver>(a, std::move(structure),
+                                              flow_tail_rows);
     case SolverKind::kBicgstabIlu0:
       return std::make_unique<BicgstabSolver<Ilu0Preconditioner>>(
           a, std::move(structure), "bicgstab+ilu0");

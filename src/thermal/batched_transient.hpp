@@ -74,6 +74,14 @@ class BatchedTransientSolver {
     return solver_.lane_stats(lane);
   }
 
+  /// Mid-solve lane-compaction events of the underlying batched Krylov
+  /// solver (sparse::BatchedBicgstabSolver::compaction_events): how many
+  /// times a solve re-dispatched its fused kernels at a narrower width
+  /// after lanes converged. Sweep-footer telemetry.
+  std::uint64_t compaction_events() const {
+    return solver_.compaction_events();
+  }
+
  private:
   std::vector<TransientSolver*> lanes_;
   sparse::BatchedCsr a_;

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -18,6 +20,8 @@
 #include "sim/batch.hpp"
 #include "sim/sweep.hpp"
 #include "sparse/batched.hpp"
+#include "sparse/iterative.hpp"
+#include "sparse/preconditioner.hpp"
 
 namespace tac3d::sim {
 namespace {
@@ -205,6 +209,109 @@ TEST(BatchSession, ThrowingLaneLeavesOtherLanesIntact) {
     expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
                         "surviving lane " + std::to_string(l));
   }
+}
+
+/// 2D convection-diffusion system (nonsymmetric 5-point stencil on a
+/// g x g grid), lane-perturbed so the lanes share the pattern but not
+/// the values — the sparse-level fixture for the compaction tests. A 2D
+/// stencil matters: ILU(0) on a tridiagonal system is an exact LU, which
+/// would converge every lane at iteration 1 and never stagger.
+sparse::CsrMatrix lane_matrix(std::int32_t g, double eps) {
+  std::vector<sparse::Triplet> t;
+  for (std::int32_t r = 0; r < g; ++r) {
+    for (std::int32_t c = 0; c < g; ++c) {
+      const std::int32_t i = r * g + c;
+      t.push_back({i, i, 4.5 + eps});
+      if (c > 0) t.push_back({i, i - 1, -1.3 - eps});  // upwind advection
+      if (c + 1 < g) t.push_back({i, i + 1, -0.7 + eps});
+      if (r > 0) t.push_back({i, i - g, -1.0});
+      if (r + 1 < g) t.push_back({i, i + g, -1.0});
+    }
+  }
+  return sparse::CsrMatrix::from_triplets(g * g, g * g, std::move(t));
+}
+
+/// Staggered-convergence batch straight at the sparse layer: lanes with
+/// tolerances decades apart converge at different Krylov iterations, so
+/// the solve must compact its fused kernels mid-flight (8 -> ... -> 1)
+/// — and every lane must still finish with exactly the bits and the
+/// iteration count of a serial bicgstab() on that lane alone.
+void staggered_compaction_case(int lanes) {
+  const std::int32_t grid = 13;
+  const std::int32_t n = grid * grid;
+  std::vector<sparse::CsrMatrix> mats;
+  for (int l = 0; l < lanes; ++l) {
+    mats.push_back(lane_matrix(grid, 0.01 * l));
+  }
+  sparse::BatchedCsr a(mats[0], lanes);
+  for (int l = 0; l < lanes; ++l) a.load_lane(l, mats[l]);
+  sparse::BatchedIlu0Preconditioner precond(a);
+  for (int l = 0; l < lanes; ++l) precond.refactor_lane(l, a);
+
+  // Tolerances staggered over many decades: lane 0 converges first,
+  // the last lane keeps iterating alone at width 1.
+  std::vector<double> tol(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    tol[static_cast<std::size_t>(l)] =
+        std::pow(10.0, -2.0 - 10.0 * l / std::max(lanes - 1, 1));
+  }
+
+  const std::size_t total = static_cast<std::size_t>(n) * lanes;
+  std::vector<double> b(total), x(total, 0.0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (int l = 0; l < lanes; ++l) {
+      b[static_cast<std::size_t>(i) * lanes + l] =
+          std::sin(0.1 * i + 0.3 * l) + 1.0;
+    }
+  }
+
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(lanes), 1);
+  std::vector<sparse::BatchedLaneResult> results(
+      static_cast<std::size_t>(lanes));
+  sparse::BatchedKrylovWorkspace ws;
+  const int events = sparse::batched_bicgstab(
+      a, b, x, precond, tol, 500, active, ws, results);
+  EXPECT_GE(events, 1) << "staggered tolerances never compacted";
+
+  for (int l = 0; l < lanes; ++l) {
+    sparse::Ilu0Preconditioner sprecond(mats[static_cast<std::size_t>(l)]);
+    std::vector<double> sb(static_cast<std::size_t>(n)),
+        sx(static_cast<std::size_t>(n), 0.0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      sb[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i) * lanes + l];
+    }
+    sparse::IterativeOptions opts;
+    opts.rel_tolerance = tol[static_cast<std::size_t>(l)];
+    opts.max_iterations = 500;
+    const sparse::IterativeResult ref = sparse::bicgstab(
+        mats[static_cast<std::size_t>(l)], sb, sx, sprecond, opts);
+    const std::string what = "lane " + std::to_string(l) + " of " +
+                             std::to_string(lanes);
+    EXPECT_EQ(results[static_cast<std::size_t>(l)].converged, ref.converged)
+        << what;
+    EXPECT_EQ(results[static_cast<std::size_t>(l)].iterations, ref.iterations)
+        << what << ": compaction changed a lane's iteration count";
+    for (std::int32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x[static_cast<std::size_t>(i) * lanes + l],
+                sx[static_cast<std::size_t>(i)])
+          << what << " row " << i;
+    }
+  }
+}
+
+TEST(BatchedCompaction, StaggeredLanesStayBitwiseSerial) {
+  staggered_compaction_case(6);
+}
+
+TEST(BatchedCompaction, FullWidthEightCompactsDown) {
+  staggered_compaction_case(8);
+}
+
+TEST(BatchedCompaction, CacheBlockedWidth16MatchesSerial) {
+  // 16 lanes dispatch the cache-blocked two-half kernels; compaction
+  // then re-dispatches through 8 and below as lanes finish.
+  staggered_compaction_case(sparse::kMaxBatchLanes);
 }
 
 TEST(SweepBatching, BatchedSweepIsBitwiseIdenticalToScalarSweep) {
