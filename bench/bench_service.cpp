@@ -1,0 +1,287 @@
+// Mixed-request replay against the sweep service: boot a ServiceServer
+// on loopback, drive it with concurrent clients replaying a fixed mix
+// of submit-sweep and what-if requests, and compare sustained request
+// throughput against the same work run directly through run_sweep on
+// the same number of threads. Also measures time-to-first-result (the
+// service streams per-scenario results, so a client sees its first
+// answer long before the sweep completes) and verifies the service's
+// answers are bitwise identical to the direct path.
+//
+// Emits BENCH_service.json for scripts/check_bench_regression.py:
+// service vs direct throughput is a ratio gate (the wire + scheduling
+// overhead must stay small), p99 time-to-first-result and the shared
+// bank's hit counters are tracked fields.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "sim/bank.hpp"
+
+namespace {
+
+using namespace tac3d;
+
+/// One replayed request: a sweep of several scenarios or a single
+/// what-if.
+struct Request {
+  std::vector<sim::Scenario> scenarios;
+  bool is_what_if = false;
+};
+
+sim::Scenario make_scenario(int tiers, sim::PolicyKind policy,
+                            power::WorkloadKind workload,
+                            std::uint64_t seed) {
+  sim::Scenario s;
+  s.tiers = tiers;
+  s.policy = policy;
+  s.workload = workload;
+  s.trace_seconds = 20;
+  s.seed = seed;
+  s.grid = thermal::GridOptions{12, 12};
+  return s;
+}
+
+/// Deterministic mixed workload: sweep requests crossing the paper's
+/// liquid-cooled policies with the average-case workloads, interleaved
+/// with single-scenario what-ifs — the interactive pattern the service
+/// exists for.
+std::vector<Request> make_requests() {
+  const std::vector<power::WorkloadKind> workloads =
+      power::average_case_workloads();
+  const std::vector<sim::PolicyKind> policies = {
+      sim::PolicyKind::kLcFuzzy, sim::PolicyKind::kLcLb,
+      sim::PolicyKind::kLcTdvfsLb};
+
+  std::vector<Request> requests;
+  int what_if_cursor = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int p = 0; p < static_cast<int>(policies.size()); ++p) {
+      // One sweep: this policy across the workloads, both stacks.
+      Request sweep;
+      for (const int tiers : {2, 4}) {
+        for (const auto w : workloads) {
+          sweep.scenarios.push_back(make_scenario(
+              tiers, policies[static_cast<std::size_t>(p)], w, 1));
+        }
+      }
+      requests.push_back(std::move(sweep));
+
+      // Two or three what-ifs between sweeps.
+      for (int k = 0; k < 2 + (round % 2); ++k) {
+        Request probe;
+        probe.is_what_if = true;
+        probe.scenarios.push_back(make_scenario(
+            2 + 2 * (what_if_cursor % 2),
+            policies[static_cast<std::size_t>((p + k) % policies.size())],
+            workloads[static_cast<std::size_t>(what_if_cursor %
+                                               workloads.size())],
+            1));
+        ++what_if_cursor;
+        requests.push_back(std::move(probe));
+      }
+    }
+  }
+  return requests;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Key for bitwise comparison: scenario label -> metrics.
+using MetricsByLabel = std::map<std::string, sim::SimMetrics>;
+
+bool bitwise_equal(const sim::SimMetrics& a, const sim::SimMetrics& b) {
+  return a.duration == b.duration && a.peak_temp == b.peak_temp &&
+         a.any_hot_time == b.any_hot_time && a.chip_energy == b.chip_energy &&
+         a.pump_energy == b.pump_energy && a.offered_work == b.offered_work &&
+         a.lost_work == b.lost_work && a.migrations == b.migrations &&
+         a.avg_flow_fraction == b.avg_flow_fraction &&
+         a.core_hot_time == b.core_hot_time;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_service",
+                "sweep-as-a-service: request throughput, streaming latency "
+                "and shared-bank amortization of the simulation server");
+
+  const std::vector<Request> requests = make_requests();
+  std::size_t total_scenarios = 0;
+  for (const auto& r : requests) total_scenarios += r.scenarios.size();
+  const int kClients = 2;
+  const int kBudget = 2;
+  std::cout << "Replaying " << requests.size() << " requests ("
+            << total_scenarios << " scenarios) from " << kClients
+            << " clients against a core budget of " << kBudget << ".\n\n";
+
+  // --- direct baseline: same request list, same thread count, one warm
+  // shared bank, each request a run_sweep(jobs=1) — what a user script
+  // without the service would do.
+  MetricsByLabel direct_metrics;
+  double direct_seconds = 0.0;
+  {
+    auto bank = std::make_shared<sim::ScenarioBank>();
+    // Warm-up pass (uncounted): the first sweep request pays the
+    // trace/model/steady construction; the replay then measures the
+    // steady serving state.
+    {
+      sim::SweepOptions opts;
+      opts.jobs = 1;
+      opts.bank = bank;
+      (void)sim::run_sweep(requests.front().scenarios, opts);
+    }
+    bench::Stopwatch direct_watch;
+    std::atomic<std::size_t> next{0};
+    std::mutex collect_mu;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= requests.size()) return;
+          sim::SweepOptions opts;
+          opts.jobs = 1;
+          opts.bank = bank;
+          const sim::SweepReport report =
+              sim::run_sweep(requests[i].scenarios, opts);
+          std::lock_guard<std::mutex> lk(collect_mu);
+          for (const auto& res : report.results()) {
+            direct_metrics[res.scenario.label] = res.metrics;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    direct_seconds = direct_watch.seconds();
+  }
+  const double direct_rps =
+      static_cast<double>(requests.size()) / direct_seconds;
+  bench::result_line("direct requests/s (baseline)", direct_rps, "req/s");
+
+  // --- service replay: same mix over the wire.
+  service::ServerOptions server_opts;
+  server_opts.service.core_budget = kBudget;
+  service::ServiceServer server(server_opts);
+  server.start();
+
+  {
+    // Warm-up mirroring the baseline's.
+    service::ServiceClient warm;
+    warm.connect("127.0.0.1", server.port());
+    (void)warm.run_sweep(requests.front().scenarios, 1);
+  }
+  const sim::BankCounters warm_counters = server.service().bank()->counters();
+
+  MetricsByLabel service_metrics;
+  std::vector<double> ttfr_ms;  ///< per-request time to first result
+  std::mutex collect_mu;
+  std::atomic<std::size_t> next{0};
+  bench::Stopwatch service_watch;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&] {
+      service::ServiceClient client;
+      client.connect("127.0.0.1", server.port());
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        bench::Stopwatch req_watch;
+        double first_ms = -1.0;
+        const auto ack = client.submit_sweep(requests[i].scenarios, 1);
+        const service::SweepOutcome out =
+            client.collect(ack.job_id, [&](const auto&) {
+              if (first_ms < 0.0) first_ms = req_watch.millis();
+            });
+        std::lock_guard<std::mutex> lk(collect_mu);
+        ttfr_ms.push_back(first_ms);
+        for (std::size_t k = 0; k < out.results.size(); ++k) {
+          const auto& res = out.results[k];
+          const auto& scenario =
+              requests[i].scenarios[static_cast<std::size_t>(res.index)];
+          service_metrics[scenario.label.empty()
+                              ? sim::scenario_label(scenario)
+                              : scenario.label] = res.metrics;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double service_seconds = service_watch.seconds();
+  const double service_rps =
+      static_cast<double>(requests.size()) / service_seconds;
+  const double service_sps =
+      static_cast<double>(total_scenarios) / service_seconds;
+
+  const sim::BankCounters counters = server.service().bank()->counters();
+  server.stop();
+
+  // --- bitwise identity service vs direct.
+  std::size_t compared = 0, mismatched = 0;
+  for (const auto& [label, metrics] : service_metrics) {
+    const auto it = direct_metrics.find(label);
+    if (it == direct_metrics.end()) continue;
+    ++compared;
+    if (!bitwise_equal(metrics, it->second)) ++mismatched;
+  }
+  const bool bitwise_identical = compared > 0 && mismatched == 0;
+
+  bench::result_line("service requests/s", service_rps, "req/s");
+  bench::result_line("service scenarios/s", service_sps, "scen/s");
+  bench::result_line("service/direct ratio", service_rps / direct_rps, "x");
+  bench::result_line("time-to-first-result p50", percentile(ttfr_ms, 0.50),
+                     "ms");
+  bench::result_line("time-to-first-result p99", percentile(ttfr_ms, 0.99),
+                     "ms");
+  std::cout << "  bitwise identical to direct run_sweep: "
+            << (bitwise_identical ? "yes" : "NO") << " (" << compared
+            << " scenarios compared, " << mismatched << " mismatched)\n";
+  std::cout << "  bank (replay only): steady "
+            << counters.steady_hits - warm_counters.steady_hits << " hits / "
+            << counters.steady_misses - warm_counters.steady_misses
+            << " misses, model "
+            << counters.model_hits - warm_counters.model_hits << " hits / "
+            << counters.model_misses - warm_counters.model_misses
+            << " misses\n";
+
+  bench::JsonObject bank_json;
+  bank_json.set("trace_hits", static_cast<std::int64_t>(counters.trace_hits))
+      .set("trace_misses", static_cast<std::int64_t>(counters.trace_misses))
+      .set("model_hits", static_cast<std::int64_t>(counters.model_hits))
+      .set("model_misses", static_cast<std::int64_t>(counters.model_misses))
+      .set("steady_hits", static_cast<std::int64_t>(counters.steady_hits))
+      .set("steady_misses",
+           static_cast<std::int64_t>(counters.steady_misses));
+
+  bench::JsonObject json;
+  json.set("bench", "service")
+      .set("requests", static_cast<std::int64_t>(requests.size()))
+      .set("scenarios", static_cast<std::int64_t>(total_scenarios))
+      .set("clients", kClients)
+      .set("core_budget", kBudget)
+      .set("service_requests_per_sec", service_rps)
+      .set("service_direct_requests_per_sec", direct_rps)
+      .set("service_scenarios_per_sec", service_sps)
+      .set("p50_ttfr_ms", percentile(ttfr_ms, 0.50))
+      .set("p99_ttfr_ms", percentile(ttfr_ms, 0.99))
+      .set("bitwise_identical", bitwise_identical ? 1 : 0)
+      .set("bank", bank_json);
+  bench::write_json("BENCH_service.json", json);
+  return bitwise_identical ? 0 : 1;
+}

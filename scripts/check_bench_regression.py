@@ -50,6 +50,12 @@ RATIO_GATES = {
     # Losing this ratio means compaction (or the batched path under it)
     # stopped paying on real multi-iteration solves.
     "batched_fuzzy_group_per_sec": "batched_fuzzy_serial_per_sec",
+    # Sweep service: request throughput over the wire vs the same mix
+    # run directly through run_sweep on the same thread count. The
+    # service pays wire + scheduling overhead (ratio < 1 is expected);
+    # the gate fails if that overhead grows, i.e. the ratio collapses
+    # relative to the checked-in baseline.
+    "service_requests_per_sec": "service_direct_requests_per_sec",
 }
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails
@@ -80,19 +86,12 @@ def sibling(dotted, name):
     return f"{head}.{name}" if head else name
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--threshold", type=float, default=0.30,
-                        help="maximum allowed fractional drop of a "
-                             "scale-free throughput ratio")
-    args = parser.parse_args()
-
+def check(baseline_path, fresh_path, threshold):
+    """Run the full gate; returns the process exit code (0/1/2)."""
     try:
-        with open(args.baseline) as f:
+        with open(baseline_path) as f:
             baseline = dict(numeric_leaves(json.load(f)))
-        with open(args.fresh) as f:
+        with open(fresh_path) as f:
             fresh = dict(numeric_leaves(json.load(f)))
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
@@ -117,7 +116,7 @@ def main():
                 f"{old:.4g} (absolute floor {ABSOLUTE_FLOOR:.2f}x)")
             flag = "  << COLLAPSE"
         if "setup_fraction" in key:
-            ceiling = old * (1.0 + args.threshold) + SETUP_FRACTION_SLACK
+            ceiling = old * (1.0 + threshold) + SETUP_FRACTION_SLACK
             if new > ceiling:
                 failures.append(
                     f"{key}: {new:.4g} exceeds ceiling {ceiling:.4g} "
@@ -126,7 +125,7 @@ def main():
         print(f"{key:58s} {old:14.4g} {new:14.4g} {ratio:7.2f}{flag}")
 
     print("\nScale-free ratio gates "
-          f"(fail below {1.0 - args.threshold:.2f}x of baseline ratio):")
+          f"(fail below {1.0 - threshold:.2f}x of baseline ratio):")
     for key in sorted(baseline):
         ref_name = RATIO_GATES.get(leaf_name(key))
         if ref_name is None:
@@ -139,7 +138,7 @@ def main():
         fresh_ratio = fresh[key] / fresh[ref]
         rel = fresh_ratio / base_ratio
         flag = ""
-        if rel < 1.0 - args.threshold:
+        if rel < 1.0 - threshold:
             failures.append(
                 f"{key} / {ref_name}: ratio {fresh_ratio:.4g} is "
                 f"{100 * (1 - rel):.1f}% below baseline {base_ratio:.4g}")
@@ -154,9 +153,73 @@ def main():
             print(f"  - {f}", file=sys.stderr)
         return 1
     print("\nNo throughput regression beyond "
-          f"{100 * args.threshold:.0f}% (ratio) / "
+          f"{100 * threshold:.0f}% (ratio) / "
           f"{100 * (1 - ABSOLUTE_FLOOR):.0f}% (absolute) tolerance.")
     return 0
+
+
+def self_test():
+    """Exercise the gate against synthetic JSONs: a healthy run must
+    pass, a collapsed ratio must fail, and a gated metric vanishing from
+    the fresh run must fail. Run by CI before the real gates so a broken
+    gate script cannot silently wave regressions through."""
+    import tempfile
+
+    healthy = {
+        "bench": "service",
+        "service_requests_per_sec": 13.0,
+        "service_direct_requests_per_sec": 17.0,
+        "p99_ttfr_ms": 100.0,
+    }
+    collapsed = dict(healthy, service_requests_per_sec=5.0)
+    missing = {k: v for k, v in healthy.items()
+               if k != "service_requests_per_sec"}
+
+    cases = [
+        ("healthy fresh run passes", healthy, healthy, 0),
+        ("collapsed service/direct ratio fails", healthy, collapsed, 1),
+        ("gated metric missing from fresh run fails", healthy, missing, 1),
+    ]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (name, base, fresh, expected) in enumerate(cases):
+            base_path = f"{tmp}/base_{i}.json"
+            fresh_path = f"{tmp}/fresh_{i}.json"
+            with open(base_path, "w") as f:
+                json.dump(base, f)
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            print(f"--- self-test: {name}")
+            got = check(base_path, fresh_path, threshold=0.30)
+            if got != expected:
+                failures.append(f"{name}: exit {got}, expected {expected}")
+            print()
+    if failures:
+        print("self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK ({len(cases)} cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum allowed fractional drop of a "
+                             "scale-free throughput ratio")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate itself catches pass/fail/"
+                             "missing-field cases, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        parser.error("baseline and fresh are required unless --self-test")
+    return check(args.baseline, args.fresh, args.threshold)
 
 
 if __name__ == "__main__":

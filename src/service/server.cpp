@@ -1,0 +1,452 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "service/protocol.hpp"
+
+namespace tac3d::service {
+
+namespace proto = protocol;
+
+/// One client connection: the socket, its reader thread, the write lock
+/// that serializes ack/stream frames, and the job ids submitted over it
+/// (cancelled as a group when the peer goes away). Held by shared_ptr:
+/// job event callbacks keep the connection alive until their job is
+/// fully finalized, even after the acceptor reaped it.
+struct ServiceServer::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::mutex write_mu;
+  bool dead = false;  ///< guarded by write_mu; set before fd close
+  std::mutex jobs_mu;
+  std::vector<std::uint32_t> jobs;
+  bool done = false;  ///< guarded by the server mu_; reader has exited
+};
+
+namespace {
+
+/// write() the whole buffer; EINTR-safe; false when the peer is gone.
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE in a worker.
+bool send_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServerOptions opts) : opts_(std::move(opts)) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::start() {
+  require(listen_fd_ < 0, "ServiceServer::start: already started");
+  service_ = std::make_unique<SweepService>(opts_.service);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind() failed on 127.0.0.1:" + std::to_string(opts_.port) +
+                ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, opts_.backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    accepting_ = true;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed: shutting down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(mu_);
+    reap_finished_locked();
+    if (!accepting_) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_.push_back(conn);
+    conn->reader = std::thread([this, conn] { connection_loop(conn); });
+  }
+}
+
+void ServiceServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = **it;
+    if (!conn.done) {
+      ++it;
+      continue;
+    }
+    if (conn.reader.joinable()) conn.reader.join();
+    {
+      // Late job events may still hold this Connection; make sure they
+      // see dead before the fd number can be reused.
+      std::lock_guard<std::mutex> wl(conn.write_mu);
+      conn.dead = true;
+    }
+    ::close(conn.fd);
+    conn.fd = -1;
+    it = conns_.erase(it);
+  }
+}
+
+void ServiceServer::connection_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> buffer;
+  std::uint64_t discard = 0;  ///< oversized-frame payload bytes to drop
+  std::uint8_t chunk[4096];
+
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: peer is gone
+
+    std::size_t off = 0;
+    if (discard > 0) {
+      const std::size_t drop =
+          std::min<std::uint64_t>(discard, static_cast<std::uint64_t>(n));
+      discard -= drop;
+      off = drop;
+    }
+    buffer.insert(buffer.end(), chunk + off, chunk + n);
+
+    for (;;) {
+      const proto::FrameSplit split = proto::split_frame(buffer);
+      if (split.status == proto::FrameSplit::Status::kNeedMore) break;
+
+      if (split.status == proto::FrameSplit::Status::kMalformed) {
+        proto::ErrorMsg err;
+        err.code = static_cast<std::uint16_t>(proto::DecodeError::kMalformed);
+        err.text = "zero-length frame";
+        send_frame(*conn, err);
+      } else if (split.status == proto::FrameSplit::Status::kOversized) {
+        proto::ErrorMsg err;
+        err.code = static_cast<std::uint16_t>(proto::DecodeError::kOversized);
+        err.text = "frame payload of " + std::to_string(split.declared_size) +
+                   " bytes exceeds the " +
+                   std::to_string(proto::kMaxFramePayload) + "-byte limit";
+        send_frame(*conn, err);
+        // Stay frame-aligned: drop the declared payload — the buffered
+        // part now, the rest as it arrives — then keep serving.
+        std::uint64_t pending = split.declared_size;
+        const std::size_t buffered = std::min<std::uint64_t>(
+            pending, buffer.size() - split.consumed);
+        pending -= buffered;
+        buffer.erase(
+            buffer.begin(),
+            buffer.begin() +
+                static_cast<std::ptrdiff_t>(split.consumed + buffered));
+        discard = pending;
+        if (discard > 0) break;
+        continue;
+      } else {
+        const proto::Decoded decoded = proto::decode_payload(
+            std::span<const std::uint8_t>(buffer).subspan(
+                split.payload_offset, split.payload_size));
+        if (!decoded.ok()) {
+          proto::ErrorMsg err;
+          err.code = static_cast<std::uint16_t>(decoded.error);
+          err.text = decoded.detail;
+          send_frame(*conn, err);
+        } else {
+          handle_message(conn, decoded.msg);
+        }
+      }
+      buffer.erase(
+          buffer.begin(),
+          buffer.begin() + static_cast<std::ptrdiff_t>(split.consumed));
+    }
+  }
+
+  // Peer gone (or sockets shut down): cancel exactly this connection's
+  // jobs. In-flight scenarios finish, pending ones are skipped, other
+  // clients never notice.
+  cancel_connection_jobs(*conn);
+  std::lock_guard<std::mutex> lk(mu_);
+  conn->done = true;
+}
+
+void ServiceServer::handle_message(const std::shared_ptr<Connection>& conn,
+                                   const proto::Message& msg) {
+  auto submit = [&](std::uint32_t client_tag,
+                    std::vector<sim::Scenario> scenarios, int cores) {
+    if (scenarios.empty()) {
+      proto::ErrorMsg err;
+      err.code = static_cast<std::uint16_t>(proto::ServiceError::kBadRequest);
+      err.client_tag = client_tag;
+      err.text = "submit with zero scenarios";
+      send_frame(*conn, err);
+      return;
+    }
+    // Hold the write lock across submit + ack so a worker finishing the
+    // first scenario cannot stream its result ahead of the ack. The
+    // callback captures the Connection by shared_ptr: it stays valid
+    // until the job's last event, even after the connection was reaped.
+    std::unique_lock<std::mutex> wl(conn->write_mu);
+    const auto ticket = service_->submit(
+        std::move(scenarios), cores, [this, conn](const JobEvent& ev) {
+          if (ev.kind == JobEvent::Kind::kResult) {
+            proto::ScenarioResultMsg m;
+            m.job_id = ev.job_id;
+            m.index = ev.index;
+            m.ok = ev.ok ? 1 : 0;
+            m.metrics = ev.metrics;
+            m.error = ev.error;
+            send_frame(*conn, m);
+          } else {
+            proto::SweepCompleteMsg m;
+            m.job_id = ev.job_id;
+            m.completed = ev.completed;
+            m.failed = ev.failed;
+            m.cancelled = ev.cancelled;
+            m.was_cancelled = ev.was_cancelled ? 1 : 0;
+            send_frame(*conn, m);
+          }
+        });
+    if (!ticket) {
+      wl.unlock();
+      proto::ErrorMsg err;
+      err.code =
+          static_cast<std::uint16_t>(proto::ServiceError::kRejectedDraining);
+      err.client_tag = client_tag;
+      err.text = "server is draining; not accepting new work";
+      send_frame(*conn, err);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> jl(conn->jobs_mu);
+      conn->jobs.push_back(ticket->job_id);
+    }
+    proto::SubmitAckMsg ack;
+    ack.client_tag = client_tag;
+    ack.job_id = ticket->job_id;
+    ack.admitted = ticket->admitted ? 1 : 0;
+    ack.queue_position = ticket->queue_position;
+    const std::vector<std::uint8_t> frame = proto::encode_frame(ack);
+    if (!conn->dead && !send_all(conn->fd, frame.data(), frame.size())) {
+      conn->dead = true;
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  };
+
+  if (const auto* m = std::get_if<proto::SubmitSweepMsg>(&msg)) {
+    submit(m->client_tag, m->scenarios, m->cores_requested);
+  } else if (const auto* w = std::get_if<proto::WhatIfMsg>(&msg)) {
+    submit(w->client_tag, {w->scenario}, 1);
+  } else if (std::get_if<proto::QueryStatusMsg>(&msg)) {
+    const ServiceStatus st = service_->status();
+    proto::StatusMsg out;
+    out.active_jobs = st.active_jobs;
+    out.queued_jobs = st.queued_jobs;
+    out.scenarios_completed = st.scenarios_completed;
+    out.scenarios_failed = st.scenarios_failed;
+    out.scenarios_cancelled = st.scenarios_cancelled;
+    out.core_budget = st.core_budget;
+    out.cores_in_use = st.cores_in_use;
+    out.draining = st.draining ? 1 : 0;
+    out.bank_trace_hits = st.bank.trace_hits;
+    out.bank_trace_misses = st.bank.trace_misses;
+    out.bank_model_hits = st.bank.model_hits;
+    out.bank_model_misses = st.bank.model_misses;
+    out.bank_steady_hits = st.bank.steady_hits;
+    out.bank_steady_misses = st.bank.steady_misses;
+    send_frame(*conn, out);
+  } else if (const auto* c = std::get_if<proto::CancelMsg>(&msg)) {
+    if (!service_->cancel(c->job_id)) {
+      proto::ErrorMsg err;
+      err.code = static_cast<std::uint16_t>(proto::ServiceError::kUnknownJob);
+      err.text = "no live job " + std::to_string(c->job_id);
+      send_frame(*conn, err);
+    }
+    // A successful cancel is acknowledged by the job's kSweepComplete
+    // (was_cancelled) on the submitting stream.
+  } else if (std::get_if<proto::ShutdownDrainMsg>(&msg)) {
+    request_drain();
+  } else {
+    // A response-typed message sent by a confused client: decodable but
+    // not a request.
+    proto::ErrorMsg err;
+    err.code = static_cast<std::uint16_t>(proto::ServiceError::kBadRequest);
+    err.text = "message tag " +
+               std::to_string(static_cast<int>(proto::msg_type(msg))) +
+               " is not a request";
+    send_frame(*conn, err);
+  }
+}
+
+bool ServiceServer::send_frame(Connection& conn, const proto::Message& msg) {
+  const std::vector<std::uint8_t> frame = proto::encode_frame(msg);
+  std::lock_guard<std::mutex> wl(conn.write_mu);
+  if (conn.dead) return false;
+  if (!send_all(conn.fd, frame.data(), frame.size())) {
+    conn.dead = true;
+    // Wake the reader (its recv fails once the read side is shut); it
+    // cancels the connection's jobs on its way out. Cancelling here
+    // would re-enter the service under locks the event path holds.
+    ::shutdown(conn.fd, SHUT_RD);
+    return false;
+  }
+  return true;
+}
+
+void ServiceServer::cancel_connection_jobs(Connection& conn) {
+  std::vector<std::uint32_t> jobs;
+  {
+    std::lock_guard<std::mutex> jl(conn.jobs_mu);
+    jobs.swap(conn.jobs);
+  }
+  for (const std::uint32_t id : jobs) service_->cancel(id);
+}
+
+void ServiceServer::request_drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (drain_requested_ || stopped_) return;
+  drain_requested_ = true;
+  accepting_ = false;
+  // Drain blocks until all accepted work finished — run it off-thread so
+  // a connection handler (or a signal watcher) can request it and keep
+  // serving its stream meanwhile. Assigned under mu_ so stop() sees it.
+  drainer_ = std::thread([this] { drain_worker(); });
+}
+
+void ServiceServer::drain_worker() {
+  service_->drain();  // blocks: accepted jobs all complete
+
+  proto::DrainCompleteMsg done;
+  done.scenarios_finished = service_->status().scenarios_completed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& conn : conns_) {
+      send_frame(*conn, done);
+    }
+  }
+  close_all_sockets();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void ServiceServer::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  stopped_cv_.wait(lk, [&] { return stopped_; });
+}
+
+bool ServiceServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return listen_fd_ >= 0 && !stopped_;
+}
+
+void ServiceServer::close_all_sockets() {
+  // Shut the listening socket first so accept_loop exits, then unblock
+  // every connection reader.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    accepting_ = false;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    {
+      std::lock_guard<std::mutex> wl(conn->write_mu);
+      conn->dead = true;
+    }
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void ServiceServer::stop() {
+  bool was_draining = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_ && !drainer_.joinable() && !acceptor_.joinable()) return;
+    was_draining = drain_requested_;
+    // Claim the teardown: a drain requested after this point no-ops
+    // instead of racing close_all_sockets.
+    drain_requested_ = true;
+    accepting_ = false;
+  }
+  if (was_draining) {
+    // A drain is already tearing the server down; just wait for it.
+    wait();
+    std::thread drainer;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      drainer.swap(drainer_);
+    }
+    if (drainer.joinable()) drainer.join();
+    return;
+  }
+  // Hard stop: kill the sockets; each reader cancels its connection's
+  // jobs on the way out (in-flight scenarios still finish). The
+  // SweepService stays alive for post-stop inspection; its destructor
+  // joins the workers.
+  close_all_sockets();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+  if (drainer_.joinable()) drainer_.join();
+}
+
+}  // namespace tac3d::service

@@ -1,0 +1,360 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/prepared.hpp"
+#include "sim/sweep.hpp"
+
+namespace tac3d::service {
+
+/// One submitted request. Lifecycle: kQueued (admission FIFO) ->
+/// kRunning (cores granted, workers claim tasks in LPT order) ->
+/// kDone/kCancelled (finalized, erased from the service's books).
+///
+/// Lock protocol: scheduling state (state, next, active, counters) is
+/// guarded by the service-wide mu_; event emission is serialized by the
+/// per-job emit_mu so a job's kComplete can never overtake the last
+/// kResult even when two workers finish its final scenarios
+/// concurrently. Lock order is always emit_mu before mu_.
+struct SweepService::Job {
+  enum class State { kQueued, kRunning, kCancelled };
+
+  std::uint32_t id = 0;
+  State state = State::kQueued;
+  int cores_requested = 1;
+  int cores_granted = 0;
+  std::vector<sim::Scenario> scenarios;
+  std::vector<std::size_t> order;  ///< task indices, longest-first (LPT)
+  std::size_t next = 0;            ///< next unclaimed position in order
+  int active = 0;                  ///< workers currently inside a task
+  std::uint32_t completed = 0, failed = 0, cancelled = 0;
+  bool was_cancelled = false;
+  bool finalized = false;  ///< kComplete emitted; books already closed
+  EventFn on_event;
+  std::mutex emit_mu;
+
+  bool claimable() const {
+    return state == State::kRunning && next < order.size() &&
+           active < cores_granted;
+  }
+  bool finished() const {
+    return next >= order.size() && active == 0;
+  }
+};
+
+SweepService::SweepService(ServiceOptions opts)
+    : bank_(opts.bank ? std::move(opts.bank)
+                      : std::make_shared<sim::ScenarioBank>()),
+      budget_(std::max(1, sim::resolve_jobs(opts.core_budget))) {
+  workers_.reserve(static_cast<std::size_t>(budget_));
+  for (int i = 0; i < budget_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepService::~SweepService() { stop(/*cancel_pending=*/true); }
+
+std::optional<SweepService::Ticket> SweepService::submit(
+    std::vector<sim::Scenario> scenarios, int cores_requested,
+    EventFn on_event) {
+  auto job = std::make_shared<Job>();
+  job->scenarios = std::move(scenarios);
+  job->on_event = std::move(on_event);
+
+  // Resolve labels and inject the shared symbolic cache, mirroring
+  // run_sweep's per-scenario preamble; scenarios carrying their own
+  // cache keep it.
+  for (sim::Scenario& s : job->scenarios) {
+    if (s.label.empty()) s.label = sim::scenario_label(s);
+    if (!s.sim.structure_cache) s.sim.structure_cache = bank_->structures();
+  }
+
+  // LPT order with the sweep runner's cost model: within the job, the
+  // longest-estimated scenario is claimed first so one expensive
+  // straggler cannot serialize the job's tail; scenarios whose steady
+  // key the shared bank already holds are costed as clone-and-reset.
+  std::vector<double> cost(job->scenarios.size(), 0.0);
+  {
+    std::unordered_set<std::string> seen_steady;
+    for (std::size_t i = 0; i < job->scenarios.size(); ++i) {
+      const sim::Scenario& s = job->scenarios[i];
+      double setup_factor = 1.0;
+      const std::string key = sim::scenario_steady_key(s);
+      if (!seen_steady.insert(key).second || bank_->has_steady(key)) {
+        setup_factor = sim::kPreparedScenarioSetupFactor;
+      }
+      cost[i] = sim::estimated_scenario_cost(s, setup_factor);
+    }
+  }
+  job->order.resize(job->scenarios.size());
+  for (std::size_t i = 0; i < job->order.size(); ++i) job->order[i] = i;
+  std::stable_sort(job->order.begin(), job->order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] > cost[b];
+                   });
+
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_ || stopping_) return std::nullopt;
+    job->id = next_job_id_++;
+    job->cores_requested = std::clamp(
+        cores_requested, 1,
+        std::max(1, std::min(budget_,
+                             static_cast<int>(job->scenarios.size()))));
+    queue_.push_back(job);
+    try_admit_locked();
+    ticket.job_id = job->id;
+    ticket.admitted = job->state == Job::State::kRunning;
+    if (!ticket.admitted) {
+      const auto it = std::find(queue_.begin(), queue_.end(), job);
+      ticket.queue_position =
+          static_cast<std::uint32_t>(it - queue_.begin());
+    }
+  }
+  work_cv_.notify_all();
+
+  // An empty job has nothing to schedule: complete it right away so the
+  // client's stream still terminates.
+  if (job->scenarios.empty()) {
+    std::lock_guard<std::mutex> em(job->emit_mu);
+    bool finalize = false;
+    JobEvent ev;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!job->finalized) {
+        ev = finalize_locked(job);
+        finalize = true;
+      }
+    }
+    if (finalize) emit(job, ev);
+  }
+  return ticket;
+}
+
+bool SweepService::cancel(std::uint32_t job_id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& j : queue_) {
+      if (j->id == job_id) job = j;
+    }
+    for (const auto& j : running_) {
+      if (j->id == job_id) job = j;
+    }
+  }
+  if (!job) return false;
+
+  std::lock_guard<std::mutex> em(job->emit_mu);
+  bool finalize = false;
+  JobEvent ev;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (job->finalized) return true;
+    switch (job->state) {
+      case Job::State::kQueued: {
+        const auto it = std::find(queue_.begin(), queue_.end(), job);
+        if (it == queue_.end()) return false;  // finalized meanwhile
+        queue_.erase(it);
+        job->state = Job::State::kCancelled;
+        job->was_cancelled = true;
+        job->cancelled =
+            static_cast<std::uint32_t>(job->scenarios.size());
+        cancelled_total_ += job->cancelled;
+        ev = finalize_locked(job);
+        finalize = true;
+        break;
+      }
+      case Job::State::kRunning: {
+        const std::uint32_t skipped =
+            static_cast<std::uint32_t>(job->order.size() - job->next);
+        job->next = job->order.size();
+        job->cancelled += skipped;
+        cancelled_total_ += skipped;
+        job->state = Job::State::kCancelled;
+        job->was_cancelled = true;
+        if (job->active == 0) {
+          ev = finalize_locked(job);
+          finalize = true;
+        }
+        // else: the last in-flight worker finalizes on its way out.
+        break;
+      }
+      case Job::State::kCancelled:
+        return true;
+    }
+  }
+  if (finalize) {
+    emit(job, ev);
+    work_cv_.notify_all();
+  }
+  return true;
+}
+
+void SweepService::drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
+  stop(/*cancel_pending=*/false);
+}
+
+ServiceStatus SweepService::status() const {
+  ServiceStatus st;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    st.active_jobs = static_cast<std::uint32_t>(running_.size());
+    st.queued_jobs = static_cast<std::uint32_t>(queue_.size());
+    st.scenarios_completed = done_total_;
+    st.scenarios_failed = failed_total_;
+    st.scenarios_cancelled = cancelled_total_;
+    st.core_budget = static_cast<std::uint32_t>(budget_);
+    st.cores_in_use = static_cast<std::uint32_t>(cores_in_use_);
+    st.draining = draining_;
+  }
+  st.bank = bank_->counters();
+  return st;
+}
+
+void SweepService::try_admit_locked() {
+  // FIFO with head-of-line blocking: a large request waits for cores
+  // rather than being overtaken forever by small ones (and is never
+  // refused — the admission queue is the backpressure).
+  while (!queue_.empty()) {
+    const std::shared_ptr<Job>& head = queue_.front();
+    const int grant = head->cores_requested;
+    if (cores_in_use_ + grant > budget_) break;
+    head->cores_granted = grant;
+    head->state = Job::State::kRunning;
+    cores_in_use_ += grant;
+    running_.push_back(head);
+    queue_.erase(queue_.begin());
+  }
+}
+
+JobEvent SweepService::finalize_locked(
+    const std::shared_ptr<Job>& job) {
+  job->finalized = true;
+  const auto it = std::find(running_.begin(), running_.end(), job);
+  if (it != running_.end()) {
+    running_.erase(it);
+    cores_in_use_ -= job->cores_granted;
+    job->cores_granted = 0;
+    try_admit_locked();
+  }
+  JobEvent ev;
+  ev.kind = JobEvent::Kind::kComplete;
+  ev.job_id = job->id;
+  ev.completed = job->completed;
+  ev.failed = job->failed;
+  ev.cancelled = job->cancelled;
+  ev.was_cancelled = job->was_cancelled;
+  if (running_.empty() && queue_.empty()) idle_cv_.notify_all();
+  return ev;
+}
+
+void SweepService::emit(const std::shared_ptr<Job>& job, const JobEvent& ev) {
+  // Caller holds job->emit_mu. A throwing sink (dead socket, broken
+  // client) must not unwind through a worker.
+  if (!job->on_event) return;
+  try {
+    job->on_event(ev);
+  } catch (...) {
+  }
+}
+
+void SweepService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    std::size_t task = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        if (stopping_) return true;
+        return std::any_of(running_.begin(), running_.end(),
+                           [](const auto& j) { return j->claimable(); });
+      });
+      for (const auto& j : running_) {
+        if (j->claimable()) {
+          job = j;
+          break;
+        }
+      }
+      if (!job) {
+        if (stopping_) return;
+        continue;  // spurious wake or task claimed by a sibling
+      }
+      task = job->order[job->next++];
+      ++job->active;
+    }
+
+    JobEvent ev;
+    ev.kind = JobEvent::Kind::kResult;
+    ev.job_id = job->id;
+    ev.index = static_cast<std::uint32_t>(task);
+    try {
+      sim::PreparedScenario prepared =
+          bank_->prepare(job->scenarios[task]);
+      sim::SimulationSession session = prepared.session();
+      session.run_to_end();
+      ev.metrics = session.metrics();
+      ev.ok = true;
+    } catch (const std::exception& e) {
+      ev.error = e.what();
+    } catch (...) {
+      ev.error = "unknown error";
+    }
+
+    std::unique_lock<std::mutex> em(job->emit_mu);
+    bool finalize = false;
+    JobEvent complete;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --job->active;
+      if (ev.ok) {
+        ++job->completed;
+        ++done_total_;
+      } else {
+        ++job->failed;
+        ++failed_total_;
+      }
+      if (job->finished() && !job->finalized) {
+        complete = finalize_locked(job);
+        finalize = true;
+      }
+    }
+    emit(job, ev);
+    if (finalize) {
+      emit(job, complete);
+      em.unlock();
+      work_cv_.notify_all();
+    }
+  }
+}
+
+void SweepService::stop(bool cancel_pending) {
+  if (cancel_pending) {
+    // Snapshot every live job id, then cancel through the regular path
+    // (which respects the emit ordering and releases cores).
+    std::vector<std::uint32_t> ids;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      draining_ = true;
+      for (const auto& j : queue_) ids.push_back(j->id);
+      for (const auto& j : running_) ids.push_back(j->id);
+    }
+    for (const std::uint32_t id : ids) cancel(id);
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [&] { return running_.empty() && queue_.empty(); });
+    if (joined_) return;
+    stopping_ = true;
+    joined_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+}  // namespace tac3d::service

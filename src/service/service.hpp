@@ -1,0 +1,166 @@
+#pragma once
+/// \file service.hpp
+/// \brief SweepService: the long-lived compute core of sweep-as-a-service.
+///
+/// One process-wide ScenarioBank + StructureCache serves every client:
+/// concurrent submissions that share stacks/traces/steady keys hit the
+/// warm tiers instead of re-compiling, exactly as repeated run_sweep()
+/// calls against a caller-owned bank do — and with the same
+/// bitwise-neutrality guarantee, so a scenario's metrics are identical
+/// whether it ran through the service, a sweep, or a from-scratch
+/// session.
+///
+/// Admission control: the service owns a fixed pool of core_budget
+/// worker threads. Each submitted job declares how many cores it wants;
+/// jobs are admitted FIFO while the sum of granted cores fits the
+/// budget, and a job that would exceed it is queued — never refused.
+/// Within an admitted job, scenarios run longest-estimated-first (the
+/// sweep runner's LPT cost model, steady-tier discounts included) on the
+/// job's granted cores, and every finished scenario is streamed to the
+/// job's event callback immediately — time-to-first-result does not wait
+/// for sweep end.
+///
+/// Robustness contract: a cancelled job (client disconnect) skips its
+/// pending scenarios but lets in-flight ones finish — other jobs are
+/// untouched; a scenario that throws is reported as that scenario's
+/// error without poisoning its job or any other client; drain() stops
+/// admissions and completes all accepted work before returning.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/bank.hpp"
+#include "sim/experiment.hpp"
+
+namespace tac3d::service {
+
+struct ServiceOptions {
+  /// Worker threads (= admissible cores). <= 0 defers to TAC3D_JOBS /
+  /// hardware concurrency via sim::resolve_jobs.
+  int core_budget = 0;
+  /// Shared prepared-scenario bank; null = the service creates its own.
+  /// Handing in a pre-warmed bank makes the first requests construction-
+  /// free too.
+  std::shared_ptr<sim::ScenarioBank> bank;
+};
+
+/// One streamed event of a job: a finished scenario or the job's end.
+struct JobEvent {
+  enum class Kind { kResult, kComplete };
+  Kind kind = Kind::kResult;
+  std::uint32_t job_id = 0;
+
+  // kResult
+  std::uint32_t index = 0;  ///< position in the submitted scenario list
+  bool ok = false;
+  sim::SimMetrics metrics;  ///< valid when ok
+  std::string error;        ///< non-empty when !ok
+
+  // kComplete
+  std::uint32_t completed = 0;
+  std::uint32_t failed = 0;
+  std::uint32_t cancelled = 0;
+  bool was_cancelled = false;
+};
+
+/// Point-in-time service counters (see protocol::StatusMsg).
+struct ServiceStatus {
+  std::uint32_t active_jobs = 0;
+  std::uint32_t queued_jobs = 0;
+  std::uint64_t scenarios_completed = 0;
+  std::uint64_t scenarios_failed = 0;
+  std::uint64_t scenarios_cancelled = 0;
+  std::uint32_t core_budget = 0;
+  std::uint32_t cores_in_use = 0;
+  bool draining = false;
+  sim::BankCounters bank;
+};
+
+class SweepService {
+ public:
+  /// Job event sink. Invoked from worker threads; calls of one job are
+  /// serialized and ordered (every kResult strictly before the job's
+  /// kComplete), calls of different jobs may interleave. Exceptions
+  /// thrown by the callback are swallowed (a dead client must not take
+  /// the worker down).
+  using EventFn = std::function<void(const JobEvent&)>;
+
+  struct Ticket {
+    std::uint32_t job_id = 0;
+    bool admitted = false;         ///< false = waiting in admission queue
+    std::uint32_t queue_position = 0;  ///< 0-based, valid when !admitted
+  };
+
+  explicit SweepService(ServiceOptions opts = {});
+  /// Cancels pending work (in-flight scenarios finish) and joins the
+  /// workers. Use drain() first for a graceful finish-everything stop.
+  ~SweepService();
+
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Queue a job of \p scenarios weighted as \p cores_requested cores
+  /// (clamped to [1, core_budget] and to the scenario count). Returns
+  /// nullopt when the service is draining — the caller maps that to a
+  /// typed rejection. Empty scenario lists are rejected by the caller
+  /// (protocol::ServiceError::kBadRequest); submitting one anyway yields
+  /// an immediate empty kComplete.
+  std::optional<Ticket> submit(std::vector<sim::Scenario> scenarios,
+                               int cores_requested, EventFn on_event);
+
+  /// Cancel a job: a queued job completes immediately as fully
+  /// cancelled; a running job skips its pending scenarios while
+  /// in-flight ones finish and stream normally. The job's kComplete
+  /// event carries was_cancelled. Returns false for unknown/finished
+  /// ids.
+  bool cancel(std::uint32_t job_id);
+
+  /// Stop admitting (submit returns nullopt) and block until every
+  /// accepted job — running or queued — has fully completed, then stop
+  /// the workers. Idempotent; concurrent callers all block until done.
+  void drain();
+
+  ServiceStatus status() const;
+
+  const std::shared_ptr<sim::ScenarioBank>& bank() const { return bank_; }
+  int core_budget() const { return budget_; }
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  /// Admit queued jobs while their grants fit the free budget (FIFO,
+  /// head-of-line). Caller holds mu_.
+  void try_admit_locked();
+  /// Release a finished/cancelled job's cores, erase it, fill its
+  /// kComplete event. Caller holds mu_ (and the job's emit_mu).
+  JobEvent finalize_locked(const std::shared_ptr<Job>& job);
+  void emit(const std::shared_ptr<Job>& job, const JobEvent& ev);
+  void stop(bool cancel_pending);
+
+  std::shared_ptr<sim::ScenarioBank> bank_;
+  int budget_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: claimable task / stop
+  std::condition_variable idle_cv_;  ///< drain: all accepted work done
+  std::vector<std::shared_ptr<Job>> queue_;    ///< admission FIFO
+  std::vector<std::shared_ptr<Job>> running_;  ///< admission order
+  std::uint32_t next_job_id_ = 1;
+  int cores_in_use_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::uint64_t done_total_ = 0, failed_total_ = 0, cancelled_total_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tac3d::service

@@ -30,34 +30,6 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Rough relative cost of a scenario for longest-processing-time-first
-/// scheduling: thermal cells x control steps, weighted up for policies
-/// that modulate the coolant flow (costlier thermal steps), plus a
-/// construction term — the leakage-consistent steady init costs on the
-/// order of hundreds of transient steps per fixed-point iteration.
-/// \p setup_factor discounts that term for scenarios whose steady-tier
-/// key a ScenarioBank already holds (their setup is a clone and two
-/// vector copies). Only the ordering matters, not the absolute scale.
-double estimated_cost(const Scenario& s, double setup_factor) {
-  const double layers_per_tier = 3.5;  // bulk + interface (+ cavity)
-  const double cells = static_cast<double>(s.grid.rows) * s.grid.cols *
-                       (layers_per_tier * s.tiers + 1.0);
-  const double dt = s.sim.control_dt > 0.0 ? s.sim.control_dt : 0.25;
-  const double duration =
-      s.sim.duration > 0.0 ? s.sim.duration
-                           : static_cast<double>(s.trace_seconds);
-  const double flow_weight =
-      s.policy == PolicyKind::kLcFuzzy ? 2.0 : 1.0;
-  const double steps_equivalent_per_init = 300.0;
-  const double setup = setup_factor * cells * steps_equivalent_per_init *
-                       std::max(1, s.sim.init_iterations);
-  return cells * (duration / dt) * flow_weight + setup;
-}
-
-/// Discount applied to the setup term of scenarios that will hit the
-/// bank's steady tier (clone-and-reset instead of a fixed-point solve).
-constexpr double kPreparedSetupFactor = 0.05;
-
 /// Fallback lane count of batched lockstep jobs when the cache topology
 /// is unknown (SweepOptions::batch_width == 0 and no L2 size reported):
 /// wide enough to amortize the pattern traversal and fill SIMD lanes,
@@ -99,7 +71,7 @@ int auto_batch_width(const Scenario& s) {
 /// lanes of one batched lockstep group chunk.
 struct SweepJob {
   std::vector<std::size_t> slots;  ///< indices into the results array
-  double cost = 0.0;               ///< summed estimated_cost (LPT key)
+  double cost = 0.0;  ///< summed estimated_scenario_cost (LPT key)
 };
 
 /// Can this scenario join a batched lockstep group? (Direct solvers
@@ -140,6 +112,26 @@ int resolve_jobs(int requested) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+double estimated_scenario_cost(const Scenario& s,
+                               double prepared_setup_factor) {
+  const double layers_per_tier = 3.5;  // bulk + interface (+ cavity)
+  const double cells = static_cast<double>(s.grid.rows) * s.grid.cols *
+                       (layers_per_tier * s.tiers + 1.0);
+  const double dt = s.sim.control_dt > 0.0 ? s.sim.control_dt : 0.25;
+  const double duration =
+      s.sim.duration > 0.0 ? s.sim.duration
+                           : static_cast<double>(s.trace_seconds);
+  const double flow_weight =
+      s.policy == PolicyKind::kLcFuzzy ? 2.0 : 1.0;
+  // The leakage-consistent steady init costs on the order of hundreds of
+  // transient steps per fixed-point iteration.
+  const double steps_equivalent_per_init = 300.0;
+  const double setup = prepared_setup_factor * cells *
+                       steps_equivalent_per_init *
+                       std::max(1, s.sim.init_iterations);
+  return cells * (duration / dt) * flow_weight + setup;
 }
 
 SweepReport::SweepReport(std::vector<SweepResult> results, int jobs_used,
@@ -287,10 +279,10 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       if (bank != nullptr) {
         const std::string key = scenario_steady_key(s);
         if (!seen_steady.insert(key).second || bank->has_steady(key)) {
-          setup_factor = kPreparedSetupFactor;
+          setup_factor = kPreparedScenarioSetupFactor;
         }
       }
-      cost[i] = estimated_cost(s, setup_factor);
+      cost[i] = estimated_scenario_cost(s, setup_factor);
     }
   }
 

@@ -42,6 +42,22 @@ class ScenarioBank;
 /// busy yet no speedup).
 int resolve_jobs(int requested);
 
+/// Rough relative cost of a scenario for longest-processing-time-first
+/// scheduling: thermal cells x control steps, weighted up for policies
+/// that modulate the coolant flow, plus a construction term for the
+/// leakage-consistent steady init. \p prepared_setup_factor discounts
+/// that term (see kPreparedScenarioSetupFactor) for scenarios whose
+/// steady-tier key a ScenarioBank already holds. Only the ordering
+/// matters, not the absolute scale. Shared by run_sweep's LPT dispatch
+/// and the sweep service's per-job task ordering (service/service.hpp).
+double estimated_scenario_cost(const Scenario& s,
+                               double prepared_setup_factor = 1.0);
+
+/// Setup-term discount of estimated_scenario_cost for scenarios that
+/// will hit a bank's steady tier (clone-and-reset instead of a
+/// fixed-point solve).
+inline constexpr double kPreparedScenarioSetupFactor = 0.05;
+
 /// Outcome of one scenario of a sweep.
 struct SweepResult {
   std::size_t index = 0;  ///< position in the input scenario list

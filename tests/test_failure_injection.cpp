@@ -1,16 +1,22 @@
 // Failure-injection tests: what happens when the cooling or control
-// subsystem misbehaves. A thermally-aware design must degrade loudly
-// (threshold violations surface in the metrics), not silently.
+// subsystem misbehaves — and, for the sweep service, when clients do.
+// A thermally-aware design must degrade loudly (threshold violations
+// surface in the metrics), not silently; a serving deployment must
+// contain each fault to the client that caused it.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "arch/mpsoc.hpp"
 #include "common/units.hpp"
 #include "control/policy.hpp"
 #include "power/workloads.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "sim/engine.hpp"
+#include "sim/experiment.hpp"
 #include "thermal/transient.hpp"
 
 namespace tac3d {
@@ -138,6 +144,166 @@ TEST(FailureInjection, ZeroFlowLiquidStackStillSolvesTransient) {
     prev = cur;
   }
   EXPECT_GT(prev, celsius_to_kelvin(60.0));  // heating up fast
+}
+
+// --- sweep-service fault containment --------------------------------------
+
+/// A small scenario the service can run in well under a second.
+sim::Scenario quick_service_scenario(int seed = 1) {
+  sim::Scenario s;
+  s.tiers = 2;
+  s.policy = sim::PolicyKind::kLcFuzzy;
+  s.workload = power::WorkloadKind::kWebServer;
+  s.trace_seconds = 20;
+  s.seed = static_cast<std::uint64_t>(seed);
+  s.grid = thermal::GridOptions{10, 10};
+  return s;
+}
+
+TEST(FailureInjection, ServiceClientDisconnectCancelsOnlyItsJobs) {
+  service::ServerOptions opts;
+  opts.service.core_budget = 1;  // serialize: victim's sweep holds the core
+  service::ServiceServer server(opts);
+  server.start();
+
+  // The victim submits a long sweep (many distinct seeds) and vanishes.
+  service::ServiceClient victim;
+  victim.connect("127.0.0.1", server.port());
+  std::vector<sim::Scenario> long_sweep;
+  for (int i = 0; i < 24; ++i) long_sweep.push_back(quick_service_scenario(i));
+  const auto victim_ack = victim.submit_sweep(long_sweep, 1);
+  EXPECT_EQ(victim_ack.admitted, 1);
+
+  // A bystander queues work behind it on its own connection.
+  service::ServiceClient bystander;
+  bystander.connect("127.0.0.1", server.port());
+  const auto bystander_ack =
+      bystander.submit_sweep({quick_service_scenario(100)}, 1);
+  EXPECT_EQ(bystander_ack.admitted, 0);  // budget 1: queued behind victim
+
+  victim.close();  // mid-sweep disconnect
+
+  // The bystander's job must still complete, and soon: the victim's
+  // pending scenarios were cancelled rather than ground through.
+  const service::SweepOutcome out = bystander.collect(bystander_ack.job_id);
+  EXPECT_FALSE(out.complete.was_cancelled);
+  EXPECT_EQ(out.complete.completed, 1u);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_TRUE(out.results[0].ok) << out.results[0].error;
+
+  // The server's books show the victim's cancellation.
+  const auto status = bystander.query_status();
+  EXPECT_GT(status.scenarios_cancelled, 0u);
+  EXPECT_EQ(status.active_jobs, 0u);
+  EXPECT_EQ(status.queued_jobs, 0u);
+
+  server.stop();
+}
+
+TEST(FailureInjection, ServiceDrainFinishesInFlightWork) {
+  service::ServerOptions opts;
+  opts.service.core_budget = 2;
+  service::ServiceServer server(opts);
+  server.start();
+
+  service::ServiceClient client;
+  client.connect("127.0.0.1", server.port());
+  std::vector<sim::Scenario> sweep;
+  for (int i = 0; i < 4; ++i) sweep.push_back(quick_service_scenario(i));
+  const auto ack = client.submit_sweep(sweep, 2);
+  EXPECT_EQ(ack.admitted, 1);
+
+  // Drain while the sweep runs: accepted work must finish, not be cut.
+  client.request_drain();
+  const service::SweepOutcome out = client.collect(ack.job_id);
+  EXPECT_FALSE(out.complete.was_cancelled);
+  EXPECT_EQ(out.complete.completed, 4u);
+  EXPECT_EQ(out.complete.cancelled, 0u);
+
+  const auto done = client.wait_drain_complete();
+  EXPECT_GE(done.scenarios_finished, 4u);
+  server.wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(FailureInjection, ServiceOverBudgetRequestIsQueuedNotRefused) {
+  service::ServerOptions opts;
+  opts.service.core_budget = 1;
+  service::ServiceServer server(opts);
+  server.start();
+
+  service::ServiceClient client;
+  client.connect("127.0.0.1", server.port());
+
+  // First job takes the only core; the second asks for more cores than
+  // the budget even has — it must be admitted-later, never rejected
+  // (the admission queue is the backpressure).
+  const auto first = client.submit_sweep(
+      {quick_service_scenario(1), quick_service_scenario(2)}, 1);
+  EXPECT_EQ(first.admitted, 1);
+  const auto second = client.submit_sweep(
+      {quick_service_scenario(3), quick_service_scenario(4)}, 8);
+  EXPECT_EQ(second.admitted, 0);
+  EXPECT_EQ(second.queue_position, 0u);  // head of the admission queue
+
+  const service::SweepOutcome out1 = client.collect(first.job_id);
+  const service::SweepOutcome out2 = client.collect(second.job_id);
+  EXPECT_EQ(out1.complete.completed, 2u);
+  EXPECT_EQ(out2.complete.completed, 2u);
+  EXPECT_FALSE(out2.complete.was_cancelled);
+
+  server.stop();
+}
+
+TEST(FailureInjection, ServiceScenarioErrorDoesNotPoisonOtherClients) {
+  service::ServerOptions opts;
+  opts.service.core_budget = 2;
+  service::ServiceServer server(opts);
+  server.start();
+
+  // Client A submits a sweep whose middle scenario is invalid
+  // (non-positive control interval — the bank-layer forcing idiom).
+  service::ServiceClient poisoned;
+  poisoned.connect("127.0.0.1", server.port());
+  std::vector<sim::Scenario> bad_sweep = {quick_service_scenario(1),
+                                          quick_service_scenario(2),
+                                          quick_service_scenario(3)};
+  bad_sweep[1].sim.control_dt = -1.0;
+  const auto bad_ack = poisoned.submit_sweep(bad_sweep, 1);
+
+  // Client B runs a clean sweep concurrently.
+  service::ServiceClient clean;
+  clean.connect("127.0.0.1", server.port());
+  const service::SweepOutcome clean_out =
+      clean.run_sweep({quick_service_scenario(10),
+                       quick_service_scenario(11)}, 1);
+  EXPECT_EQ(clean_out.complete.completed, 2u);
+  EXPECT_EQ(clean_out.complete.failed, 0u);
+  for (const auto& r : clean_out.results) {
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+
+  // Client A gets a per-scenario error, not a dead job or connection.
+  const service::SweepOutcome bad_out = poisoned.collect(bad_ack.job_id);
+  EXPECT_EQ(bad_out.complete.completed, 2u);
+  EXPECT_EQ(bad_out.complete.failed, 1u);
+  EXPECT_FALSE(bad_out.complete.was_cancelled);
+  ASSERT_EQ(bad_out.results.size(), 3u);
+  for (const auto& r : bad_out.results) {
+    if (r.index == 1) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_FALSE(r.error.empty());
+    } else {
+      EXPECT_TRUE(r.ok) << r.error;
+    }
+  }
+
+  // The connection survived: the same client can keep submitting.
+  const service::SweepOutcome retry =
+      poisoned.run_sweep({quick_service_scenario(1)}, 1);
+  EXPECT_EQ(retry.complete.completed, 1u);
+
+  server.stop();
 }
 
 }  // namespace
