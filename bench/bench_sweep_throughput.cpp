@@ -132,7 +132,15 @@ int main() {
   const sim::SweepReport cold = run(1, false, nullptr);
   const sim::SweepReport compile = run(1, true, bank);  // first touch
   const sim::SweepReport cached = run(1, true, bank);   // warm bank
-  const sim::SweepReport parallel = run(parallel_jobs, true, bank);
+
+  // On a single-core host the parallel leg cannot measure concurrency —
+  // two workers would just timeshare the core and the leg reads as a
+  // regression. Skip it there: reuse the warm serial report for its
+  // slots and flag the skip in the JSON so the gate knows the numbers
+  // are placeholders.
+  const bool run_parallel = hw_cores > 1;
+  const sim::SweepReport parallel =
+      run_parallel ? run(parallel_jobs, true, bank) : cached;
 
   // Batched lockstep legs: same warm-bank serial regime, scalar vs
   // batched, on the seed-extended matrix (one core stepping several
@@ -196,18 +204,20 @@ int main() {
 
   TextTable t;
   t.set_header({"Configuration", "jobs", "wall [s]", "scenarios/s",
-                "setup [s]", "stepping [s]", "setup frac"});
+                "setup [s]", "stepping [s]", "setup frac", "tail frac"});
   const auto add = [&](const char* label, const sim::SweepReport& r) {
     t.add_row({label, fmt(r.jobs_used(), 0), fmt(r.wall_seconds(), 2),
                fmt(r.size() / r.wall_seconds(), 2),
                fmt(r.setup_seconds_total(), 2),
                fmt(r.stepping_seconds_total(), 2),
-               fmt_pct(r.setup_fraction())});
+               fmt_pct(r.setup_fraction()), fmt_pct(r.tail_fraction())});
   };
   add("serial, no caches", cold);
   add("serial, bank compile (cold)", compile);
   add("serial, bank warm", cached);
-  add("parallel, bank warm", parallel);
+  add(run_parallel ? "parallel, bank warm"
+                   : "parallel, bank warm (skipped: 1 core)",
+      parallel);
   add("serial scalar, warm (seeded matrix)", bserial);
   add("serial batched, warm (seeded matrix)", bbatched);
   add("serial scalar, warm (fuzzy group)", fserial);
@@ -287,6 +297,8 @@ int main() {
       .set("batched_serial_baseline_per_sec", batched_baseline_per_sec)
       .set("batched_per_sec", batched_per_sec)
       .set("batched_vs_serial_ratio", batched_ratio)
+      .set("batched_serial_tail_fraction", bserial.tail_fraction())
+      .set("batched_tail_fraction", bbatched.tail_fraction())
       .set("batched_lanes_max", batched_lanes_max)
       .set("batched_scenario_count", batched_count)
       .set("batched_width_used", bbatched.batch_width_used())
@@ -295,6 +307,8 @@ int main() {
       .set("batched_fuzzy_serial_per_sec", fuzzy_serial_per_sec)
       .set("batched_fuzzy_group_per_sec", fuzzy_group_per_sec)
       .set("batched_fuzzy_vs_serial_ratio", fuzzy_ratio)
+      .set("batched_fuzzy_serial_tail_fraction", fserial.tail_fraction())
+      .set("batched_fuzzy_tail_fraction", fbatched.tail_fraction())
       .set("batched_fuzzy_compaction_events",
            static_cast<std::int64_t>(fbatched.batch_compaction_events()))
       .set("bank_trace_hits", static_cast<std::int64_t>(counters.trace_hits))
@@ -308,6 +322,7 @@ int main() {
       .set("bank_steady_misses",
            static_cast<std::int64_t>(counters.steady_misses))
       .set("parallel_jobs", parallel.jobs_used())
+      .set("parallel_leg", run_parallel ? "run" : "skipped_single_core")
       .set("hardware_cores", hw_cores)
       .set("parallel_job_utilization_min", util_min)
       .set("parallel_job_utilization_avg", util_avg)
@@ -317,12 +332,14 @@ int main() {
       .set("bitwise_identical", bitwise_ok ? "yes" : "no");
   bench::write_json("BENCH_sweep.json", root);
 
-  bench::sweep_footer(scenarios.size() * 4 + bscenarios.size() * 3 +
-                          fscenarios.size() * 3,
-                      parallel.jobs_used(),
-                      cold.wall_seconds() + compile.wall_seconds() +
-                          cached.wall_seconds() + parallel.wall_seconds() +
-                          bserial.wall_seconds() + bbatched.wall_seconds() +
-                          fserial.wall_seconds() + fbatched.wall_seconds());
+  const std::size_t matrix_legs = run_parallel ? 4 : 3;  // parallel may skip
+  bench::sweep_footer(
+      scenarios.size() * matrix_legs + bscenarios.size() * 3 +
+          fscenarios.size() * 3,
+      parallel.jobs_used(),
+      cold.wall_seconds() + compile.wall_seconds() + cached.wall_seconds() +
+          (run_parallel ? parallel.wall_seconds() : 0.0) +
+          bserial.wall_seconds() + bbatched.wall_seconds() +
+          fserial.wall_seconds() + fbatched.wall_seconds());
   return bitwise_ok ? 0 : 1;
 }

@@ -17,12 +17,15 @@ container while the gate runs on CI-class hardware:
    and CI runners is far smaller than that, so only a real uniform
    regression (or a broken build) trips it.
 
-3. Setup-fraction ceiling: "*setup_fraction*" metrics (the share of
-   sweep busy time spent on scenario construction, emitted by
-   bench_sweep_throughput) are fractions, so they are machine-
-   independent already. The ScenarioBank drives the cached fraction
-   toward 0; a fresh value above baseline * (1 + threshold) + 0.05
-   means construction cost crept back in and fails.
+3. Fraction ceilings: "*setup_fraction*" metrics (the share of sweep
+   busy time spent on scenario construction) and "*tail_fraction*"
+   metrics (the share of instrumented stepping time spent in the
+   per-step control tail rather than the thermal solves), both emitted
+   by bench_sweep_throughput, are fractions, so they are machine-
+   independent already. The ScenarioBank drives the cached setup
+   fraction toward 0 and the lane-fused batched tail drives the tail
+   fraction down; a fresh value above baseline * (1 + threshold) + 0.05
+   means the amortized cost crept back in and fails.
 
 Everything else numeric is reported informationally.
 
@@ -60,10 +63,10 @@ RATIO_GATES = {
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails
 
-# Additive slack of the setup_fraction ceiling: fractions this close to
-# the baseline are timer noise on sub-millisecond setups, not a
-# construction-cost regression.
-SETUP_FRACTION_SLACK = 0.05
+# Additive slack of the setup_fraction / tail_fraction ceilings:
+# fractions this close to the baseline are timer noise on
+# sub-millisecond phases, not a cost regression.
+FRACTION_SLACK = 0.05
 
 
 def numeric_leaves(tree, prefix=""):
@@ -101,7 +104,8 @@ def check(baseline_path, fresh_path, threshold):
 
     print(f"{'metric':58s} {'baseline':>14s} {'fresh':>14s} {'ratio':>7s}")
     for key in sorted(baseline):
-        gated = "per_sec" in key or "setup_fraction" in key
+        gated = ("per_sec" in key or "setup_fraction" in key
+                 or "tail_fraction" in key)
         if key not in fresh:
             print(f"{key:58s} {baseline[key]:14.4g} {'MISSING':>14s}")
             if gated:
@@ -115,13 +119,15 @@ def check(baseline_path, fresh_path, threshold):
                 f"{key}: {new:.4g} collapsed to {ratio:.2f}x of baseline "
                 f"{old:.4g} (absolute floor {ABSOLUTE_FLOOR:.2f}x)")
             flag = "  << COLLAPSE"
-        if "setup_fraction" in key:
-            ceiling = old * (1.0 + threshold) + SETUP_FRACTION_SLACK
+        if "setup_fraction" in key or "tail_fraction" in key:
+            what = ("construction cost" if "setup_fraction" in key
+                    else "control-tail share")
+            ceiling = old * (1.0 + threshold) + FRACTION_SLACK
             if new > ceiling:
                 failures.append(
                     f"{key}: {new:.4g} exceeds ceiling {ceiling:.4g} "
-                    f"(baseline {old:.4g} — construction cost crept back)")
-                flag = "  << SETUP CREEP"
+                    f"(baseline {old:.4g} — {what} crept back)")
+                flag = "  << FRACTION CREEP"
         print(f"{key:58s} {old:14.4g} {new:14.4g} {ratio:7.2f}{flag}")
 
     print("\nScale-free ratio gates "
@@ -170,15 +176,21 @@ def self_test():
         "service_requests_per_sec": 13.0,
         "service_direct_requests_per_sec": 17.0,
         "p99_ttfr_ms": 100.0,
+        "batched_tail_fraction": 0.20,
     }
     collapsed = dict(healthy, service_requests_per_sec=5.0)
     missing = {k: v for k, v in healthy.items()
                if k != "service_requests_per_sec"}
+    # Ceiling at threshold 0.30: 0.20 * 1.30 + 0.05 = 0.31.
+    tail_ok = dict(healthy, batched_tail_fraction=0.30)
+    tail_creep = dict(healthy, batched_tail_fraction=0.40)
 
     cases = [
         ("healthy fresh run passes", healthy, healthy, 0),
         ("collapsed service/direct ratio fails", healthy, collapsed, 1),
         ("gated metric missing from fresh run fails", healthy, missing, 1),
+        ("tail fraction within ceiling passes", healthy, tail_ok, 0),
+        ("tail fraction past ceiling fails", healthy, tail_creep, 1),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:

@@ -50,10 +50,26 @@ double Mpsoc3D::max_core_temp(std::span<const double> temps) const {
 
 std::vector<double> Mpsoc3D::element_powers(
     std::span<const CoreState> cores, std::span<const double> temps) const {
+  std::vector<double> p(model_->grid().element_count(), 0.0);
+  element_powers_into(cores, temps, p);
+  return p;
+}
+
+void Mpsoc3D::element_powers_into(std::span<const CoreState> cores,
+                                  std::span<const double> temps,
+                                  std::span<double> out) const {
+  element_powers_dynamic_into(cores, out);
+  add_leakage_into(temps, out);
+}
+
+void Mpsoc3D::element_powers_dynamic_into(std::span<const CoreState> cores,
+                                          std::span<double> out) const {
   require(static_cast<int>(cores.size()) == n_cores(),
           "Mpsoc3D::element_powers: need one CoreState per core");
   const auto& grid = model_->grid();
-  std::vector<double> p(grid.element_count(), 0.0);
+  require(static_cast<int>(out.size()) == grid.element_count(),
+          "Mpsoc3D::element_powers: output size mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
 
   double busy_sum = 0.0;
   for (int i = 0; i < n_cores(); ++i) {
@@ -64,34 +80,39 @@ std::vector<double> Mpsoc3D::element_powers(
          std::clamp(cs.busy, 0.0, 1.0) *
              (chip_.powers.core_active - chip_.powers.core_idle)) *
         scale;
-    p[core_elements_[i]] = dyn;
+    out[core_elements_[i]] = dyn;
     busy_sum += std::clamp(cs.busy, 0.0, 1.0);
   }
   const double mean_busy = busy_sum / n_cores();
 
   for (int b = 0; b < chip_.n_l2_banks; ++b) {
-    p[l2_elements_[b]] =
+    out[l2_elements_[b]] =
         chip_.powers.l2_idle +
         mean_busy * (chip_.powers.l2_active - chip_.powers.l2_idle);
   }
   // Uncore traffic follows aggregate activity with a standby floor.
   for (int x : xbar_elements_) {
-    p[x] = chip_.powers.crossbar / xbar_elements_.size() *
-           (0.3 + 0.7 * mean_busy);
+    out[x] = chip_.powers.crossbar / xbar_elements_.size() *
+             (0.3 + 0.7 * mean_busy);
   }
   for (int m : misc_elements_) {
-    p[m] = chip_.powers.misc / misc_elements_.size() *
-           (0.3 + 0.7 * mean_busy);
+    out[m] = chip_.powers.misc / misc_elements_.size() *
+             (0.3 + 0.7 * mean_busy);
   }
+}
 
+void Mpsoc3D::add_leakage_into(std::span<const double> temps,
+                               std::span<double> out) const {
+  const auto& grid = model_->grid();
+  require(static_cast<int>(out.size()) == grid.element_count(),
+          "Mpsoc3D::add_leakage_into: output size mismatch");
   // Leakage on every element, from the previous-step temperatures.
   for (int e = 0; e < grid.element_count(); ++e) {
     const double t = temps.empty()
                          ? chip_.leakage.reference_temperature()
                          : model_->element_avg(temps, e);
-    p[e] += chip_.leakage.power(grid.element(e).rect.area(), t);
+    out[e] += chip_.leakage.power(grid.element(e).rect.area(), t);
   }
-  return p;
 }
 
 double Mpsoc3D::chip_power(std::span<const CoreState> cores,

@@ -17,11 +17,16 @@ MaxPerformancePolicy::MaxPerformancePolicy(int n_cores,
 }
 
 PolicyActions MaxPerformancePolicy::decide(const PolicyInputs& in) {
-  (void)in;
   PolicyActions a;
-  a.vf_levels.assign(n_cores_, top_level_);
-  a.pump_level = pump_level_;
+  decide_into(in, a);
   return a;
+}
+
+void MaxPerformancePolicy::decide_into(const PolicyInputs& in,
+                                       PolicyActions& out) {
+  (void)in;
+  out.vf_levels.assign(n_cores_, top_level_);
+  out.pump_level = pump_level_;
 }
 
 std::string MaxPerformancePolicy::name() const {
@@ -39,6 +44,13 @@ TemperatureTriggeredDvfsPolicy::TemperatureTriggeredDvfsPolicy(
 }
 
 PolicyActions TemperatureTriggeredDvfsPolicy::decide(const PolicyInputs& in) {
+  PolicyActions a;
+  decide_into(in, a);
+  return a;
+}
+
+void TemperatureTriggeredDvfsPolicy::decide_into(const PolicyInputs& in,
+                                                 PolicyActions& out) {
   require(in.core_temps.size() == levels_.size(),
           "TemperatureTriggeredDvfsPolicy: temps size mismatch");
   for (std::size_t i = 0; i < levels_.size(); ++i) {
@@ -49,10 +61,8 @@ PolicyActions TemperatureTriggeredDvfsPolicy::decide(const PolicyInputs& in) {
       ++levels_[i];
     }
   }
-  PolicyActions a;
-  a.vf_levels = levels_;
-  a.pump_level = pump_level_;
-  return a;
+  out.vf_levels = levels_;
+  out.pump_level = pump_level_;
 }
 
 std::string TemperatureTriggeredDvfsPolicy::name() const {
@@ -112,10 +122,18 @@ FuzzyFlowDvfsPolicy::FuzzyFlowDvfsPolicy(int n_cores,
 FuzzyFlowDvfsPolicy::~FuzzyFlowDvfsPolicy() = default;
 
 PolicyActions FuzzyFlowDvfsPolicy::decide(const PolicyInputs& in) {
+  PolicyActions a;
+  decide_into(in, a);
+  return a;
+}
+
+void FuzzyFlowDvfsPolicy::check_inputs(const PolicyInputs& in) const {
   require(static_cast<int>(in.core_temps.size()) == n_cores_ &&
               static_cast<int>(in.core_demands.size()) == n_cores_,
           "FuzzyFlowDvfsPolicy: input size mismatch");
+}
 
+double FuzzyFlowDvfsPolicy::prepare_eval(const PolicyInputs& in, double* ev) {
   double max_temp = -1e300;
   for (double t : in.core_temps) max_temp = std::max(max_temp, t);
   const double margin = threshold_ - max_temp;
@@ -127,11 +145,13 @@ PolicyActions FuzzyFlowDvfsPolicy::decide(const PolicyInputs& in) {
   // Exponential smoothing: ignore single-step transients after a pump
   // adjustment, react to sustained drifts.
   trend_ema_ = 0.7 * trend_ema_ + 0.3 * raw_trend;
-  const double trend = trend_ema_;
+  ev[0] = margin;
+  ev[1] = trend_ema_;
+  return margin;
+}
 
-  last_flow_ = fuzzy_->evaluate({margin, trend});
-
-  PolicyActions a;
+void FuzzyFlowDvfsPolicy::finish_decide(double margin, const PolicyInputs& in,
+                                        PolicyActions& out) {
   int target = static_cast<int>(std::lround(last_flow_ * (pump_levels_ - 1)));
   target = std::clamp(target, 0, pump_levels_ - 1);
   // Slew-limit the pump (2 settings/interval up, 1 down) to damp the
@@ -145,18 +165,54 @@ PolicyActions FuzzyFlowDvfsPolicy::decide(const PolicyInputs& in) {
     target = std::clamp(target, prev_level_ - 1, prev_level_ + 2);
   }
   prev_level_ = target;
-  a.pump_level = target;
+  out.pump_level = target;
 
   // Utilization-driven DVFS: pick the lowest level whose capacity covers
   // the demand with margin; force nominal when the margin is critical
   // so DVFS never fights the pump for the threshold.
-  a.vf_levels.resize(n_cores_);
+  out.vf_levels.resize(n_cores_);
   for (int i = 0; i < n_cores_; ++i) {
-    a.vf_levels[i] = margin <= 0.0
-                         ? vf_.max_level()
-                         : vf_.level_for_demand(in.core_demands[i], 0.08);
+    out.vf_levels[i] = margin <= 0.0
+                           ? vf_.max_level()
+                           : vf_.level_for_demand(in.core_demands[i], 0.08);
   }
-  return a;
+}
+
+void FuzzyFlowDvfsPolicy::decide_into(const PolicyInputs& in,
+                                      PolicyActions& out) {
+  check_inputs(in);
+  double ev[2];
+  const double margin = prepare_eval(in, ev);
+  last_flow_ = fuzzy_->evaluate(std::span<const double>(ev, 2));
+  finish_decide(margin, in, out);
+}
+
+void FuzzyFlowDvfsPolicy::decide_batch(
+    std::span<FuzzyFlowDvfsPolicy* const> policies,
+    std::span<const PolicyInputs* const> in,
+    std::span<PolicyActions* const> out, std::span<double> eval_scratch,
+    std::span<double> flow_scratch) {
+  const int k = static_cast<int>(policies.size());
+  require(k >= 1, "FuzzyFlowDvfsPolicy::decide_batch: need lanes");
+  require(static_cast<int>(in.size()) == k &&
+              static_cast<int>(out.size()) == k,
+          "FuzzyFlowDvfsPolicy::decide_batch: lane count mismatch");
+  require(static_cast<int>(eval_scratch.size()) == 2 * k &&
+              static_cast<int>(flow_scratch.size()) == k,
+          "FuzzyFlowDvfsPolicy::decide_batch: scratch size mismatch");
+  // Validate every lane before mutating any lane's controller state, so
+  // a size error here leaves all lanes clean for per-lane fallback.
+  for (int l = 0; l < k; ++l) policies[l]->check_inputs(*in[l]);
+
+  for (int l = 0; l < k; ++l) {
+    policies[l]->prepare_eval(*in[l], &eval_scratch[2 * l]);
+  }
+  policies[0]->fuzzy_->evaluate_lanes(eval_scratch, k, flow_scratch);
+  for (int l = 0; l < k; ++l) {
+    policies[l]->last_flow_ = flow_scratch[l];
+    // eval_scratch[2l] still holds lane l's margin.
+    policies[l]->finish_decide(eval_scratch[2 * l], *in[l], *out[l]);
+  }
 }
 
 std::string FuzzyFlowDvfsPolicy::name() const { return "LC_FUZZY"; }

@@ -4,6 +4,7 @@
 /// four policies: AC_LB, AC_TDVFS_LB, LC_LB and LC_FUZZY.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,15 @@ class ThermalPolicy {
  public:
   virtual ~ThermalPolicy() = default;
   virtual PolicyActions decide(const PolicyInputs& in) = 0;
+
+  /// Allocation-free variant writing into a caller-persistent
+  /// PolicyActions. The built-in policies override this and implement
+  /// decide() on top of it; external policies (tests, experiments) can
+  /// keep overriding just decide() — the default wraps it.
+  virtual void decide_into(const PolicyInputs& in, PolicyActions& out) {
+    out = decide(in);
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -41,6 +51,7 @@ class MaxPerformancePolicy final : public ThermalPolicy {
   /// \param pump_level level to hold (-1 for air-cooled stacks)
   MaxPerformancePolicy(int n_cores, const power::VfTable& vf, int pump_level);
   PolicyActions decide(const PolicyInputs& in) override;
+  void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
 
  private:
@@ -58,6 +69,7 @@ class TemperatureTriggeredDvfsPolicy final : public ThermalPolicy {
                                  double trip_k, double release_k,
                                  int pump_level = -1);
   PolicyActions decide(const PolicyInputs& in) override;
+  void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
 
  private:
@@ -80,12 +92,38 @@ class FuzzyFlowDvfsPolicy final : public ThermalPolicy {
                       double threshold_k);
   ~FuzzyFlowDvfsPolicy() override;  // out-of-line: FuzzyController is opaque
   PolicyActions decide(const PolicyInputs& in) override;
+  void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
 
   /// Normalized flow command of the last decision, in [0, 1] (test hook).
   double last_flow_fraction() const { return last_flow_; }
 
+  /// Lane-batched decide for K same-class fuzzy policies (the batched
+  /// control tail): per-lane margin/trend state updates, one shared
+  /// FuzzyController::evaluate_lanes inference (every FuzzyFlowDvfsPolicy
+  /// builds the identical rule base, so policies[0]'s controller speaks
+  /// for all), then per-lane slew limiting and DVFS. Bitwise identical
+  /// to calling decide_into on each lane in order. \p eval_scratch must
+  /// hold 2*K doubles and \p flow_scratch K doubles (caller-persistent
+  /// so the tail stays allocation-free). All lanes' input sizes are
+  /// validated before any lane's controller state mutates, so on a
+  /// validation throw the caller can fall back to per-lane decide_into
+  /// without double-stepping the trend EMA.
+  static void decide_batch(std::span<FuzzyFlowDvfsPolicy* const> policies,
+                           std::span<const PolicyInputs* const> in,
+                           std::span<PolicyActions* const> out,
+                           std::span<double> eval_scratch,
+                           std::span<double> flow_scratch);
+
  private:
+  void check_inputs(const PolicyInputs& in) const;
+  /// First half of decide: sensor fold + trend EMA update; writes
+  /// {margin, trend} into \p ev and returns the margin.
+  double prepare_eval(const PolicyInputs& in, double* ev);
+  /// Second half: pump slew limit + utilization DVFS from last_flow_.
+  void finish_decide(double margin, const PolicyInputs& in,
+                     PolicyActions& out);
+
   power::VfTable vf_;
   int n_cores_;
   int pump_levels_;

@@ -1,0 +1,103 @@
+#include "power/batched_power.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tac3d::power {
+
+namespace {
+
+void check_lanes(const ElementGeometry& geom,
+                 std::span<const PowerLane> lanes) {
+  const int n = geom.element_count();
+  require(static_cast<std::int64_t>(geom.cell_offset.size()) == n + 1,
+          "batched_power: cell_offset size mismatch");
+  require(static_cast<int>(lanes.size()) <= kMaxPowerLanes,
+          "batched_power: too many lanes");
+  for (const PowerLane& lane : lanes) {
+    require(static_cast<int>(lane.element_power.size()) == n,
+            "batched_power: element_power size mismatch");
+  }
+}
+
+}  // namespace
+
+void add_leakage_batched(const ElementGeometry& geom,
+                         std::span<const PowerLane> lanes) {
+  check_lanes(geom, lanes);
+  for (const PowerLane& lane : lanes) {
+    require(!lane.temps.empty(), "batched_power: lane has no temperatures");
+  }
+  const int n_lanes = static_cast<int>(lanes.size());
+  const int n_elements = geom.element_count();
+  double acc[kMaxPowerLanes];
+  for (int e = 0; e < n_elements; ++e) {
+    const std::int64_t begin = geom.cell_offset[e];
+    const std::int64_t end = geom.cell_offset[e + 1];
+    // element_avg per lane, cell-outer / lane-inner so every lane's
+    // accumulation order matches the scalar loop bitwise.
+    for (int l = 0; l < n_lanes; ++l) acc[l] = 0.0;
+    for (std::int64_t c = begin; c < end; ++c) {
+      const std::int32_t node = geom.cell_node[c];
+      const double w = geom.cell_weight[c];
+      for (int l = 0; l < n_lanes; ++l) {
+        acc[l] += lanes[l].temps[node] * w;
+      }
+    }
+    const double area = geom.element_area[e];
+    for (int l = 0; l < n_lanes; ++l) {
+      lanes[l].element_power[e] += lanes[l].leakage->power(area, acc[l]);
+    }
+  }
+}
+
+void scatter_power_rhs_batched(const ElementGeometry& geom,
+                               std::span<const PowerLane> lanes) {
+  check_lanes(geom, lanes);
+  const int n_lanes = static_cast<int>(lanes.size());
+  const int n_elements = geom.element_count();
+  for (int l = 0; l < n_lanes; ++l) {
+    std::fill(lanes[l].power_rhs.begin(), lanes[l].power_rhs.end(), 0.0);
+  }
+  for (int e = 0; e < n_elements; ++e) {
+    const std::int64_t begin = geom.cell_offset[e];
+    const std::int64_t end = geom.cell_offset[e + 1];
+    for (std::int64_t c = begin; c < end; ++c) {
+      const std::int32_t node = geom.cell_node[c];
+      const double w = geom.cell_weight[c];
+      for (int l = 0; l < n_lanes; ++l) {
+        lanes[l].power_rhs[node] += lanes[l].element_power[e] * w;
+      }
+    }
+  }
+}
+
+void gather_element_max_batched(const ElementGeometry& geom,
+                                std::span<const std::int32_t> elements,
+                                std::span<const SensorLane> lanes) {
+  const int n_lanes = static_cast<int>(lanes.size());
+  require(n_lanes <= kMaxPowerLanes, "batched_power: too many lanes");
+  for (const SensorLane& lane : lanes) {
+    require(lane.out.size() == elements.size(),
+            "batched_power: sensor out size mismatch");
+  }
+  double best[kMaxPowerLanes];
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const std::int32_t e = elements[i];
+    require(e >= 0 && e < geom.element_count(),
+            "batched_power: sensor element out of range");
+    const std::int64_t begin = geom.cell_offset[e];
+    const std::int64_t end = geom.cell_offset[e + 1];
+    for (int l = 0; l < n_lanes; ++l) best[l] = -1e300;
+    for (std::int64_t c = begin; c < end; ++c) {
+      const std::int32_t node = geom.cell_node[c];
+      for (int l = 0; l < n_lanes; ++l) {
+        best[l] = std::max(best[l], lanes[l].temps[node]);
+      }
+    }
+    for (int l = 0; l < n_lanes; ++l) lanes[l].out[i] = best[l];
+  }
+}
+
+}  // namespace tac3d::power

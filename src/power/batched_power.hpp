@@ -1,0 +1,85 @@
+#pragma once
+/// \file batched_power.hpp
+/// \brief Lane-fused power/leakage/sensor kernels for batched lockstep
+/// stepping. The batched sessions in sim/batch.hpp advance K scenarios
+/// that share one floorplan/grid; these kernels walk the shared
+/// element->cell weight lists once per step and apply them to every
+/// lane, instead of K independent traversals.
+///
+/// Parity contract: per lane, the floating-point chain is identical to
+/// the scalar path (thermal::RcModel::element_avg/element_max +
+/// LeakageModel::power, RcModel::commit_element_powers). The loops are
+/// ordered element-outer / cell-middle / lane-inner, so each lane's
+/// accumulation order is exactly the scalar order and results are
+/// bitwise identical.
+///
+/// Layering: src/power does not see arch/ or thermal/ types, so the
+/// shared geometry arrives flattened (ElementGeometry) and per-lane
+/// state arrives as spans into each lane's own storage.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "power/leakage.hpp"
+
+namespace tac3d::power {
+
+/// Maximum lane count the fused kernels accept (bounds the stack-local
+/// per-lane accumulator arrays). Comfortably above the batched solver's
+/// own width cap.
+inline constexpr int kMaxPowerLanes = 64;
+
+/// Flattened element -> cell mapping shared by every lane of a batch
+/// (CSR-style offsets into parallel node/weight arrays), plus the
+/// per-element block areas the leakage model needs.
+struct ElementGeometry {
+  std::vector<std::int64_t> cell_offset;  ///< size element_count()+1
+  std::vector<std::int32_t> cell_node;
+  std::vector<double> cell_weight;
+  std::vector<double> element_area;  ///< [m^2], size element_count()
+
+  int element_count() const {
+    return static_cast<int>(element_area.size());
+  }
+};
+
+/// One lane's power state: previous-step temperature field in, element
+/// power vector in/out (dynamic power already written by the caller),
+/// per-node power RHS out.
+struct PowerLane {
+  const LeakageModel* leakage = nullptr;
+  std::span<const double> temps;
+  std::span<double> element_power;
+  std::span<double> power_rhs;
+};
+
+/// Add temperature-dependent leakage to every lane's element_power in
+/// one traversal of the geometry: for each element, the area-weighted
+/// average temperature (element_avg) feeds leakage->power(area, t).
+/// Every lane must have a temperature field (batched sessions always
+/// do; the scalar cold-start reference-temperature branch stays in
+/// Mpsoc3D::add_leakage_into).
+void add_leakage_batched(const ElementGeometry& geom,
+                         std::span<const PowerLane> lanes);
+
+/// Scatter every lane's element_power into its power_rhs (zeroed
+/// first), one traversal of the shared weights — the batched
+/// equivalent of RcModel::commit_element_powers per lane.
+void scatter_power_rhs_batched(const ElementGeometry& geom,
+                               std::span<const PowerLane> lanes);
+
+/// One lane's sensor gather: temperature field in, one max-cell
+/// temperature out per requested element.
+struct SensorLane {
+  std::span<const double> temps;
+  std::span<double> out;  ///< size elements.size()
+};
+
+/// Max-cell temperature of each listed element (the core_temp sensor)
+/// for every lane in one traversal of the shared cell lists.
+void gather_element_max_batched(const ElementGeometry& geom,
+                                std::span<const std::int32_t> elements,
+                                std::span<const SensorLane> lanes);
+
+}  // namespace tac3d::power

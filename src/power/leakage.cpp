@@ -1,8 +1,5 @@
 #include "power/leakage.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/error.hpp"
 
 namespace tac3d::power {
@@ -17,15 +14,6 @@ LeakageModel::LeakageModel(double p_ref_per_area, double t_ref, double t_beta,
   require(t_ref_ > 0.0, "LeakageModel: reference temperature must be K");
   require(t_beta_ > 0.0, "LeakageModel: t_beta must be positive");
   require(max_factor_ >= 1.0, "LeakageModel: max_factor must be >= 1");
-}
-
-double LeakageModel::factor(double t) const {
-  return std::min(std::exp((t - t_ref_) / t_beta_), max_factor_);
-}
-
-double LeakageModel::power(double area, double t) const {
-  require(area >= 0.0, "LeakageModel::power: negative area");
-  return area * p_ref_ * factor(t);
 }
 
 }  // namespace tac3d::power

@@ -4,6 +4,11 @@
 /// (the paper: "we compute the leakage power of processing cores as a
 /// function of their area and the temperature").
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
 namespace tac3d::power {
 
 /// Exponential-in-temperature leakage model:
@@ -21,10 +26,17 @@ class LeakageModel {
                double max_factor = 20.0);
 
   /// Leakage power of a block of \p area [m^2] at temperature \p t [K].
-  double power(double area, double t) const;
+  /// Inline: this sits in the per-step control tail for every element,
+  /// for every lane of a batched step.
+  double power(double area, double t) const {
+    require(area >= 0.0, "LeakageModel::power: negative area");
+    return area * p_ref_ * factor(t);
+  }
 
   /// Scale factor exp((T - T_ref)/t_beta), clamped.
-  double factor(double t) const;
+  double factor(double t) const {
+    return std::min(std::exp((t - t_ref_) / t_beta_), max_factor_);
+  }
 
   double reference_density() const { return p_ref_; }
   double reference_temperature() const { return t_ref_; }

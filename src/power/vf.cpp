@@ -16,6 +16,14 @@ VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points)) {
   for (const VfPoint& p : points_) {
     require(p.frequency > 0.0 && p.voltage > 0.0, "VfTable: invalid point");
   }
+  const VfPoint& nominal = points_.back();
+  power_scale_.reserve(points_.size());
+  speed_scale_.reserve(points_.size());
+  for (const VfPoint& p : points_) {
+    const double v = p.voltage / nominal.voltage;
+    power_scale_.push_back(v * v * (p.frequency / nominal.frequency));
+    speed_scale_.push_back(p.frequency / nominal.frequency);
+  }
 }
 
 VfTable VfTable::ultrasparc_t1() {
@@ -27,19 +35,12 @@ VfTable VfTable::ultrasparc_t1() {
 }
 
 const VfPoint& VfTable::point(int level) const {
-  require(level >= 0 && level < levels(), "VfTable: level out of range");
+  check_level(level);
   return points_[level];
 }
 
-double VfTable::power_scale(int level) const {
-  const VfPoint& p = point(level);
-  const VfPoint& nominal = points_.back();
-  const double v = p.voltage / nominal.voltage;
-  return v * v * (p.frequency / nominal.frequency);
-}
-
-double VfTable::speed_scale(int level) const {
-  return point(level).frequency / points_.back().frequency;
+void VfTable::check_level(int level) const {
+  require(level >= 0 && level < levels(), "VfTable: level out of range");
 }
 
 int VfTable::level_for_demand(double demand, double margin) const {

@@ -27,18 +27,29 @@ class VfTable {
   const VfPoint& point(int level) const;
 
   /// Dynamic-power scale factor (V/V0)^2 * (f/f0) relative to the
-  /// nominal (highest) level.
-  double power_scale(int level) const;
+  /// nominal (highest) level. Precomputed per level at construction so
+  /// the per-step control tail reads a table instead of dividing.
+  double power_scale(int level) const {
+    check_level(level);
+    return power_scale_[level];
+  }
 
   /// Execution-capacity scale f/f0 relative to nominal.
-  double speed_scale(int level) const;
+  double speed_scale(int level) const {
+    check_level(level);
+    return speed_scale_[level];
+  }
 
   /// Smallest level whose speed_scale covers \p demand (plus margin),
   /// used by utilization-driven DVFS.
   int level_for_demand(double demand, double margin = 0.05) const;
 
  private:
+  void check_level(int level) const;
+
   std::vector<VfPoint> points_;
+  std::vector<double> power_scale_;
+  std::vector<double> speed_scale_;
 };
 
 }  // namespace tac3d::power

@@ -3,15 +3,22 @@
 /// \brief BatchSession: K bank-prepared scenarios stepped in lockstep by
 /// one core, with the thermal solves batched per matrix traversal.
 ///
-/// The closed control loop of a scenario is cheap per step (demand
-/// sampling, load balancing, a policy decision, a power update); nearly
-/// all the time goes into the per-step linear solve. When K scenarios
-/// share a sparsity pattern (same stack/grid — the ScenarioBank's model
-/// tier guarantees it) and an iterative solver kind, BatchSession runs
-/// the K control loops scalar but advances all K thermal systems through
-/// one thermal::BatchedTransientSolver, so a single traversal of the
-/// shared CSR pattern steps every lane (see sparse/batched.hpp for why
-/// that is both faster and bitwise-neutral per lane).
+/// When K scenarios share a sparsity pattern (same stack/grid — the
+/// ScenarioBank's model tier guarantees it) and an iterative solver
+/// kind, BatchSession advances all K thermal systems through one
+/// thermal::BatchedTransientSolver, so a single traversal of the shared
+/// CSR pattern steps every lane (see sparse/batched.hpp for why that is
+/// both faster and bitwise-neutral per lane).
+///
+/// The per-step control tail (sensor gathers, policy decisions, the
+/// power/leakage update, metrics) is fused the same way: when every
+/// batched lane also shares the floorplan geometry, the leakage +
+/// RHS-scatter traversals and the core-temperature gathers run
+/// lane-fused over the shared element->cell weights
+/// (power/batched_power.hpp), and same-class fuzzy policies share one
+/// FuzzyController::evaluate_lanes inference per step. Each lane's
+/// floating-point chain is the scalar chain, so per-lane results stay
+/// bitwise identical.
 ///
 /// Lanes are isolated: a lane whose construction, policy loop or linear
 /// solve throws is recorded (lane_error) and deactivated; the remaining
@@ -47,6 +54,18 @@ class BatchSession {
 
   /// Did the thermal solves batch (false: scalar-fallback lockstep)?
   bool thermal_batched() const { return batched_ != nullptr; }
+
+  /// Did the control tail fuse across lanes (requires thermal_batched()
+  /// plus a shared floorplan geometry)? Setting the TAC3D_SCALAR_TAIL
+  /// environment variable forces this off (per-lane scalar tail) for
+  /// same-host A/B benchmarking.
+  bool tail_fused() const { return tail_ != nullptr; }
+
+  /// Wall-clock seconds spent in the control tail and in the thermal
+  /// solves across all lanes (batch-level stages plus any per-lane
+  /// scalar stepping).
+  double tail_seconds() const;
+  double solve_seconds() const;
 
   /// Advance every live, unfinished lane one control interval.
   void step();
@@ -93,12 +112,21 @@ class BatchSession {
   }
 
  private:
+  struct TailPlan;  // fused control-tail geometry + persistent scratch
+
+  void build_tail_plan();
+  void step_batched_fused();
+  void step_batched_scalar_tail();
+
   std::vector<PreparedScenario> prepared_;
   std::vector<std::optional<SimulationSession>> sessions_;
   std::vector<std::string> errors_;
   std::unique_ptr<thermal::BatchedTransientSolver> batched_;
+  std::unique_ptr<TailPlan> tail_;
   std::vector<int> lane_of_;  ///< batched lane index -> prepared_ index
   std::vector<std::uint8_t> stepping_, failed_;  ///< step() scratch masks
+  double tail_seconds_ = 0.0;   ///< batch-level control-tail time
+  double solve_seconds_ = 0.0;  ///< batch-level thermal-solve time
 };
 
 }  // namespace tac3d::sim

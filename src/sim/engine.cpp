@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -9,6 +10,11 @@
 namespace tac3d::sim {
 
 namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 /// Apply a pump level to all cavities (no-op for air-cooled stacks).
 void apply_pump(arch::Mpsoc3D& soc, const microchannel::PumpModel& pump,
@@ -134,18 +140,48 @@ SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
   thermal_->set_state(init->temperatures);
 
   m_.core_hot_time.assign(n_cores_, 0.0);
+
+  // Persistent control-tail buffers: the per-step loop reuses these, so
+  // steady-state stepping performs no heap allocation.
+  in_.core_temps.resize(n_cores_);
+  in_.core_demands.resize(n_cores_);
+  in_.dt = cfg_.control_dt;
+  act_.vf_levels.reserve(n_cores_);
 }
 
 SimulationSession::~SimulationSession() = default;
 SimulationSession::SimulationSession(SimulationSession&&) noexcept = default;
 
 void SimulationSession::step() {
+  const auto t0 = std::chrono::steady_clock::now();
   if (!step_prepare()) return;
+  const auto t1 = std::chrono::steady_clock::now();
   thermal_->step();
+  const auto t2 = std::chrono::steady_clock::now();
   step_finish();
+  const auto t3 = std::chrono::steady_clock::now();
+  tail_seconds_ += seconds_between(t0, t1) + seconds_between(t2, t3);
+  solve_seconds_ += seconds_between(t1, t2);
 }
 
 bool SimulationSession::step_prepare() {
+  if (!tail_begin()) return false;
+  // The step_finish() of the previous interval already sensed the
+  // current field (it does not change between steps), so the gather is
+  // only needed on the very first interval.
+  if (!sensed_fresh_) sense_current();
+  tail_decide();
+  tail_apply();
+  tail_power();
+  return true;
+}
+
+void SimulationSession::step_finish() {
+  sense_current();
+  finish_metrics();
+}
+
+bool SimulationSession::tail_begin() {
   if (done()) return false;
   const double now = steps_done_ * cfg_.control_dt;
 
@@ -153,48 +189,64 @@ bool SimulationSession::step_prepare() {
   for (int t = 0; t < trace_.threads(); ++t) {
     thread_demand_[t] = trace_.sample(t, now);
   }
-  core_demand_ = scheduler_.balance(thread_demand_);
+  scheduler_.balance_into(thread_demand_, core_demand_);
+  std::copy(core_demand_.begin(), core_demand_.end(),
+            in_.core_demands.begin());
+  return true;
+}
 
-  // 2. Policy decision from the current sensors.
-  control::PolicyInputs in;
-  in.core_temps.resize(n_cores_);
+void SimulationSession::sense_current() {
+  const std::span<const double> temps = thermal_->temperatures();
   for (int c = 0; c < n_cores_; ++c) {
-    in.core_temps[c] = soc_.core_temp(thermal_->temperatures(), c);
+    in_.core_temps[c] = soc_.core_temp(temps, c);
   }
-  in.core_demands = core_demand_;
-  in.dt = cfg_.control_dt;
-  const control::PolicyActions act = policy_.decide(in);
-  require(static_cast<int>(act.vf_levels.size()) == n_cores_,
-          "simulate: policy returned wrong vf_levels size");
+  sensed_fresh_ = true;
+}
 
-  if (liquid_ && act.pump_level >= 0 && act.pump_level != pump_level_) {
-    pump_level_ = act.pump_level;
+void SimulationSession::tail_decide() {
+  // 2. Policy decision from the current sensors.
+  policy_.decide_into(in_, act_);
+  require(static_cast<int>(act_.vf_levels.size()) == n_cores_,
+          "simulate: policy returned wrong vf_levels size");
+}
+
+void SimulationSession::tail_apply() {
+  if (liquid_ && act_.pump_level >= 0 && act_.pump_level != pump_level_) {
+    pump_level_ = act_.pump_level;
     apply_pump(soc_, cfg_.pump, pump_level_);
   }
 
   // 3. Execution model: capacity clipping and busy fractions.
   for (int c = 0; c < n_cores_; ++c) {
-    const double capacity = soc_.chip().vf.speed_scale(act.vf_levels[c]);
+    const double capacity = soc_.chip().vf.speed_scale(act_.vf_levels[c]);
     const double demand = core_demand_[c];
     const double executed = std::min(demand, capacity);
-    cores_[c].vf_level = act.vf_levels[c];
+    cores_[c].vf_level = act_.vf_levels[c];
     cores_[c].busy = capacity > 0.0 ? executed / capacity : 0.0;
     m_.offered_work += demand * cfg_.control_dt;
     m_.lost_work += (demand - executed) * cfg_.control_dt;
   }
-
-  // 4. Power (leakage from the current temperature field); the thermal
-  //    step itself runs between step_prepare and step_finish.
-  soc_.model().set_element_powers(
-      soc_.element_powers(cores_, thermal_->temperatures()));
-  return true;
 }
 
-void SimulationSession::step_finish() {
-  // 5. Metrics.
+void SimulationSession::tail_power() {
+  // 4. Power (leakage from the current temperature field); the thermal
+  //    step itself runs between step_prepare and step_finish.
+  tail_power_dynamic();
+  soc_.add_leakage_into(thermal_->temperatures(),
+                        soc_.model().element_powers_writable());
+  soc_.model().commit_element_powers();
+}
+
+void SimulationSession::tail_power_dynamic() {
+  soc_.element_powers_dynamic_into(cores_,
+                                   soc_.model().element_powers_writable());
+}
+
+void SimulationSession::finish_metrics() {
+  // 5. Metrics, from the post-solve sensor gather.
   bool any_hot = false;
   for (int c = 0; c < n_cores_; ++c) {
-    const double t_core = soc_.core_temp(thermal_->temperatures(), c);
+    const double t_core = in_.core_temps[c];
     m_.peak_temp = std::max(m_.peak_temp, t_core);
     if (t_core > cfg_.hot_threshold_k) {
       m_.core_hot_time[c] += cfg_.control_dt;

@@ -131,6 +131,54 @@ class SimulationSession {
   bool step_prepare();
   void step_finish();
 
+  /// Control-tail stages: step_prepare() is exactly
+  ///   tail_begin() + (sense_current() unless sensed_fresh())
+  ///   + tail_decide() + tail_apply() + tail_power()
+  /// and step_finish() is sense_current() + finish_metrics().
+  /// BatchSession drives the stages individually so the sensor gather,
+  /// the fuzzy-policy inference and the power/leakage update can each
+  /// run lane-fused across a whole batch (see power/batched_power.hpp);
+  /// a stage that substitutes a fused kernel must leave exactly the
+  /// state its scalar counterpart would (bitwise).
+  /// tail_begin(): workload demand sampling + load balancing into
+  /// policy_inputs() (false = already done()).
+  bool tail_begin();
+  /// Gather the per-core temperature sensors from the current field
+  /// into policy_inputs() and mark them fresh. step_finish() senses the
+  /// post-solve field for the metrics; the field does not change again
+  /// before the next step_prepare(), so that gather doubles as the next
+  /// interval's policy input (sensed_fresh() says it is still valid).
+  void sense_current();
+  bool sensed_fresh() const { return sensed_fresh_; }
+  /// A batched sensor gather that wrote policy_inputs().core_temps
+  /// itself calls this instead of sense_current().
+  void mark_sensed() { sensed_fresh_ = true; }
+  /// Policy decision into policy_actions().
+  void tail_decide();
+  /// Apply the decision: pump level, execution model, work accounting.
+  void tail_apply();
+  /// Power update: dynamic + leakage + RHS commit (the scalar tail).
+  void tail_power();
+  /// Just the per-lane dynamic half of tail_power(), written into the
+  /// model's element_powers_writable(); the batched path follows with
+  /// the lane-fused leakage + scatter kernels.
+  void tail_power_dynamic();
+  /// Metrics accumulation from the sensed temperatures; commits the
+  /// interval (advances steps_done()).
+  void finish_metrics();
+
+  /// Persistent policy I/O of the tail stages (one control interval).
+  control::PolicyInputs& policy_inputs() { return in_; }
+  control::PolicyActions& policy_actions() { return act_; }
+  control::ThermalPolicy& policy() { return policy_; }
+
+  /// Wall-clock seconds step() spent in the control tail (prepare +
+  /// finish) and in the thermal solve, accumulated over the run. Only
+  /// step() itself is instrumented; callers driving the lockstep
+  /// phase API (BatchSession) time their own stages.
+  double tail_seconds() const { return tail_seconds_; }
+  double solve_seconds() const { return solve_seconds_; }
+
   /// The transient thermal solver this session steps (the lane handle a
   /// BatchedTransientSolver drives between step_prepare and
   /// step_finish).
@@ -196,6 +244,12 @@ class SimulationSession {
   SimMetrics m_;
   int pump_level_ = -1;
   double flow_fraction_acc_ = 0.0;
+  // Persistent control-tail state (the per-step loop is allocation-free).
+  control::PolicyInputs in_;
+  control::PolicyActions act_;
+  bool sensed_fresh_ = false;
+  double tail_seconds_ = 0.0;
+  double solve_seconds_ = 0.0;
 };
 
 /// Run \p trace through \p policy on \p soc and collect metrics.

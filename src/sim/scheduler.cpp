@@ -17,13 +17,24 @@ Scheduler::Scheduler(int n_threads, int n_cores, int threads_per_core,
   require(imbalance_threshold > 0.0, "Scheduler: threshold must be > 0");
   placement_.resize(n_threads);
   for (int t = 0; t < n_threads; ++t) placement_[t] = t % n_cores;
+  queue_.resize(n_cores);
 }
 
 std::vector<double> Scheduler::balance(std::span<const double> thread_demand) {
+  std::vector<double> core_demand(n_cores_, 0.0);
+  balance_into(thread_demand, core_demand);
+  return core_demand;
+}
+
+void Scheduler::balance_into(std::span<const double> thread_demand,
+                             std::span<double> core_demand) {
   require(static_cast<int>(thread_demand.size()) == n_threads_,
           "Scheduler::balance: demand size mismatch");
+  require(static_cast<int>(core_demand.size()) == n_cores_,
+          "Scheduler::balance: core_demand size mismatch");
 
-  std::vector<double> queue(n_cores_, 0.0);
+  std::vector<double>& queue = queue_;
+  std::fill(queue.begin(), queue.end(), 0.0);
   for (int t = 0; t < n_threads_; ++t) {
     queue[placement_[t]] += thread_demand[t];
   }
@@ -66,11 +77,9 @@ std::vector<double> Scheduler::balance(std::span<const double> thread_demand) {
     ++migrations_;
   }
 
-  std::vector<double> core_demand(n_cores_, 0.0);
   for (int c = 0; c < n_cores_; ++c) {
     core_demand[c] = std::min(1.0, queue[c] / threads_per_core_);
   }
-  return core_demand;
 }
 
 }  // namespace tac3d::sim

@@ -26,6 +26,12 @@ class Scheduler {
   /// clamped to 1).
   std::vector<double> balance(std::span<const double> thread_demand);
 
+  /// Allocation-free balance into a caller-owned vector of size
+  /// cores() — the per-step control tail uses this with persistent
+  /// session storage.
+  void balance_into(std::span<const double> thread_demand,
+                    std::span<double> core_demand);
+
   /// Threads currently assigned to each core.
   const std::vector<int>& placement() const { return placement_; }
 
@@ -41,6 +47,7 @@ class Scheduler {
   int threads_per_core_;
   double threshold_;
   std::vector<int> placement_;  ///< thread -> core
+  std::vector<double> queue_;   ///< balance_into() scratch, size n_cores_
   std::int64_t migrations_ = 0;
 };
 

@@ -187,6 +187,24 @@ double SweepReport::setup_fraction() const {
   return busy > 0.0 ? setup / busy : 0.0;
 }
 
+double SweepReport::solve_seconds_total() const {
+  double sum = 0.0;
+  for (const SweepResult& r : results_) sum += r.solve_seconds;
+  return sum;
+}
+
+double SweepReport::tail_seconds_total() const {
+  double sum = 0.0;
+  for (const SweepResult& r : results_) sum += r.tail_seconds;
+  return sum;
+}
+
+double SweepReport::tail_fraction() const {
+  const double tail = tail_seconds_total();
+  const double instrumented = tail + solve_seconds_total();
+  return instrumented > 0.0 ? tail / instrumented : 0.0;
+}
+
 std::vector<double> SweepReport::job_busy_seconds() const {
   std::vector<double> busy(static_cast<std::size_t>(std::max(1, jobs_used_)),
                            0.0);
@@ -376,6 +394,8 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     session.run_to_end();
     r.metrics = session.metrics();
     r.stepping_seconds = seconds_since(t1);
+    r.solve_seconds = session.solve_seconds();
+    r.tail_seconds = session.tail_seconds();
   };
 
   auto deliver = [&](const SweepResult& r) {
@@ -441,14 +461,19 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       compaction_total.fetch_add(batch.compaction_events(),
                                  std::memory_order_relaxed);
       const double stepping = seconds_since(t1);
+      const double solve = batch.solve_seconds();
+      const double tail = batch.tail_seconds();
       double total_steps = 0.0;
       for (int l = 0; l < lanes; ++l) total_steps += batch.lane_steps(l);
       for (int l = 0; l < lanes; ++l) {
         SweepResult& r = results[lane_slots[static_cast<std::size_t>(l)]];
         r.batch_lanes = lanes;
-        r.stepping_seconds =
-            total_steps > 0.0 ? stepping * batch.lane_steps(l) / total_steps
-                              : stepping / lanes;
+        const double share = total_steps > 0.0
+                                 ? batch.lane_steps(l) / total_steps
+                                 : 1.0 / lanes;
+        r.stepping_seconds = stepping * share;
+        r.solve_seconds = solve * share;
+        r.tail_seconds = tail * share;
         r.wall_seconds = r.setup_seconds + r.stepping_seconds;
         if (batch.lane_ok(l)) {
           r.metrics = batch.metrics(l);

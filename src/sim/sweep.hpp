@@ -69,6 +69,13 @@ struct SweepResult {
   /// Stepping time [s]: run_to_end plus metrics extraction.
   double stepping_seconds = 0.0;
   double wall_seconds = 0.0;  ///< setup_seconds + stepping_seconds
+  /// Split of the stepping time between the thermal solves and the
+  /// per-step control tail (sensors, policy, power/leakage, metrics) as
+  /// instrumented by the session / batch session. Batched lanes split
+  /// the batch totals by step counts, like stepping_seconds. Their sum
+  /// is slightly below stepping_seconds (loop overhead in between).
+  double solve_seconds = 0.0;
+  double tail_seconds = 0.0;
   int worker = -1;            ///< pool worker that ran it (0-based)
   /// Lanes of the batched lockstep job this scenario rode in (see
   /// SweepOptions::batch_width); 0 = ran on the scalar path. Batched
@@ -174,10 +181,20 @@ class SweepReport {
   /// Sum of per-scenario stepping time [s].
   double stepping_seconds_total() const;
 
+  /// Sum of per-scenario thermal-solve / control-tail time [s] (see
+  /// SweepResult::solve_seconds / tail_seconds).
+  double solve_seconds_total() const;
+  double tail_seconds_total() const;
+
   /// Fraction of per-scenario busy time spent on construction:
   /// setup / (setup + stepping), 0 for an empty report. The headline
   /// amortization metric — a warm bank drives it toward 0.
   double setup_fraction() const;
+
+  /// Fraction of instrumented stepping time spent in the control tail:
+  /// tail / (tail + solve), 0 for an empty report. Machine-independent
+  /// like setup_fraction; the lane-fused batched tail drives it down.
+  double tail_fraction() const;
 
   /// Per-worker busy time [s] (sum of scenario walls, jobs_used entries);
   /// busy/wall close to 1 for every worker means the pool was neither

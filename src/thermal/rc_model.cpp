@@ -326,6 +326,10 @@ void RcModel::set_element_powers(std::span<const double> watts) {
   require(static_cast<int>(watts.size()) == grid_.element_count(),
           "RcModel::set_element_powers: size mismatch");
   std::copy(watts.begin(), watts.end(), element_power_.begin());
+  commit_element_powers();
+}
+
+void RcModel::commit_element_powers() {
   std::fill(power_rhs_.begin(), power_rhs_.end(), 0.0);
   for (int e = 0; e < grid_.element_count(); ++e) {
     for (const auto& cw : grid_.element_cells(e)) {

@@ -111,9 +111,11 @@ TEST_P(BatchParityTest, LanesMatchScalarPathBitwise) {
   for (const Scenario& s : lanes) prepared.push_back(bank.prepare(s));
   BatchSession batch(std::move(prepared));
   // Iterative kinds batch the thermal solves; the direct solver falls
-  // back to scalar lockstep — and must be just as invisible.
+  // back to scalar lockstep — and must be just as invisible. These
+  // lanes share the floorplan, so a thermal batch also fuses its tail.
   EXPECT_EQ(batch.thermal_batched(),
             kind != sparse::SolverKind::kBandedLu);
+  EXPECT_EQ(batch.tail_fused(), batch.thermal_batched());
   batch.run_to_end();
   EXPECT_TRUE(batch.done());
 
@@ -200,6 +202,9 @@ TEST(BatchSession, ThrowingLaneLeavesOtherLanesIntact) {
       std::make_unique<ThrowAfterPolicy>(std::move(prepared[1].policy), 5);
   BatchSession batch(std::move(prepared));
   EXPECT_TRUE(batch.thermal_batched());
+  // The wrapped lane is not a FuzzyFlowDvfsPolicy, so it decides on the
+  // per-lane path inside the fused tail — fusion itself stays on.
+  EXPECT_TRUE(batch.tail_fused());
   batch.run_to_end();
   EXPECT_TRUE(batch.done());
 
@@ -208,6 +213,63 @@ TEST(BatchSession, ThrowingLaneLeavesOtherLanesIntact) {
   for (const int l : {0, 2, 3}) {
     expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
                         "surviving lane " + std::to_string(l));
+  }
+}
+
+TEST(BatchSession, AirCooledLanesFuseTailAndMatchScalar) {
+  // Air-cooled stacks take the no-pump branches of the tail (no flow
+  // application, no pump energy); the fused tail must still be bitwise
+  // the scalar path there.
+  std::vector<Scenario> lanes = {
+      lane_scenario(PolicyKind::kAcLb, power::WorkloadKind::kWebServer, 1),
+      lane_scenario(PolicyKind::kAcTdvfsLb, power::WorkloadKind::kDatabase,
+                    2),
+      lane_scenario(PolicyKind::kAcLb, power::WorkloadKind::kMixed, 3, 12),
+  };
+  for (Scenario& s : lanes) {
+    s.sim.solver = sparse::SolverKind::kBicgstabIlu0;
+  }
+  ScenarioBank bank;
+  const std::vector<LaneReference> refs = scalar_reference(bank, lanes);
+
+  std::vector<PreparedScenario> prepared;
+  for (const Scenario& s : lanes) prepared.push_back(bank.prepare(s));
+  BatchSession batch(std::move(prepared));
+  EXPECT_TRUE(batch.thermal_batched());
+  EXPECT_TRUE(batch.tail_fused());
+  batch.run_to_end();
+  for (int l = 0; l < batch.lanes(); ++l) {
+    expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
+                        "air lane " + std::to_string(l));
+  }
+}
+
+TEST(BatchSession, AllFuzzyBatchSharesInferenceBitwise) {
+  // Every lane is LC_FUZZY, so the fused tail routes all of them through
+  // FuzzyFlowDvfsPolicy::decide_batch — one shared Mamdani inference
+  // pass per step — which must not move a bit on any lane.
+  std::vector<Scenario> lanes = {
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kWebServer, 1),
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kDatabase, 2),
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kMixed, 3),
+      lane_scenario(PolicyKind::kLcFuzzy, power::WorkloadKind::kWebServer, 4,
+                    12),
+  };
+  for (Scenario& s : lanes) {
+    s.sim.solver = sparse::SolverKind::kBicgstabIlu0;
+  }
+  ScenarioBank bank;
+  const std::vector<LaneReference> refs = scalar_reference(bank, lanes);
+
+  std::vector<PreparedScenario> prepared;
+  for (const Scenario& s : lanes) prepared.push_back(bank.prepare(s));
+  BatchSession batch(std::move(prepared));
+  EXPECT_TRUE(batch.thermal_batched());
+  EXPECT_TRUE(batch.tail_fused());
+  batch.run_to_end();
+  for (int l = 0; l < batch.lanes(); ++l) {
+    expect_lane_matches(batch, l, refs[static_cast<std::size_t>(l)],
+                        "fuzzy lane " + std::to_string(l));
   }
 }
 

@@ -3,6 +3,11 @@
 // including steps that follow a flow-rate change (matrix value update +
 // in-place refactorization) — for every SolverKind.
 //
+// The same hook also guards the simulation layer above the solver: a
+// SimulationSession's per-step control tail (sampling, load balancing,
+// policy, power/leakage, sensors, metrics) and a BatchSession's
+// lane-fused batched tail must both run allocation-free once warm.
+//
 // The hook replaces the global operator new/delete with counting
 // wrappers. Counting is scoped: only allocations between
 // AllocCounter::start() and AllocCounter::stop() are recorded, so gtest
@@ -18,6 +23,9 @@
 
 #include "arch/mpsoc.hpp"
 #include "microchannel/pump.hpp"
+#include "sim/bank.hpp"
+#include "sim/batch.hpp"
+#include "sim/experiment.hpp"
 #include "thermal/operator.hpp"
 #include "thermal/transient.hpp"
 
@@ -158,6 +166,57 @@ TEST(ThermalOperatorAlloc, UpdateFlowIsAllocationFree) {
   EXPECT_EQ(allocs, 0)
       << "ThermalOperator::update_flow (and RcModel's indexed "
          "apply_cavity_flow) must not allocate";
+}
+
+sim::Scenario session_scenario(sim::PolicyKind policy, std::uint64_t seed) {
+  sim::Scenario s;
+  s.tiers = 2;
+  s.policy = policy;
+  s.workload = power::WorkloadKind::kWebServer;
+  s.seed = seed;
+  s.trace_seconds = 30;
+  s.grid = thermal::GridOptions{8, 8};
+  return s;
+}
+
+TEST(SessionAlloc, ScalarStepLoopIsAllocationFree) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  // LC_FUZZY covers the most allocation-prone tail: fuzzy inference,
+  // flow modulation (matrix refresh) and pump-energy accounting.
+  sim::ScenarioInstance inst =
+      sim::instantiate(session_scenario(sim::PolicyKind::kLcFuzzy, 1));
+  sim::SimulationSession session = inst.session();
+  for (int i = 0; i < 3; ++i) session.step();  // settle lazy first-use work
+
+  AllocCounter::start();
+  for (int i = 0; i < 10; ++i) session.step();
+  const long long allocs = AllocCounter::stop();
+  EXPECT_EQ(allocs, 0)
+      << "SimulationSession::step() must not allocate once warm";
+}
+
+TEST(SessionAlloc, BatchedFusedTailIsAllocationFree) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  sim::ScenarioBank bank;
+  std::vector<sim::PreparedScenario> prepared;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    prepared.push_back(
+        bank.prepare(session_scenario(sim::PolicyKind::kLcFuzzy, seed)));
+  }
+  sim::BatchSession batch(std::move(prepared));
+  ASSERT_TRUE(batch.thermal_batched());
+  ASSERT_TRUE(batch.tail_fused());
+  for (int i = 0; i < 3; ++i) batch.step();  // settle lazy first-use work
+
+  AllocCounter::start();
+  for (int i = 0; i < 10; ++i) batch.step();
+  const long long allocs = AllocCounter::stop();
+  EXPECT_EQ(allocs, 0)
+      << "the lane-fused batched tail must not allocate once warm";
 }
 
 TEST(RhsInto, FusedRhsPlusScaledMatchesTwoPassBuild) {
