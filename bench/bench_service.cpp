@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "sim/bank.hpp"
@@ -91,16 +92,6 @@ std::vector<Request> make_requests() {
     }
   }
   return requests;
-}
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const double rank = p * static_cast<double>(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
 /// Key for bitwise comparison: scenario label -> metrics.
@@ -190,7 +181,10 @@ int main() {
   const sim::BankCounters warm_counters = server.service().bank()->counters();
 
   MetricsByLabel service_metrics;
-  std::vector<double> ttfr_ms;  ///< per-request time to first result
+  // Per-request time to first result, recorded into the shared obs
+  // histogram: exact interpolated quantiles at this sample count, one
+  // quantile implementation for benches and the live service alike.
+  obs::Histogram ttfr_hist;
   std::mutex collect_mu;
   std::atomic<std::size_t> next{0};
   bench::Stopwatch service_watch;
@@ -210,7 +204,7 @@ int main() {
               if (first_ms < 0.0) first_ms = req_watch.millis();
             });
         std::lock_guard<std::mutex> lk(collect_mu);
-        ttfr_ms.push_back(first_ms);
+        ttfr_hist.record(first_ms);
         for (std::size_t k = 0; k < out.results.size(); ++k) {
           const auto& res = out.results[k];
           const auto& scenario =
@@ -245,9 +239,9 @@ int main() {
   bench::result_line("service requests/s", service_rps, "req/s");
   bench::result_line("service scenarios/s", service_sps, "scen/s");
   bench::result_line("service/direct ratio", service_rps / direct_rps, "x");
-  bench::result_line("time-to-first-result p50", percentile(ttfr_ms, 0.50),
+  bench::result_line("time-to-first-result p50", ttfr_hist.quantile(0.50),
                      "ms");
-  bench::result_line("time-to-first-result p99", percentile(ttfr_ms, 0.99),
+  bench::result_line("time-to-first-result p99", ttfr_hist.quantile(0.99),
                      "ms");
   std::cout << "  bitwise identical to direct run_sweep: "
             << (bitwise_identical ? "yes" : "NO") << " (" << compared
@@ -278,8 +272,8 @@ int main() {
       .set("service_requests_per_sec", service_rps)
       .set("service_direct_requests_per_sec", direct_rps)
       .set("service_scenarios_per_sec", service_sps)
-      .set("p50_ttfr_ms", percentile(ttfr_ms, 0.50))
-      .set("p99_ttfr_ms", percentile(ttfr_ms, 0.99))
+      .set("p50_ttfr_ms", ttfr_hist.quantile(0.50))
+      .set("p99_ttfr_ms", ttfr_hist.quantile(0.99))
       .set("bitwise_identical", bitwise_identical ? 1 : 0)
       .set("bank", bank_json);
   bench::write_json("BENCH_service.json", json);

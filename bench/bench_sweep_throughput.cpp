@@ -34,6 +34,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "sim/bank.hpp"
 #include "sim/sweep.hpp"
 
@@ -133,6 +134,17 @@ int main() {
   const sim::SweepReport compile = run(1, true, bank);  // first touch
   const sim::SweepReport cached = run(1, true, bank);   // warm bank
 
+  // Telemetry A/B on the same warm bank: the registry is compiled in
+  // unconditionally, so the honest overhead measurement is publication
+  // enabled vs disabled within one binary. check_bench_regression.py
+  // gates telemetry_overhead_ratio >= 0.97.
+  obs::set_metrics_enabled(false);
+  const sim::SweepReport telem_off = run(1, true, bank);
+  obs::set_metrics_enabled(true);
+  const obs::Snapshot snap_before = obs::snapshot();
+  const sim::SweepReport telem_on = run(1, true, bank);
+  const obs::Snapshot phases = obs::snapshot().since(snap_before);
+
   // On a single-core host the parallel leg cannot measure concurrency —
   // two workers would just timeshare the core and the leg reads as a
   // regression. Skip it there: reuse the warm serial report for its
@@ -171,8 +183,9 @@ int main() {
   const sim::SweepReport fserial = run_fuzzyset(1);
   const sim::SweepReport fbatched = run_fuzzyset(0);  // auto width
 
-  for (const auto* r : {&cold, &compile, &cached, &parallel, &bserial,
-                        &bbatched, &fserial, &fbatched}) {
+  for (const auto* r : {&cold, &compile, &cached, &parallel, &telem_off,
+                        &telem_on, &bserial, &bbatched, &fserial,
+                        &fbatched}) {
     if (!r->all_ok()) {
       for (const auto& e : r->errors()) std::cerr << "ERROR: " << e << '\n';
       return 1;
@@ -181,8 +194,14 @@ int main() {
   const bool bitwise_ok = same_metrics(cold, compile) &&
                           same_metrics(cold, cached) &&
                           same_metrics(cold, parallel) &&
+                          same_metrics(cold, telem_off) &&
+                          same_metrics(cold, telem_on) &&
                           same_metrics(bserial, bbatched) &&
                           same_metrics(fserial, fbatched);
+
+  const double telem_off_per_sec = telem_off.size() / telem_off.wall_seconds();
+  const double telem_on_per_sec = telem_on.size() / telem_on.wall_seconds();
+  const double telem_ratio = telem_on_per_sec / telem_off_per_sec;
 
   int batched_lanes_max = 0;
   int batched_count = 0;
@@ -215,6 +234,8 @@ int main() {
   add("serial, no caches", cold);
   add("serial, bank compile (cold)", compile);
   add("serial, bank warm", cached);
+  add("serial, warm, telemetry off", telem_off);
+  add("serial, warm, telemetry on", telem_on);
   add(run_parallel ? "parallel, bank warm"
                    : "parallel, bank warm (skipped: 1 core)",
       parallel);
@@ -224,6 +245,22 @@ int main() {
   add("serial batched, warm (fuzzy group)", fbatched);
   std::cout << t << '\n';
 
+  bench::result_line("Telemetry overhead ratio (on/off, warm serial)",
+                     telem_ratio, "x");
+  // Phase breakdown straight from the registry snapshot delta of the
+  // telemetry-on leg: where the sweep's wall time went, as published by
+  // the sessions themselves.
+  {
+    std::cout << "  Registry phase breakdown (telemetry-on leg):";
+    for (const char* name :
+         {"sweep/setup_seconds", "sweep/stepping_seconds",
+          "sweep/solve_seconds", "sweep/tail_seconds"}) {
+      const auto it = phases.histograms.find(name);
+      if (it == phases.histograms.end()) continue;
+      std::cout << " " << name << "=" << fmt(it->second.sum(), 2) << "s";
+    }
+    std::cout << '\n';
+  }
   bench::result_line("Batched scenarios/s", batched_per_sec, "scn/s");
   bench::result_line("Batched vs serial (warm, same matrix)", batched_ratio,
                      "x");
@@ -271,6 +308,32 @@ int main() {
   std::cout << "\n  Metrics bitwise identical across all runs: "
             << (bitwise_ok ? "yes" : "NO — BUG") << "\n\n";
 
+  // The telemetry-on leg's registry delta as a machine-readable phase
+  // breakdown (seconds by phase plus the headline counters), so
+  // dashboards can track where sweep time goes without re-deriving it
+  // from per-leg wall clocks.
+  bench::JsonObject phase_json;
+  {
+    const auto phase_sum = [&](const char* name) {
+      const auto it = phases.histograms.find(name);
+      return it == phases.histograms.end() ? 0.0 : it->second.sum();
+    };
+    const auto phase_count = [&](const char* name) {
+      const auto it = phases.counters.find(name);
+      return it == phases.counters.end()
+                 ? std::int64_t{0}
+                 : static_cast<std::int64_t>(it->second);
+    };
+    phase_json.set("setup_seconds", phase_sum("sweep/setup_seconds"))
+        .set("stepping_seconds", phase_sum("sweep/stepping_seconds"))
+        .set("solve_seconds", phase_sum("sweep/solve_seconds"))
+        .set("tail_seconds", phase_sum("sweep/tail_seconds"))
+        .set("steps", phase_count("sweep/steps"))
+        .set("solver_solves", phase_count("solver/solves"))
+        .set("solver_iterations", phase_count("solver/iterations"))
+        .set("predictor_hits", phase_count("predictor/hits"));
+  }
+
   bench::JsonObject root;
   root.set("bench", "bench_sweep_throughput")
       .set("scenarios", static_cast<int>(scenarios.size()))
@@ -293,6 +356,10 @@ int main() {
       .set("serial_cached_stepping_seconds", cached.stepping_seconds_total())
       .set("serial_cached_setup_fraction", cached.setup_fraction())
       .set("parallel_cached_setup_fraction", parallel.setup_fraction())
+      .set("telemetry_off_per_sec", telem_off_per_sec)
+      .set("telemetry_on_per_sec", telem_on_per_sec)
+      .set("telemetry_overhead_ratio", telem_ratio)
+      .set("registry_phases", phase_json)
       .set("batchset_scenarios", static_cast<int>(bscenarios.size()))
       .set("batched_serial_baseline_per_sec", batched_baseline_per_sec)
       .set("batched_per_sec", batched_per_sec)
@@ -332,12 +399,13 @@ int main() {
       .set("bitwise_identical", bitwise_ok ? "yes" : "no");
   bench::write_json("BENCH_sweep.json", root);
 
-  const std::size_t matrix_legs = run_parallel ? 4 : 3;  // parallel may skip
+  const std::size_t matrix_legs = run_parallel ? 6 : 5;  // parallel may skip
   bench::sweep_footer(
       scenarios.size() * matrix_legs + bscenarios.size() * 3 +
           fscenarios.size() * 3,
       parallel.jobs_used(),
       cold.wall_seconds() + compile.wall_seconds() + cached.wall_seconds() +
+          telem_off.wall_seconds() + telem_on.wall_seconds() +
           (run_parallel ? parallel.wall_seconds() : 0.0) +
           bserial.wall_seconds() + bbatched.wall_seconds() +
           fserial.wall_seconds() + fbatched.wall_seconds());

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "power/workloads.hpp"
 #include "sim/sweep.hpp"
 
@@ -42,26 +43,10 @@ inline void result_line(const std::string& name, double value,
   std::cout << '\n';
 }
 
-/// Wall-clock stopwatch shared by the bench binaries.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-
-  void reset() { start_ = std::chrono::steady_clock::now(); }
-
-  /// Elapsed wall time [s].
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
-  /// Elapsed wall time [ms].
-  double millis() const { return seconds() * 1e3; }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Wall-clock stopwatch shared by the bench binaries: the obs layer's
+/// steady-clock stopwatch (monotonicity asserted there), so every
+/// bench and the telemetry subsystem read one clock source.
+using Stopwatch = obs::Stopwatch;
 
 /// Print the standard sweep footer: how many scenarios ran, on how many
 /// workers, in how much wall time.

@@ -23,6 +23,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -103,6 +104,7 @@ int what_if(const std::string& host, int port) {
 }
 
 int status(const std::string& host, int port) {
+  using namespace tac3d;
   using namespace tac3d::service;
   ServiceClient client;
   client.connect(host, port);
@@ -120,6 +122,27 @@ int status(const std::string& host, int port) {
             << st.bank_steady_hits << "/"
             << st.bank_steady_hits + st.bank_steady_misses << " hits"
             << std::endl;
+
+  // Live registry snapshot over the same connection: queue depth and
+  // the latency histograms the StatusMsg cannot carry.
+  const protocol::MetricsMsg metrics = client.query_metrics();
+  for (const protocol::MetricEntryMsg& e : metrics.entries) {
+    if (e.kind != protocol::MetricEntryMsg::kHistogram) continue;
+    if (e.name != "service/ttfr_ms" && e.name != "service/admission_wait_ms")
+      continue;
+    const obs::Histogram h =
+        obs::Histogram::from_parts(e.count, e.value, e.min, e.max, e.buckets);
+    std::cout << e.name << ": n=" << h.count() << " mean="
+              << fmt(h.mean(), 2) << " p50=" << fmt(h.quantile(0.5), 2)
+              << " p99=" << fmt(h.quantile(0.99), 2) << " max="
+              << fmt(h.max(), 2) << " ms" << std::endl;
+  }
+  for (const protocol::MetricEntryMsg& e : metrics.entries) {
+    if (e.kind == protocol::MetricEntryMsg::kGauge &&
+        e.name == "service/queue_depth") {
+      std::cout << "queue depth: " << e.value << std::endl;
+    }
+  }
   return 0;
 }
 

@@ -1,0 +1,149 @@
+// tac3d_top: live introspection of a running tac3d_serve.
+//
+// Queries the server's metrics registry over the wire protocol
+// (kQueryMetrics) and renders it as a table: queue depth and core
+// gauges, per-tier bank hit rates, solver/predictor counters, and the
+// latency histograms (TTFR, admission wait) with interpolated
+// quantiles.
+//
+//   ./build/tac3d_top HOST PORT              # one snapshot
+//   ./build/tac3d_top HOST PORT --watch N    # re-query every N seconds
+//
+// In watch mode counters are also shown as deltas per interval, so a
+// busy server reads like `top`: scenarios/s, hits/s.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+using tac3d::fmt;
+namespace proto = tac3d::service::protocol;
+
+struct View {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, tac3d::obs::Histogram> histograms;
+};
+
+View parse(const proto::MetricsMsg& msg) {
+  View v;
+  for (const proto::MetricEntryMsg& e : msg.entries) {
+    switch (e.kind) {
+      case proto::MetricEntryMsg::kCounter:
+        v.counters[e.name] = e.count;
+        break;
+      case proto::MetricEntryMsg::kGauge:
+        v.gauges[e.name] = e.value;
+        break;
+      case proto::MetricEntryMsg::kHistogram:
+        v.histograms[e.name] = tac3d::obs::Histogram::from_parts(
+            e.count, e.value, e.min, e.max, e.buckets);
+        break;
+      default:
+        break;
+    }
+  }
+  return v;
+}
+
+double rate_of(const View& now, const View& prev, const std::string& name,
+               double dt) {
+  if (dt <= 0.0) return 0.0;
+  const auto a = now.counters.find(name);
+  const auto b = prev.counters.find(name);
+  if (a == now.counters.end() || b == prev.counters.end()) return 0.0;
+  return static_cast<double>(a->second - b->second) / dt;
+}
+
+void hit_rate_row(const View& v, const std::string& tier) {
+  const auto hit = v.counters.find("bank/" + tier + "_hits");
+  const auto miss = v.counters.find("bank/" + tier + "_misses");
+  if (hit == v.counters.end() && miss == v.counters.end()) return;
+  const std::uint64_t h = hit == v.counters.end() ? 0 : hit->second;
+  const std::uint64_t m = miss == v.counters.end() ? 0 : miss->second;
+  const std::uint64_t total = h + m;
+  std::cout << "  " << tier << ": " << h << "/" << total;
+  if (total > 0) {
+    std::cout << " (" << fmt(100.0 * static_cast<double>(h) /
+                                 static_cast<double>(total),
+                             1)
+              << "% warm)";
+  }
+  std::cout << "\n";
+}
+
+void render(const View& v, const View* prev, double dt) {
+  std::cout << "-- gauges --------------------------------------\n";
+  for (const auto& [name, value] : v.gauges) {
+    std::cout << "  " << name << ": " << fmt(value, 0) << "\n";
+  }
+  std::cout << "-- bank hit rates ------------------------------\n";
+  hit_rate_row(v, "trace");
+  hit_rate_row(v, "model");
+  hit_rate_row(v, "steady");
+  std::cout << "-- histograms ----------------------------------\n";
+  for (const auto& [name, h] : v.histograms) {
+    if (h.count() == 0) continue;
+    std::cout << "  " << name << ": n=" << h.count() << " mean="
+              << fmt(h.mean(), 3) << " p50=" << fmt(h.quantile(0.5), 3)
+              << " p90=" << fmt(h.quantile(0.9), 3) << " p99="
+              << fmt(h.quantile(0.99), 3) << " max=" << fmt(h.max(), 3)
+              << "\n";
+  }
+  std::cout << "-- counters ------------------------------------\n";
+  for (const auto& [name, value] : v.counters) {
+    std::cout << "  " << name << ": " << value;
+    if (prev != nullptr) {
+      std::cout << "  (" << fmt(rate_of(v, *prev, name, dt), 1) << "/s)";
+    }
+    std::cout << "\n";
+  }
+  std::cout.flush();
+}
+
+int usage() {
+  std::cerr << "usage: tac3d_top HOST PORT [--watch SECONDS]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  double watch = 0.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--watch" && i + 1 < argc) {
+      watch = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    tac3d::service::ServiceClient client;
+    client.connect(host, port);
+    View prev = parse(client.query_metrics());
+    render(prev, nullptr, 0.0);
+    while (watch > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(watch));
+      const View now = parse(client.query_metrics());
+      std::cout << "\n";
+      render(now, &prev, watch);
+      prev = now;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "tac3d_top: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -63,6 +63,13 @@ RATIO_GATES = {
 
 ABSOLUTE_FLOOR = 0.30  # fresh/baseline below this always fails
 
+# Telemetry must be near-free: the warm-serial sweep with metrics
+# publication enabled must sustain at least this fraction of the same
+# binary's publication-disabled throughput. The A/B runs inside one
+# bench invocation, so the ratio is machine-independent and gated
+# against this absolute floor, not against the baseline file.
+TELEMETRY_OVERHEAD_FLOOR = 0.97
+
 # Additive slack of the setup_fraction / tail_fraction ceilings:
 # fractions this close to the baseline are timer noise on
 # sub-millisecond phases, not a cost regression.
@@ -153,6 +160,21 @@ def check(baseline_path, fresh_path, threshold):
         print(f"  {leaf_name(key)}/{ref_name} [{scope}]: "
               f"{base_ratio:.4g} -> {fresh_ratio:.4g} ({rel:.2f}x){flag}")
 
+    telemetry = [(k, v) for k, v in sorted(fresh.items())
+                 if leaf_name(k) == "telemetry_overhead_ratio"]
+    if telemetry:
+        print(f"\nTelemetry overhead gate (absolute, on/off >= "
+              f"{TELEMETRY_OVERHEAD_FLOOR:.2f}x):")
+        for key, value in telemetry:
+            flag = ""
+            if value < TELEMETRY_OVERHEAD_FLOOR:
+                failures.append(
+                    f"{key}: {value:.4g} below telemetry overhead floor "
+                    f"{TELEMETRY_OVERHEAD_FLOOR:.2f} (registry publication "
+                    f"is no longer near-free)")
+                flag = "  << OVERHEAD"
+            print(f"  {key}: {value:.4g}{flag}")
+
     if failures:
         print("\nThroughput regressions detected:", file=sys.stderr)
         for f in failures:
@@ -177,6 +199,7 @@ def self_test():
         "service_direct_requests_per_sec": 17.0,
         "p99_ttfr_ms": 100.0,
         "batched_tail_fraction": 0.20,
+        "telemetry_overhead_ratio": 0.99,
     }
     collapsed = dict(healthy, service_requests_per_sec=5.0)
     missing = {k: v for k, v in healthy.items()
@@ -184,6 +207,10 @@ def self_test():
     # Ceiling at threshold 0.30: 0.20 * 1.30 + 0.05 = 0.31.
     tail_ok = dict(healthy, batched_tail_fraction=0.30)
     tail_creep = dict(healthy, batched_tail_fraction=0.40)
+    # The telemetry gate is absolute (floor 0.97), so the fresh value
+    # alone decides: 0.975 squeaks by, 0.90 fails.
+    telem_ok = dict(healthy, telemetry_overhead_ratio=0.975)
+    telem_slow = dict(healthy, telemetry_overhead_ratio=0.90)
 
     cases = [
         ("healthy fresh run passes", healthy, healthy, 0),
@@ -191,6 +218,8 @@ def self_test():
         ("gated metric missing from fresh run fails", healthy, missing, 1),
         ("tail fraction within ceiling passes", healthy, tail_ok, 0),
         ("tail fraction past ceiling fails", healthy, tail_creep, 1),
+        ("telemetry overhead above floor passes", healthy, telem_ok, 0),
+        ("telemetry overhead below floor fails", healthy, telem_slow, 1),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:

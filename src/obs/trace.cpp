@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tac3d::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;  // static storage (see trace.hpp)
+  std::int64_t ts_ns;
+  char phase;  // 'B' or 'E'
+};
+
+/// Per-thread event buffer. Owned by the global collector so a
+/// thread's events survive its exit until the next flush; the tiny
+/// per-append mutex is uncontended (one owner thread) except during
+/// flush, which visits quiescent buffers.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::string path;
+  int next_tid = 1;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector;  // immortal (thread-exit safe)
+  return *c;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ThreadBuf* thread_buf() {
+  thread_local ThreadBuf* tb = [] {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto owned = std::make_unique<ThreadBuf>();
+    owned->tid = c.next_tid++;
+    ThreadBuf* raw = owned.get();
+    c.bufs.push_back(std::move(owned));
+    return raw;
+  }();
+  return tb;
+}
+
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("TAC3D_TRACE"); path && *path) {
+    trace_begin(path);
+    std::atexit(trace_end);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void trace_emit(const char* name, char phase) {
+  ThreadBuf* tb = thread_buf();
+  const std::int64_t ts = now_ns();
+  std::lock_guard<std::mutex> lock(tb->mu);
+  tb->events.push_back(Event{name, ts, phase});
+}
+
+}  // namespace detail
+
+void trace_begin(const std::string& path) {
+  (void)g_env_init;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.path = path;
+  for (auto& tb : c.bufs) {
+    std::lock_guard<std::mutex> tlock(tb->mu);
+    tb->events.clear();
+  }
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+void trace_end() {
+  if (!trace_enabled()) return;
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::FILE* f = std::fopen(c.path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "tac3d: cannot write trace to %s\n",
+                 c.path.c_str());
+    return;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  for (auto& tb : c.bufs) {
+    std::lock_guard<std::mutex> tlock(tb->mu);
+    for (const Event& e : tb->events) {
+      // Chrome trace ts is microseconds; keep ns resolution as a
+      // fractional part.
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"cat\":\"tac3d\",\"ph\":\"%c\","
+                   "\"ts\":%lld.%03lld,\"pid\":1,\"tid\":%d}",
+                   first ? "" : ",", e.name, e.phase,
+                   static_cast<long long>(e.ts_ns / 1000),
+                   static_cast<long long>(e.ts_ns % 1000), tb->tid);
+      first = false;
+    }
+    tb->events.clear();
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+}
+
+}  // namespace tac3d::obs

@@ -1,0 +1,63 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Structured tracing: scoped spans flushed as Chrome
+/// trace-event JSON (load the file in Perfetto or chrome://tracing).
+///
+/// Enable by environment — TAC3D_TRACE=out.json traces the whole
+/// process and flushes at exit — or programmatically with
+/// trace_begin(path) / trace_end(). When tracing is off a TraceSpan is
+/// one relaxed load and a predictable branch: no clock read, no
+/// buffer, no allocation (the counting-operator-new suites run with
+/// tracing off and keep asserting the warm step loop allocates
+/// nothing).
+///
+/// Span names must have static storage duration (string literals):
+/// events store the pointer, not a copy. Spans are RAII, so each
+/// thread's B/E events form a properly nested stack; flush happens at
+/// trace_end() (or exit), which expects in-flight spans to have
+/// closed — trace from quiescent points.
+
+#include <atomic>
+#include <string>
+
+namespace tac3d::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+void trace_emit(const char* name, char phase);
+}  // namespace detail
+
+/// Is a trace being collected right now?
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// Start collecting spans; the JSON lands at \p path on trace_end().
+/// Discards any events from a previous collection.
+void trace_begin(const std::string& path);
+
+/// Stop collecting and flush the JSON. No-op when not tracing.
+void trace_end();
+
+/// RAII duration span ("B"/"E" event pair on this thread's timeline).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!trace_enabled()) {
+      name_ = nullptr;
+      return;
+    }
+    name_ = name;
+    detail::trace_emit(name, 'B');
+  }
+  ~TraceSpan() {
+    if (name_) detail::trace_emit(name_, 'E');
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+};
+
+}  // namespace tac3d::obs

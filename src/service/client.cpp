@@ -204,6 +204,14 @@ proto::StatusMsg ServiceClient::query_status() {
   return std::get<proto::StatusMsg>(reply);
 }
 
+proto::MetricsMsg ServiceClient::query_metrics() {
+  send(proto::QueryMetricsMsg{});
+  const proto::Message reply = read_matching([](const proto::Message& m) {
+    return std::holds_alternative<proto::MetricsMsg>(m);
+  });
+  return std::get<proto::MetricsMsg>(reply);
+}
+
 bool ServiceClient::cancel(std::uint32_t job_id) {
   proto::CancelMsg req;
   req.job_id = job_id;

@@ -77,6 +77,10 @@ class ServiceClient {
 
   protocol::StatusMsg query_status();
 
+  /// Live registry snapshot (queue depth, bank hit rates, TTFR/
+  /// admission histograms) streamed as kMetrics.
+  protocol::MetricsMsg query_metrics();
+
   /// Request cancellation of \p job_id. The job's stream still ends with
   /// kSweepComplete (was_cancelled); an unknown id yields an ErrorMsg,
   /// returned as false.

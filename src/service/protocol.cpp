@@ -229,6 +229,43 @@ sim::SimMetrics decode_metrics(Reader& r) {
   return m;
 }
 
+void encode_metric_entry(Writer& w, const MetricEntryMsg& e) {
+  w.str(e.name);
+  w.u8(e.kind);
+  w.u64(e.count);
+  w.f64(e.value);
+  w.f64(e.min);
+  w.f64(e.max);
+  w.u32(static_cast<std::uint32_t>(e.buckets.size()));
+  for (const auto& [idx, c] : e.buckets) {
+    w.u8(idx);
+    w.u64(c);
+  }
+}
+
+MetricEntryMsg decode_metric_entry(Reader& r) {
+  MetricEntryMsg e;
+  e.name = r.str();
+  e.kind = r.u8();
+  e.count = r.u64();
+  e.value = r.f64();
+  e.min = r.f64();
+  e.max = r.f64();
+  if (r.ok() && e.kind > MetricEntryMsg::kHistogram) {
+    r.fail(DecodeError::kBadValue);
+    return e;
+  }
+  // Each bucket is 9 bytes, so a truthful count cannot outrun the
+  // payload; the cap bounds what a hostile one may reserve.
+  const std::uint32_t n = r.count(kMaxMetricBuckets);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint8_t idx = r.u8();
+    const std::uint64_t c = r.u64();
+    e.buckets.emplace_back(idx, c);
+  }
+  return e;
+}
+
 }  // namespace
 
 const char* decode_error_name(DecodeError e) {
@@ -265,6 +302,10 @@ MsgType msg_type(const Message& msg) {
     MsgType operator()(const DrainCompleteMsg&) {
       return MsgType::kDrainComplete;
     }
+    MsgType operator()(const QueryMetricsMsg&) {
+      return MsgType::kQueryMetrics;
+    }
+    MsgType operator()(const MetricsMsg&) { return MsgType::kMetrics; }
   };
   return std::visit(Visitor{}, msg);
 }
@@ -336,6 +377,11 @@ std::vector<std::uint8_t> encode_frame(const Message& msg) {
       w.str(m.text);
     }
     void operator()(const DrainCompleteMsg& m) { w.u64(m.scenarios_finished); }
+    void operator()(const QueryMetricsMsg&) {}
+    void operator()(const MetricsMsg& m) {
+      w.u32(static_cast<std::uint32_t>(m.entries.size()));
+      for (const MetricEntryMsg& e : m.entries) encode_metric_entry(w, e);
+    }
   };
   std::visit(Visitor{w}, msg);
 
@@ -467,6 +513,18 @@ Decoded decode_payload(std::span<const std::uint8_t> payload) {
       DrainCompleteMsg m;
       m.scenarios_finished = r.u64();
       d.msg = m;
+      break;
+    }
+    case MsgType::kQueryMetrics:
+      d.msg = QueryMetricsMsg{};
+      break;
+    case MsgType::kMetrics: {
+      MetricsMsg m;
+      const std::uint32_t n = r.count(kMaxMetricEntries);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        m.entries.push_back(decode_metric_entry(r));
+      }
+      d.msg = std::move(m);
       break;
     }
     default:

@@ -41,7 +41,7 @@ namespace tac3d::service::protocol {
 /// Protocol version carried by every frame; a mismatch is rejected with
 /// DecodeError::kVersionMismatch (no negotiation — the service and its
 /// clients ship from one tree).
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Maximum payload bytes of one frame. Generous for the largest real
 /// message (a submit of kMaxScenariosPerSubmit scenarios) while keeping
@@ -63,6 +63,7 @@ enum class MsgType : std::uint8_t {
   kQueryStatus = 3,    ///< server/bank/admission counters
   kCancel = 4,         ///< cancel one job (pending scenarios are skipped)
   kShutdownDrain = 5,  ///< finish accepted work, then shut down
+  kQueryMetrics = 6,   ///< live registry snapshot (obs counters/histograms)
   // responses
   kSubmitAck = 64,       ///< job id + admitted-or-queued
   kScenarioResult = 65,  ///< one scenario's metrics, streamed on finish
@@ -70,6 +71,7 @@ enum class MsgType : std::uint8_t {
   kStatus = 67,          ///< answer to kQueryStatus
   kError = 68,           ///< typed rejection (decode or service level)
   kDrainComplete = 69,   ///< all accepted work finished; server stopping
+  kMetrics = 70,         ///< answer to kQueryMetrics
 };
 
 /// Typed decode failures. Values double as wire error codes (ErrorMsg).
@@ -164,10 +166,36 @@ struct DrainCompleteMsg {
   std::uint64_t scenarios_finished = 0;  ///< completed over the server's life
 };
 
+struct QueryMetricsMsg {};
+
+/// One metric of a registry snapshot on the wire.
+struct MetricEntryMsg {
+  /// Kinds; range-validated on decode (kBadValue past kHistogram).
+  enum : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+  std::string name;        ///< registry name, e.g. "service/ttfr_ms"
+  std::uint8_t kind = kCounter;
+  std::uint64_t count = 0; ///< counter value / histogram sample count
+  double value = 0.0;      ///< gauge value / histogram sum
+  double min = 0.0, max = 0.0;  ///< histogram extremes (0 otherwise)
+  /// Sparse non-empty histogram buckets: (obs::Histogram index, count).
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> buckets;
+};
+
+/// Maximum entries of one kMetrics frame / buckets of one entry (the
+/// truthful counts cannot outrun the payload cap, but the bounds keep
+/// a hostile count from reserving memory up front).
+inline constexpr std::uint32_t kMaxMetricEntries = 1024;
+inline constexpr std::uint32_t kMaxMetricBuckets = 128;
+
+struct MetricsMsg {
+  std::vector<MetricEntryMsg> entries;
+};
+
 using Message =
     std::variant<SubmitSweepMsg, WhatIfMsg, QueryStatusMsg, CancelMsg,
-                 ShutdownDrainMsg, SubmitAckMsg, ScenarioResultMsg,
-                 SweepCompleteMsg, StatusMsg, ErrorMsg, DrainCompleteMsg>;
+                 ShutdownDrainMsg, QueryMetricsMsg, SubmitAckMsg,
+                 ScenarioResultMsg, SweepCompleteMsg, StatusMsg, ErrorMsg,
+                 DrainCompleteMsg, MetricsMsg>;
 
 MsgType msg_type(const Message& msg);
 

@@ -11,6 +11,8 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 
 namespace tac3d::service {
@@ -211,6 +213,7 @@ void ServiceServer::connection_loop(const std::shared_ptr<Connection>& conn) {
 
 void ServiceServer::handle_message(const std::shared_ptr<Connection>& conn,
                                    const proto::Message& msg) {
+  obs::TraceSpan request_span("service/request");
   auto submit = [&](std::uint32_t client_tag,
                     std::vector<sim::Scenario> scenarios, int cores) {
     if (scenarios.empty()) {
@@ -293,6 +296,46 @@ void ServiceServer::handle_message(const std::shared_ptr<Connection>& conn,
     out.bank_model_misses = st.bank.model_misses;
     out.bank_steady_hits = st.bank.steady_hits;
     out.bank_steady_misses = st.bank.steady_misses;
+    send_frame(*conn, out);
+  } else if (std::get_if<proto::QueryMetricsMsg>(&msg)) {
+    // Stream the registry snapshot: counters and gauges one entry
+    // each, histograms with their sparse bucket lists (tac3d_top and
+    // tac3d_serve --status reconstruct quantiles from those).
+    const obs::Snapshot snap = obs::snapshot();
+    proto::MetricsMsg out;
+    auto room = [&] {
+      return out.entries.size() < proto::kMaxMetricEntries;
+    };
+    for (const auto& [name, value] : snap.counters) {
+      if (!room()) break;
+      proto::MetricEntryMsg e;
+      e.name = name;
+      e.kind = proto::MetricEntryMsg::kCounter;
+      e.count = value;
+      out.entries.push_back(std::move(e));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      if (!room()) break;
+      proto::MetricEntryMsg e;
+      e.name = name;
+      e.kind = proto::MetricEntryMsg::kGauge;
+      e.value = value;
+      out.entries.push_back(std::move(e));
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      if (!room()) break;
+      proto::MetricEntryMsg e;
+      e.name = name;
+      e.kind = proto::MetricEntryMsg::kHistogram;
+      e.count = hist.count();
+      e.value = hist.sum();
+      e.min = hist.min();
+      e.max = hist.max();
+      e.buckets = hist.sparse_buckets();
+      if (e.buckets.size() > proto::kMaxMetricBuckets)
+        e.buckets.resize(proto::kMaxMetricBuckets);
+      out.entries.push_back(std::move(e));
+    }
     send_frame(*conn, out);
   } else if (const auto* c = std::get_if<proto::CancelMsg>(&msg)) {
     if (!service_->cancel(c->job_id)) {

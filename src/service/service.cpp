@@ -1,12 +1,43 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/prepared.hpp"
 #include "sim/sweep.hpp"
 
 namespace tac3d::service {
+
+namespace {
+
+/// Registry handles of the service's live-introspection metrics (the
+/// kQueryMetrics wire stream and tac3d_top read these by name).
+struct ServiceMetrics {
+  obs::Gauge queue_depth{"service/queue_depth"};
+  obs::Gauge active_jobs{"service/active_jobs"};
+  obs::Gauge cores_in_use{"service/cores_in_use"};
+  obs::HistogramMetric admission_wait{"service/admission_wait_ms"};
+  obs::HistogramMetric ttfr{"service/ttfr_ms"};
+  obs::Counter done{"service/scenarios_done"};
+  obs::Counter failed{"service/scenarios_failed"};
+  obs::Counter cancelled{"service/scenarios_cancelled"};
+};
+
+ServiceMetrics& sm() {
+  static ServiceMetrics m;
+  return m;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 /// One submitted request. Lifecycle: kQueued (admission FIFO) ->
 /// kRunning (cores granted, workers claim tasks in LPT order) ->
@@ -33,6 +64,9 @@ struct SweepService::Job {
   bool finalized = false;  ///< kComplete emitted; books already closed
   EventFn on_event;
   std::mutex emit_mu;
+  /// Telemetry timestamps (guarded by mu_ like the scheduling state).
+  std::chrono::steady_clock::time_point submitted{};
+  bool ttfr_recorded = false;
 
   bool claimable() const {
     return state == State::kRunning && next < order.size() &&
@@ -98,6 +132,7 @@ std::optional<SweepService::Ticket> SweepService::submit(
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (draining_ || stopping_) return std::nullopt;
+    job->submitted = std::chrono::steady_clock::now();
     job->id = next_job_id_++;
     job->cores_requested = std::clamp(
         cores_requested, 1,
@@ -227,10 +262,14 @@ void SweepService::try_admit_locked() {
     if (cores_in_use_ + grant > budget_) break;
     head->cores_granted = grant;
     head->state = Job::State::kRunning;
+    sm().admission_wait.record(ms_since(head->submitted));
     cores_in_use_ += grant;
     running_.push_back(head);
     queue_.erase(queue_.begin());
   }
+  sm().queue_depth.set(static_cast<double>(queue_.size()));
+  sm().active_jobs.set(static_cast<double>(running_.size()));
+  sm().cores_in_use.set(static_cast<double>(cores_in_use_));
 }
 
 JobEvent SweepService::finalize_locked(
@@ -243,6 +282,10 @@ JobEvent SweepService::finalize_locked(
     job->cores_granted = 0;
     try_admit_locked();
   }
+  if (job->cancelled > 0) sm().cancelled.add(job->cancelled);
+  sm().queue_depth.set(static_cast<double>(queue_.size()));
+  sm().active_jobs.set(static_cast<double>(running_.size()));
+  sm().cores_in_use.set(static_cast<double>(cores_in_use_));
   JobEvent ev;
   ev.kind = JobEvent::Kind::kComplete;
   ev.job_id = job->id;
@@ -294,6 +337,7 @@ void SweepService::worker_loop() {
     ev.job_id = job->id;
     ev.index = static_cast<std::uint32_t>(task);
     try {
+      obs::TraceSpan job_span("sweep/job");
       sim::PreparedScenario prepared =
           bank_->prepare(job->scenarios[task]);
       sim::SimulationSession session = prepared.session();
@@ -312,12 +356,18 @@ void SweepService::worker_loop() {
     {
       std::lock_guard<std::mutex> lk(mu_);
       --job->active;
+      if (!job->ttfr_recorded) {
+        job->ttfr_recorded = true;
+        sm().ttfr.record(ms_since(job->submitted));
+      }
       if (ev.ok) {
         ++job->completed;
         ++done_total_;
+        sm().done.add();
       } else {
         ++job->failed;
         ++failed_total_;
+        sm().failed.add();
       }
       if (job->finished() && !job->finalized) {
         complete = finalize_locked(job);

@@ -5,10 +5,30 @@
 
 #include "arch/niagara.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/workloads.hpp"
 #include "thermal/operator.hpp"
 
 namespace tac3d::sim {
+
+namespace {
+/// Registry mirrors of the bank's tier counters: same increment
+/// sites, uniform "bank/<tier>_{hits,misses}" names for snapshots
+/// and the service metrics stream.
+obs::Counter& tier_counter(int tier, bool hit) {
+  static obs::Counter trace_hits("bank/trace_hits");
+  static obs::Counter trace_misses("bank/trace_misses");
+  static obs::Counter model_hits("bank/model_hits");
+  static obs::Counter model_misses("bank/model_misses");
+  static obs::Counter steady_hits("bank/steady_hits");
+  static obs::Counter steady_misses("bank/steady_misses");
+  obs::Counter* all[3][2] = {{&trace_misses, &trace_hits},
+                             {&model_misses, &model_hits},
+                             {&steady_misses, &steady_hits}};
+  return *all[tier][hit ? 1 : 0];
+}
+}  // namespace
 
 ScenarioBank::ScenarioBank(std::shared_ptr<sparse::StructureCache> structures)
     : structures_(structures != nullptr
@@ -26,6 +46,7 @@ std::shared_ptr<Slot> ScenarioBank::slot(
 }
 
 PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
+  obs::TraceSpan prepare_span("bank/prepare");
   PreparedScenario p;
   p.spec = spec;
   if (p.spec.label.empty()) p.spec.label = scenario_label(p.spec);
@@ -48,6 +69,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
     // No attached trace, or one instantiate() would ignore (thread-count
     // mismatch): synthesize from the axes, exactly like the bank-off
     // path, so bank on/off stay result-identical.
+    obs::TraceSpan tier_span("bank/trace_tier");
     const auto ts = slot(traces_, scenario_trace_key(p.spec));
     bool built = false;
     std::call_once(ts->once, [&] {
@@ -58,6 +80,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
     });
     (built ? trace_misses_ : trace_hits_)
         .fetch_add(1, std::memory_order_relaxed);
+    tier_counter(0, !built).add();
     p.trace = ts->value;
     p.spec.trace = ts->value;  // downstream consumers share it too
   }
@@ -65,6 +88,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
   // --- model tier --------------------------------------------------------
   const auto ms = slot(models_, scenario_model_key(p.spec));
   {
+    obs::TraceSpan model_span("bank/model_tier");
     bool built = false;
     std::call_once(ms->once, [&] {
       ms->prototype = std::make_unique<const arch::Mpsoc3D>(
@@ -74,6 +98,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
     });
     (built ? model_misses_ : model_hits_)
         .fetch_add(1, std::memory_order_relaxed);
+    tier_counter(1, !built).add();
   }
   p.soc = std::make_unique<arch::Mpsoc3D>(*ms->prototype);
 
@@ -95,6 +120,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
   // the scenario starts exactly where the caller said, bank on or off.
   std::shared_ptr<const InitialThermalState> init = p.spec.sim.initial_state;
   if (init == nullptr) {
+    obs::TraceSpan steady_span("bank/steady_tier");
     const auto ss = slot(steadies_, steady_key);
     bool built = false;
     std::call_once(ss->once, [&] {
@@ -107,6 +133,7 @@ PreparedScenario ScenarioBank::prepare(const Scenario& spec) {
     });
     (built ? steady_misses_ : steady_hits_)
         .fetch_add(1, std::memory_order_relaxed);
+    tier_counter(2, !built).add();
     init = ss->value;
   }
 

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "control/policy.hpp"
+#include "obs/trace.hpp"
 #include "power/batched_power.hpp"
 #include "thermal/batched_transient.hpp"
 
@@ -277,10 +278,13 @@ void BatchSession::step_batched_scalar_tail() {
   }
 
   const auto t1 = std::chrono::steady_clock::now();
-  batched_->step_all(
-      std::span<const std::uint8_t>(stepping_.data(),
-                                    static_cast<std::size_t>(L)),
-      std::span<std::uint8_t>(failed_.data(), static_cast<std::size_t>(L)));
+  {
+    obs::TraceSpan solve_span("batch/solve");
+    batched_->step_all(
+        std::span<const std::uint8_t>(stepping_.data(),
+                                      static_cast<std::size_t>(L)),
+        std::span<std::uint8_t>(failed_.data(), static_cast<std::size_t>(L)));
+  }
   const auto t2 = std::chrono::steady_clock::now();
 
   for (int b = 0; b < L; ++b) {
@@ -317,6 +321,8 @@ void BatchSession::step_batched_fused() {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Stage 1: demand sampling + load balancing.
+  {
+  obs::TraceSpan control_span("tail/control");
   std::fill(stepping_.begin(), stepping_.end(), std::uint8_t{0});
   for (int b = 0; b < L; ++b) {
     const std::size_t l = static_cast<std::size_t>(lane_of_[b]);
@@ -393,9 +399,12 @@ void BatchSession::step_batched_fused() {
       stepping_[bb] = 0;
     }
   }
+  }
 
   // Stage 5: power — per-lane dynamic watts, then one lane-fused
   // leakage traversal and one lane-fused RHS scatter.
+  {
+  obs::TraceSpan power_span("tail/power");
   plan.power_lanes.clear();
   for (int b = 0; b < L; ++b) {
     const std::size_t bb = static_cast<std::size_t>(b);
@@ -420,16 +429,22 @@ void BatchSession::step_batched_fused() {
     power::add_leakage_batched(plan.geom, plan.power_lanes);
     power::scatter_power_rhs_batched(plan.geom, plan.power_lanes);
   }
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
-  batched_->step_all(
-      std::span<const std::uint8_t>(stepping_.data(),
-                                    static_cast<std::size_t>(L)),
-      std::span<std::uint8_t>(failed_.data(), static_cast<std::size_t>(L)));
+  {
+    obs::TraceSpan solve_span("batch/solve");
+    batched_->step_all(
+        std::span<const std::uint8_t>(stepping_.data(),
+                                      static_cast<std::size_t>(L)),
+        std::span<std::uint8_t>(failed_.data(), static_cast<std::size_t>(L)));
+  }
   const auto t2 = std::chrono::steady_clock::now();
 
   // Stage 6: solve failures, then one fused post-solve sensor gather
   // feeding both this interval's metrics and the next decision.
+  {
+  obs::TraceSpan sensor_span("tail/sensors");
   plan.sensor_lanes.clear();
   for (int b = 0; b < L; ++b) {
     const std::size_t bb = static_cast<std::size_t>(b);
@@ -450,8 +465,11 @@ void BatchSession::step_batched_fused() {
     power::gather_element_max_batched(plan.geom, plan.core_elements,
                                       plan.sensor_lanes);
   }
+  }
 
   // Stage 7: metrics accumulation.
+  {
+  obs::TraceSpan metrics_span("tail/metrics");
   for (int b = 0; b < L; ++b) {
     const std::size_t bb = static_cast<std::size_t>(b);
     if (!stepping_[bb]) continue;
@@ -465,6 +483,7 @@ void BatchSession::step_batched_fused() {
     } catch (...) {
       errors_[l] = "unknown error";
     }
+  }
   }
   const auto t3 = std::chrono::steady_clock::now();
   tail_seconds_ += seconds_between(t0, t1) + seconds_between(t2, t3);

@@ -183,6 +183,7 @@ class SimulationSession {
   /// BatchedTransientSolver drives between step_prepare and
   /// step_finish).
   thermal::TransientSolver& thermal_solver() { return *thermal_; }
+  const thermal::TransientSolver& thermal_solver() const { return *thermal_; }
 
   /// Step until simulated time reaches \p t_sim (or the run ends).
   /// \return number of steps taken.

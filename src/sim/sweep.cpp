@@ -17,9 +17,12 @@
 #endif
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/bank.hpp"
 #include "sim/batch.hpp"
 #include "sparse/batched.hpp"
+#include "thermal/transient.hpp"
 
 namespace tac3d::sim {
 
@@ -383,11 +386,61 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
   std::atomic<std::uint64_t> compaction_total{0};
   std::mutex report_mutex;
 
+  // The registry publication point: fold one finished session's
+  // bespoke counters (SolverStats, warm-start predictor outcomes, step
+  // counts) into the uniform obs namespace. Scenario completion, not
+  // the per-step loop, so the warm hot path stays untouched.
+  auto publish_session = [](const SimulationSession& s) {
+    if (!obs::metrics_enabled()) return;
+    static obs::Counter steps("sweep/steps");
+    static obs::Counter solves("solver/solves");
+    static obs::Counter iterations("solver/iterations");
+    static obs::Counter refactors("solver/refactors");
+    static obs::Counter partials("solver/partial_refactors");
+    static obs::Counter deferred("solver/deferred_updates");
+    static obs::Counter fcache("solver/factor_cache_hits");
+    static obs::Counter retries("solver/retries");
+    static obs::Counter pred("predictor/hits");
+    static obs::Counter pred_interp("predictor/interp_hits");
+    static obs::Counter pred_fluid("predictor/fluid_hits");
+    static obs::Counter traj("predictor/trajectory_hits");
+    steps.add(static_cast<std::uint64_t>(s.steps_done()));
+    const sparse::SolverStats& st = s.solver_stats();
+    solves.add(st.solves);
+    iterations.add(st.iterations);
+    refactors.add(st.refactors);
+    partials.add(st.partial_refactors);
+    deferred.add(st.deferred_updates);
+    fcache.add(st.factor_cache_hits);
+    retries.add(st.retries);
+    const thermal::TransientSolver& t = s.thermal_solver();
+    pred.add(t.predictor_hits());
+    pred_interp.add(t.predictor_interpolations());
+    pred_fluid.add(t.predictor_fluid_jumps());
+    traj.add(t.trajectory_hits());
+  };
+
+  auto publish_result = [](const SweepResult& r) {
+    if (!obs::metrics_enabled()) return;
+    static obs::Counter scenarios("sweep/scenarios");
+    static obs::Counter failures("sweep/scenarios_failed");
+    static obs::HistogramMetric setup_s("sweep/setup_seconds");
+    static obs::HistogramMetric stepping_s("sweep/stepping_seconds");
+    static obs::HistogramMetric solve_s("sweep/solve_seconds");
+    static obs::HistogramMetric tail_s("sweep/tail_seconds");
+    scenarios.add();
+    if (!r.ok()) failures.add();
+    setup_s.record(r.setup_seconds);
+    stepping_s.record(r.stepping_seconds);
+    solve_s.record(r.solve_seconds);
+    tail_s.record(r.tail_seconds);
+  };
+
   // Materialize (bank: compile), time the construction and the stepping
   // separately, and run to the end. The owner keeps the session's
   // referenced objects alive for its whole scope.
-  auto run_one = [](SweepResult& r, auto owner,
-                    std::chrono::steady_clock::time_point t0) {
+  auto run_one = [&](SweepResult& r, auto owner,
+                     std::chrono::steady_clock::time_point t0) {
     SimulationSession session = owner.session();
     r.setup_seconds = seconds_since(t0);
     const auto t1 = std::chrono::steady_clock::now();
@@ -396,9 +449,11 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     r.stepping_seconds = seconds_since(t1);
     r.solve_seconds = session.solve_seconds();
     r.tail_seconds = session.tail_seconds();
+    publish_session(session);
   };
 
   auto deliver = [&](const SweepResult& r) {
+    publish_result(r);
     if (opts.on_result) {
       const std::lock_guard<std::mutex> lock(report_mutex);
       opts.on_result(r);
@@ -407,6 +462,7 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
 
   // One scenario on the scalar path (bank or from-scratch).
   auto run_scalar = [&](SweepResult& r, int worker_id) {
+    obs::TraceSpan job_span("sweep/job");
     r.worker = worker_id;
     const auto t0 = std::chrono::steady_clock::now();
     try {
@@ -430,6 +486,7 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
   // BatchSession to completion, split the shared stepping wall across
   // lanes by their step counts.
   auto run_batch = [&](const SweepJob& job, int worker_id) {
+    obs::TraceSpan job_span("sweep/job");
     std::vector<PreparedScenario> prep;
     std::vector<std::size_t> lane_slots;
     prep.reserve(job.slots.size());
@@ -460,6 +517,13 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
       batch.run_to_end();
       compaction_total.fetch_add(batch.compaction_events(),
                                  std::memory_order_relaxed);
+      if (obs::metrics_enabled()) {
+        static obs::Counter compactions("batch/compaction_events");
+        compactions.add(batch.compaction_events());
+        for (int l = 0; l < lanes; ++l) {
+          if (batch.has_session(l)) publish_session(batch.session(l));
+        }
+      }
       const double stepping = seconds_since(t1);
       const double solve = batch.solve_seconds();
       const double tail = batch.tail_seconds();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "sparse/kernels.hpp"
 
 namespace tac3d::thermal {
@@ -364,9 +365,13 @@ void TransientSolver::step() {
   // read only the matrix, already synced by begin_step), as long as it
   // precedes the solve.
   if (prep.flow_changed) {
+    obs::TraceSpan span("solver/refresh");
     solver_->update_values(op_.matrix(), prep.update);
   }
-  solver_->solve(rhs_, state_);
+  {
+    obs::TraceSpan span("solver/krylov");
+    solver_->solve(rhs_, state_);
+  }
   end_step();
 }
 

@@ -253,6 +253,52 @@ TEST(ServiceProtocol, RoundTripSweepCompleteStatusErrorDrain) {
   }
 }
 
+MetricsMsg sample_metrics_msg() {
+  MetricEntryMsg counter;
+  counter.name = "bank/steady_hits";
+  counter.kind = MetricEntryMsg::kCounter;
+  counter.count = 1234567890123ull;
+  MetricEntryMsg gauge;
+  gauge.name = "service/queue_depth";
+  gauge.kind = MetricEntryMsg::kGauge;
+  gauge.value = 3.0;
+  MetricEntryMsg hist;
+  hist.name = "service/ttfr_ms";
+  hist.kind = MetricEntryMsg::kHistogram;
+  hist.count = 42;
+  hist.value = 1234.5;  // sum
+  hist.min = 0.5;
+  hist.max = 250.25;
+  hist.buckets = {{3, 10}, {57, 30}, {127, 2}};
+  MetricsMsg msg;
+  msg.entries = {counter, gauge, hist};
+  return msg;
+}
+
+TEST(ServiceProtocol, RoundTripQueryMetricsAndMetrics) {
+  {
+    const Decoded d = round_trip(QueryMetricsMsg{});
+    ASSERT_TRUE(d.ok()) << d.detail;
+    EXPECT_TRUE(std::holds_alternative<QueryMetricsMsg>(d.msg));
+  }
+  const MetricsMsg msg = sample_metrics_msg();
+  const Decoded d = round_trip(msg);
+  ASSERT_TRUE(d.ok()) << d.detail;
+  const auto& out = std::get<MetricsMsg>(d.msg);
+  ASSERT_EQ(out.entries.size(), msg.entries.size());
+  for (std::size_t i = 0; i < msg.entries.size(); ++i) {
+    const MetricEntryMsg& a = msg.entries[i];
+    const MetricEntryMsg& b = out.entries[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.value, b.value);  // bitwise, IEEE bit pattern
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.buckets, b.buckets);
+  }
+}
+
 // --- adversarial decoding -------------------------------------------------
 
 TEST(ServiceProtocol, TruncationAtEveryPrefixLengthIsTyped) {
@@ -268,10 +314,11 @@ TEST(ServiceProtocol, TruncationAtEveryPrefixLengthIsTyped) {
   const std::vector<Message> all = {
       sweep,          WhatIfMsg{2, sample_scenario()},
       QueryStatusMsg{}, CancelMsg{3},
-      ShutdownDrainMsg{}, SubmitAckMsg{4, 5, 1, 0},
+      ShutdownDrainMsg{}, QueryMetricsMsg{},
+      SubmitAckMsg{4, 5, 1, 0},
       result,         SweepCompleteMsg{6, 7, 8, 9, 1},
       StatusMsg{},    ErrorMsg{1, 2, "boom"},
-      DrainCompleteMsg{10}};
+      DrainCompleteMsg{10}, sample_metrics_msg()};
 
   for (const Message& msg : all) {
     const std::vector<std::uint8_t> payload = payload_of(msg);
@@ -328,7 +375,9 @@ TEST(ServiceProtocol, SplitNeedsMoreUntilComplete) {
 }
 
 TEST(ServiceProtocol, UnknownTagIsTyped) {
-  for (const std::uint8_t tag : {0, 6, 42, 63, 70, 255}) {
+  // 6 (kQueryMetrics) and 70 (kMetrics) became real tags in protocol
+  // v2; the probes sit just past the live request/response ranges.
+  for (const std::uint8_t tag : {0, 7, 42, 63, 71, 255}) {
     const std::vector<std::uint8_t> payload = {kProtocolVersion, tag};
     const Decoded d = decode(payload);
     EXPECT_FALSE(d.ok());
@@ -377,6 +426,52 @@ TEST(ServiceProtocol, OutOfRangeEnumsAreBadValue) {
   evil[policy_at] = 200;  // far past the last PolicyKind
   const Decoded d = decode(evil);
   EXPECT_EQ(d.error, DecodeError::kBadValue) << d.detail;
+}
+
+TEST(ServiceProtocol, MetricEntryBadKindIsTyped) {
+  // Same differential trick as the policy enum: two payloads identical
+  // except for the entry's kind byte locate it, then an out-of-range
+  // kind (past kHistogram) must decode to kBadValue.
+  MetricEntryMsg e;
+  e.name = "x";
+  e.kind = MetricEntryMsg::kCounter;
+  MetricsMsg a;
+  a.entries = {e};
+  e.kind = MetricEntryMsg::kGauge;
+  MetricsMsg b;
+  b.entries = {e};
+  const std::vector<std::uint8_t> good = payload_of(a);
+  const std::vector<std::uint8_t> alt = payload_of(b);
+  ASSERT_EQ(good.size(), alt.size());
+  std::size_t kind_at = good.size();
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    if (good[i] != alt[i]) {
+      kind_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(kind_at, good.size());
+
+  std::vector<std::uint8_t> evil = good;
+  evil[kind_at] = 3;  // one past kHistogram
+  EXPECT_EQ(decode(evil).error, DecodeError::kBadValue);
+  evil[kind_at] = 255;
+  EXPECT_EQ(decode(evil).error, DecodeError::kBadValue);
+}
+
+TEST(ServiceProtocol, MetricsEntryCountPastCapIsTyped) {
+  // A kMetrics frame claiming 2^32-1 entries (or any count past
+  // kMaxMetricEntries) must be rejected by the count cap, not trusted
+  // into an allocation loop.
+  std::vector<std::uint8_t> payload = {
+      kProtocolVersion, static_cast<std::uint8_t>(MsgType::kMetrics)};
+  for (int i = 0; i < 4; ++i) payload.push_back(0xFF);
+  const Decoded d = decode(payload);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.error == DecodeError::kTruncated ||
+              d.error == DecodeError::kMalformed ||
+              d.error == DecodeError::kBadValue)
+      << decode_error_name(d.error);
 }
 
 TEST(ServiceProtocol, HugeStringLengthInsideBodyIsTyped) {
