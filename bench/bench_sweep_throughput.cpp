@@ -28,6 +28,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -151,6 +152,9 @@ int main() {
   // slots and flag the skip in the JSON so the gate knows the numbers
   // are placeholders.
   const bool run_parallel = hw_cores > 1;
+  // JSON value of parallel-leg columns when the leg is skipped:
+  // JsonObject emits non-finite doubles as null.
+  const double skipped_marker = std::numeric_limits<double>::quiet_NaN();
   const sim::SweepReport parallel =
       run_parallel ? run(parallel_jobs, true, bank) : cached;
 
@@ -183,6 +187,74 @@ int main() {
   const sim::SweepReport fserial = run_fuzzyset(1);
   const sim::SweepReport fbatched = run_fuzzyset(0);  // auto width
 
+  // Limit-cycle replay leg: one long-horizon exactly-periodic closed
+  // loop (kPeriodic workload, 12 s period, banded solver) stepped to
+  // completion with replay on vs off. Once the warm-up transient decays
+  // the loop bitwise-recurs; the replay path locks onto that and
+  // fast-forwards whole cycles from its journal with zero linear
+  // solves, so the on/off steps-per-second ratio is the headline number
+  // of this ceiling lever. Parity is asserted bitwise like every other
+  // leg: identical metrics AND identical final temperature vectors.
+  sim::Scenario periodic;
+  periodic.label = "2-tier LC_LB periodic long-horizon";
+  periodic.tiers = 2;
+  periodic.policy = sim::PolicyKind::kLcLb;
+  periodic.workload = power::WorkloadKind::kPeriodic;
+  periodic.seed = 7;
+  periodic.trace_seconds = 2400;
+  periodic.grid = thermal::GridOptions{8, 8};
+  // The direct solver bitwise-recurs once the loop settles (its solve
+  // is a pure function of the current state); the iterative kinds carry
+  // convergence history and only lock on true fixed points.
+  periodic.sim.solver = sparse::SolverKind::kBandedLu;
+
+  struct ReplayLeg {
+    double seconds = 0.0;
+    int steps = 0;
+    sim::SimMetrics metrics;
+    std::vector<double> temps;
+    std::uint64_t cycles = 0, steps_replayed = 0, solves_skipped = 0;
+  };
+  const auto run_replay_leg = [&](bool replay_enabled) {
+    sim::Scenario s = periodic;
+    s.sim.limit_cycle_replay = replay_enabled;
+    sim::ScenarioInstance inst = sim::instantiate(s);
+    sim::SimulationSession session = inst.session();
+    ReplayLeg leg;
+    const bench::Stopwatch sw;
+    leg.steps = session.run_to_end();
+    leg.seconds = sw.seconds();
+    leg.metrics = session.metrics();
+    leg.temps.assign(session.temperatures().begin(),
+                     session.temperatures().end());
+    leg.cycles = session.replay_cycles();
+    leg.steps_replayed = session.replay_steps();
+    leg.solves_skipped = session.replay_solves_skipped();
+    return leg;
+  };
+  const ReplayLeg replay_off_leg = run_replay_leg(false);
+  const ReplayLeg replay_on_leg = run_replay_leg(true);
+  const bool replay_bitwise =
+      replay_on_leg.steps == replay_off_leg.steps &&
+      replay_on_leg.temps == replay_off_leg.temps &&
+      replay_on_leg.metrics.peak_temp == replay_off_leg.metrics.peak_temp &&
+      replay_on_leg.metrics.chip_energy ==
+          replay_off_leg.metrics.chip_energy &&
+      replay_on_leg.metrics.pump_energy ==
+          replay_off_leg.metrics.pump_energy &&
+      replay_on_leg.metrics.any_hot_time ==
+          replay_off_leg.metrics.any_hot_time &&
+      replay_on_leg.metrics.offered_work ==
+          replay_off_leg.metrics.offered_work &&
+      replay_on_leg.metrics.lost_work == replay_off_leg.metrics.lost_work &&
+      replay_on_leg.metrics.avg_flow_fraction ==
+          replay_off_leg.metrics.avg_flow_fraction &&
+      replay_on_leg.metrics.migrations == replay_off_leg.metrics.migrations;
+  const double replay_off_sps =
+      replay_off_leg.steps / replay_off_leg.seconds;
+  const double replay_on_sps = replay_on_leg.steps / replay_on_leg.seconds;
+  const double replay_speedup = replay_on_sps / replay_off_sps;
+
   for (const auto* r : {&cold, &compile, &cached, &parallel, &telem_off,
                         &telem_on, &bserial, &bbatched, &fserial,
                         &fbatched}) {
@@ -197,7 +269,7 @@ int main() {
                           same_metrics(cold, telem_off) &&
                           same_metrics(cold, telem_on) &&
                           same_metrics(bserial, bbatched) &&
-                          same_metrics(fserial, fbatched);
+                          same_metrics(fserial, fbatched) && replay_bitwise;
 
   const double telem_off_per_sec = telem_off.size() / telem_off.wall_seconds();
   const double telem_on_per_sec = telem_on.size() / telem_on.wall_seconds();
@@ -276,6 +348,14 @@ int main() {
   std::cout << "  Fuzzy-group mid-solve compactions: "
             << fbatched.batch_compaction_events() << " (chunk width "
             << fbatched.batch_width_used() << ")\n";
+  bench::result_line("Replay-off steps/s (periodic long-horizon)",
+                     replay_off_sps, "steps/s");
+  bench::result_line("Replay-on steps/s", replay_on_sps, "steps/s");
+  bench::result_line("Replay speedup (on/off)", replay_speedup, "x");
+  std::cout << "  Replay: " << replay_on_leg.steps_replayed << " of "
+            << replay_on_leg.steps << " steps fast-forwarded over "
+            << replay_on_leg.cycles << " replay bursts, "
+            << replay_on_leg.solves_skipped << " linear solves skipped\n";
 
   const auto& cache = cached.structure_cache();
   const sim::BankCounters counters = bank->counters();
@@ -345,8 +425,13 @@ int main() {
            compile.size() / compile.wall_seconds())
       .set("serial_cached_scenarios_per_sec",
            cached.size() / cached.wall_seconds())
+      // When the parallel leg is skipped (single-core host) its columns
+      // are emitted as null — JsonObject renders non-finite doubles as
+      // null — so downstream tooling sees "not measured", never a stale
+      // copy of the serial numbers.
       .set("parallel_cached_scenarios_per_sec",
-           parallel.size() / parallel.wall_seconds())
+           run_parallel ? parallel.size() / parallel.wall_seconds()
+                        : skipped_marker)
       .set("serial_nocache_setup_seconds", cold.setup_seconds_total())
       .set("serial_nocache_stepping_seconds", cold.stepping_seconds_total())
       .set("serial_nocache_setup_fraction", cold.setup_fraction())
@@ -355,7 +440,8 @@ int main() {
       .set("serial_cached_setup_seconds", cached.setup_seconds_total())
       .set("serial_cached_stepping_seconds", cached.stepping_seconds_total())
       .set("serial_cached_setup_fraction", cached.setup_fraction())
-      .set("parallel_cached_setup_fraction", parallel.setup_fraction())
+      .set("parallel_cached_setup_fraction",
+           run_parallel ? parallel.setup_fraction() : skipped_marker)
       .set("telemetry_off_per_sec", telem_off_per_sec)
       .set("telemetry_on_per_sec", telem_on_per_sec)
       .set("telemetry_overhead_ratio", telem_ratio)
@@ -391,8 +477,21 @@ int main() {
       .set("parallel_jobs", parallel.jobs_used())
       .set("parallel_leg", run_parallel ? "run" : "skipped_single_core")
       .set("hardware_cores", hw_cores)
-      .set("parallel_job_utilization_min", util_min)
-      .set("parallel_job_utilization_avg", util_avg)
+      .set("parallel_job_utilization_min",
+           run_parallel ? util_min : skipped_marker)
+      .set("parallel_job_utilization_avg",
+           run_parallel ? util_avg : skipped_marker)
+      .set("replay_trace_seconds", periodic.trace_seconds)
+      .set("replay_total_steps", replay_on_leg.steps)
+      .set("replay_off_steps_per_sec", replay_off_sps)
+      .set("replay_on_steps_per_sec", replay_on_sps)
+      .set("replay_speedup", replay_speedup)
+      .set("replay_cycles",
+           static_cast<std::int64_t>(replay_on_leg.cycles))
+      .set("replay_steps_replayed",
+           static_cast<std::int64_t>(replay_on_leg.steps_replayed))
+      .set("replay_solves_skipped",
+           static_cast<std::int64_t>(replay_on_leg.solves_skipped))
       .set("structure_patterns", static_cast<int>(cache->size()))
       .set("structure_hits", static_cast<std::int64_t>(cache->hits()))
       .set("structure_misses", static_cast<std::int64_t>(cache->misses()))

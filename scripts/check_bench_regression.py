@@ -75,6 +75,16 @@ TELEMETRY_OVERHEAD_FLOOR = 0.97
 # sub-millisecond phases, not a cost regression.
 FRACTION_SLACK = 0.05
 
+# Limit-cycle replay (bench_sweep_throughput's long-horizon periodic
+# leg): replaying verified cycles instead of re-solving must sustain at
+# least this steps/sec multiple over step-everything. Like the telemetry
+# gate the A/B runs inside one bench invocation, so the ratio is
+# machine-independent and gated absolutely. The leg is mandatory: a
+# baseline that carries replay_speedup and a fresh run that lost it
+# (field missing or null) fails — silently dropping the leg must not
+# read as a pass.
+REPLAY_SPEEDUP_FLOOR = 10.0
+
 
 def numeric_leaves(tree, prefix=""):
     """Yield (dotted_key, value) for every numeric leaf of a JSON tree."""
@@ -85,6 +95,18 @@ def numeric_leaves(tree, prefix=""):
         return
     elif isinstance(tree, (int, float)):
         yield prefix.rstrip("."), float(tree)
+
+
+def null_leaves(tree, prefix=""):
+    """Yield the dotted key of every explicit JSON null leaf. The bench
+    binaries emit null for legs a host cannot measure (e.g. the
+    parallel sweep leg on a single-core runner), which is a deliberate
+    "skipped" marker, not a missing metric."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from null_leaves(value, f"{prefix}{key}.")
+    elif tree is None:
+        yield prefix.rstrip(".")
 
 
 def leaf_name(dotted):
@@ -100,12 +122,15 @@ def check(baseline_path, fresh_path, threshold):
     """Run the full gate; returns the process exit code (0/1/2)."""
     try:
         with open(baseline_path) as f:
-            baseline = dict(numeric_leaves(json.load(f)))
+            baseline_tree = json.load(f)
         with open(fresh_path) as f:
-            fresh = dict(numeric_leaves(json.load(f)))
+            fresh_tree = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    baseline = dict(numeric_leaves(baseline_tree))
+    fresh = dict(numeric_leaves(fresh_tree))
+    fresh_skipped = set(null_leaves(fresh_tree))
 
     failures = []
 
@@ -113,6 +138,11 @@ def check(baseline_path, fresh_path, threshold):
     for key in sorted(baseline):
         gated = ("per_sec" in key or "setup_fraction" in key
                  or "tail_fraction" in key)
+        if key in fresh_skipped:
+            # An explicit null marks a leg this host skipped (e.g. the
+            # parallel leg on one core) — informational, not a failure.
+            print(f"{key:58s} {baseline[key]:14.4g} {'skipped':>14s}")
+            continue
         if key not in fresh:
             print(f"{key:58s} {baseline[key]:14.4g} {'MISSING':>14s}")
             if gated:
@@ -175,6 +205,30 @@ def check(baseline_path, fresh_path, threshold):
                 flag = "  << OVERHEAD"
             print(f"  {key}: {value:.4g}{flag}")
 
+    replay_keys = sorted(
+        {k for k in baseline if leaf_name(k) == "replay_speedup"} |
+        {k for k in fresh if leaf_name(k) == "replay_speedup"})
+    if replay_keys:
+        print(f"\nLimit-cycle replay gate (absolute, on/off >= "
+              f"{REPLAY_SPEEDUP_FLOOR:.1f}x):")
+        for key in replay_keys:
+            if key not in fresh:
+                how = "null" if key in fresh_skipped else "missing"
+                failures.append(
+                    f"{key}: {how} in fresh run — the replay leg is "
+                    f"mandatory and must be measured")
+                print(f"  {key}: {how.upper()}  << NOT MEASURED")
+                continue
+            value = fresh[key]
+            flag = ""
+            if value < REPLAY_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{key}: {value:.4g} below replay speedup floor "
+                    f"{REPLAY_SPEEDUP_FLOOR:.1f} (fast-forwarding locked "
+                    f"cycles no longer beats re-solving)")
+                flag = "  << SLOW"
+            print(f"  {key}: {value:.4g}{flag}")
+
     if failures:
         print("\nThroughput regressions detected:", file=sys.stderr)
         for f in failures:
@@ -200,10 +254,24 @@ def self_test():
         "p99_ttfr_ms": 100.0,
         "batched_tail_fraction": 0.20,
         "telemetry_overhead_ratio": 0.99,
+        "replay_speedup": 18.0,
     }
     collapsed = dict(healthy, service_requests_per_sec=5.0)
     missing = {k: v for k, v in healthy.items()
                if k != "service_requests_per_sec"}
+    # A host that cannot run a leg emits null for its columns; the gate
+    # must read that as "skipped here", not as a vanished metric.
+    par_base = dict(healthy,
+                    parallel_cached_scenarios_per_sec=10.0,
+                    serial_cached_scenarios_per_sec=6.0,
+                    serial_nocache_scenarios_per_sec=1.0)
+    par_skipped = dict(par_base, parallel_cached_scenarios_per_sec=None)
+    # The replay leg, by contrast, runs everywhere: losing the field —
+    # or nulling it — must fail, as must a collapsed speedup.
+    replay_slow = dict(healthy, replay_speedup=4.0)
+    replay_missing = {k: v for k, v in healthy.items()
+                      if k != "replay_speedup"}
+    replay_null = dict(healthy, replay_speedup=None)
     # Ceiling at threshold 0.30: 0.20 * 1.30 + 0.05 = 0.31.
     tail_ok = dict(healthy, batched_tail_fraction=0.30)
     tail_creep = dict(healthy, batched_tail_fraction=0.40)
@@ -220,6 +288,11 @@ def self_test():
         ("tail fraction past ceiling fails", healthy, tail_creep, 1),
         ("telemetry overhead above floor passes", healthy, telem_ok, 0),
         ("telemetry overhead below floor fails", healthy, telem_slow, 1),
+        ("null skipped-leg marker passes", par_base, par_skipped, 0),
+        ("replay speedup below floor fails", healthy, replay_slow, 1),
+        ("replay speedup missing from fresh fails", healthy,
+         replay_missing, 1),
+        ("replay speedup nulled in fresh fails", healthy, replay_null, 1),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:

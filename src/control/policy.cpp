@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "common/units.hpp"
 #include "control/fuzzy.hpp"
 
@@ -31,6 +32,11 @@ void MaxPerformancePolicy::decide_into(const PolicyInputs& in,
 
 std::string MaxPerformancePolicy::name() const {
   return pump_level_ < 0 ? "AC_LB" : "LC_LB";
+}
+
+bool MaxPerformancePolicy::fold_replay_state(std::uint64_t& h) const {
+  (void)h;  // stateless: every decision depends only on the fixed config
+  return true;
 }
 
 TemperatureTriggeredDvfsPolicy::TemperatureTriggeredDvfsPolicy(
@@ -67,6 +73,13 @@ void TemperatureTriggeredDvfsPolicy::decide_into(const PolicyInputs& in,
 
 std::string TemperatureTriggeredDvfsPolicy::name() const {
   return pump_level_ < 0 ? "AC_TDVFS_LB" : "LC_TDVFS_LB";
+}
+
+bool TemperatureTriggeredDvfsPolicy::fold_replay_state(
+    std::uint64_t& h) const {
+  // The per-core hysteresis levels are the only decision-feeding memory.
+  h = fnv1a(h, std::span<const int>(levels_));
+  return true;
 }
 
 FuzzyFlowDvfsPolicy::FuzzyFlowDvfsPolicy(int n_cores,
@@ -216,5 +229,15 @@ void FuzzyFlowDvfsPolicy::decide_batch(
 }
 
 std::string FuzzyFlowDvfsPolicy::name() const { return "LC_FUZZY"; }
+
+bool FuzzyFlowDvfsPolicy::fold_replay_state(std::uint64_t& h) const {
+  // The Mamdani rule base (fuzzy_) is immutable after construction;
+  // the decision-feeding memory is the sensor-fold/trend/slew state.
+  h = fnv1a(h, prev_max_temp_);
+  h = fnv1a(h, trend_ema_);
+  h = fnv1a(h, last_flow_);
+  h = fnv1a(h, prev_level_);
+  return true;
+}
 
 }  // namespace tac3d::control

@@ -3,6 +3,7 @@
 /// \brief Run-time thermal-management policy interface and the paper's
 /// four policies: AC_LB, AC_TDVFS_LB, LC_LB and LC_FUZZY.
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -41,6 +42,19 @@ class ThermalPolicy {
   }
 
   virtual std::string name() const = 0;
+
+  /// Fold every piece of mutable policy state that can influence future
+  /// decisions (hysteresis levels, trend EMAs, slew memory) into the
+  /// FNV-1a accumulator \p h and return true; stateless policies return
+  /// true without touching \p h. The default returns false — "cannot
+  /// enumerate my state" — which makes exact-recurrence machinery
+  /// (limit-cycle replay, sim/replay.hpp) stand down rather than trust
+  /// an incomplete fingerprint. External policies only need to override
+  /// this if they want replay to engage.
+  virtual bool fold_replay_state(std::uint64_t& h) const {
+    (void)h;
+    return false;
+  }
 };
 
 /// AC_LB / LC_LB: no DVFS (all cores at the nominal VF); liquid variants
@@ -53,6 +67,7 @@ class MaxPerformancePolicy final : public ThermalPolicy {
   PolicyActions decide(const PolicyInputs& in) override;
   void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
+  bool fold_replay_state(std::uint64_t& h) const override;
 
  private:
   int n_cores_;
@@ -71,6 +86,7 @@ class TemperatureTriggeredDvfsPolicy final : public ThermalPolicy {
   PolicyActions decide(const PolicyInputs& in) override;
   void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
+  bool fold_replay_state(std::uint64_t& h) const override;
 
  private:
   power::VfTable vf_;
@@ -94,6 +110,7 @@ class FuzzyFlowDvfsPolicy final : public ThermalPolicy {
   PolicyActions decide(const PolicyInputs& in) override;
   void decide_into(const PolicyInputs& in, PolicyActions& out) override;
   std::string name() const override;
+  bool fold_replay_state(std::uint64_t& h) const override;
 
   /// Normalized flow command of the last decision, in [0, 1] (test hook).
   double last_flow_fraction() const { return last_flow_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -68,6 +69,36 @@ void UtilizationTrace::to_csv(std::ostream& os) const {
     for (int th = 0; th < n_threads_; ++th) os << ',' << at(th, t);
     os << '\n';
   }
+}
+
+int UtilizationTrace::period_hint() const {
+  for (int period = 1; period <= n_seconds_ / 2; ++period) {
+    bool ok = true;
+    for (int t = period; ok && t < n_seconds_; ++t) {
+      const double* cur = &data_[static_cast<std::size_t>(t) * n_threads_];
+      const double* prev =
+          &data_[static_cast<std::size_t>(t - period) * n_threads_];
+      // Bitwise, not operator==: -0.0 vs 0.0 (or any payload difference)
+      // must count as a deviation for the replay contract to hold.
+      if (std::memcmp(cur, prev, sizeof(double) * n_threads_) != 0) {
+        ok = false;
+      }
+    }
+    if (ok) return period;
+  }
+  return 0;
+}
+
+bool UtilizationTrace::windows_equal(int s0, int s1, int len) const {
+  if (s0 == s1) return true;
+  for (int j = 0; j <= len; ++j) {
+    const int a = std::clamp(s0 + j, 0, n_seconds_ - 1);
+    const int b = std::clamp(s1 + j, 0, n_seconds_ - 1);
+    const double* ra = &data_[static_cast<std::size_t>(a) * n_threads_];
+    const double* rb = &data_[static_cast<std::size_t>(b) * n_threads_];
+    if (std::memcmp(ra, rb, sizeof(double) * n_threads_) != 0) return false;
+  }
+  return true;
 }
 
 UtilizationTrace UtilizationTrace::from_csv(std::istream& is,

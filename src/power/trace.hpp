@@ -43,6 +43,25 @@ class UtilizationTrace {
   void to_csv(std::ostream& os) const;
   static UtilizationTrace from_csv(std::istream& is, std::string name);
 
+  /// Exact-periodicity probe: the smallest period L >= 1 [s] such that
+  /// every sample is bitwise identical to the sample one period earlier
+  /// (data[th][t] == data[th][t - L] for all threads and all
+  /// t in [L, seconds)), or 0 when no such L exists. Only periods up to
+  /// seconds/2 qualify — at least one full repetition must confirm the
+  /// claim. Exact bit compare, no tolerance: a single one-ULP deviation
+  /// makes a trace aperiodic, which is precisely the contract the
+  /// limit-cycle replay machinery (sim/replay.hpp) needs.
+  int period_hint() const;
+
+  /// Bitwise compare of two sample windows: true iff
+  /// at(th, s0 + j) == at(th, s1 + j) for all threads and j in
+  /// [0, len] (inclusive — both boundary samples are covered, matching
+  /// the [T, T+L] span one control cycle interpolates over). Clamped
+  /// like at(): windows reaching past the trace end compare the held
+  /// final sample, so a replayed cycle near the end only matches when
+  /// the held value genuinely continues the pattern.
+  bool windows_equal(int s0, int s1, int len) const;
+
  private:
   std::string name_;
   int n_threads_ = 0;

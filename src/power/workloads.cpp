@@ -90,6 +90,26 @@ void fill_max(UtilizationTrace& tr, Rng& rng) {
   }
 }
 
+void fill_periodic(UtilizationTrace& tr, Rng& rng) {
+  // One noisy sinusoidal frame pattern per thread (distinct phases and
+  // noise), then tile it exactly: every repetition copies the same
+  // doubles, so the trace is bitwise periodic at kPeriodicWorkloadSeconds
+  // even though each period looks as irregular as a kMultimedia window.
+  const int period = std::min(kPeriodicWorkloadSeconds, tr.seconds());
+  for (int th = 0; th < tr.threads(); ++th) {
+    const double offset = rng.uniform(0.0, static_cast<double>(period));
+    std::vector<double> base(static_cast<std::size_t>(period));
+    for (int t = 0; t < period; ++t) {
+      const double s = std::sin(2.0 * M_PI * (t + offset) / period);
+      base[static_cast<std::size_t>(t)] =
+          clamp01(0.55 + 0.30 * s + rng.normal(0.0, 0.05));
+    }
+    for (int t = 0; t < tr.seconds(); ++t) {
+      tr.set(th, t, base[static_cast<std::size_t>(t % period)]);
+    }
+  }
+}
+
 void fill_idle(UtilizationTrace& tr, Rng& rng) {
   for (int th = 0; th < tr.threads(); ++th) {
     for (int t = 0; t < tr.seconds(); ++t) {
@@ -114,6 +134,8 @@ std::string workload_name(WorkloadKind kind) {
       return "maxutil";
     case WorkloadKind::kIdle:
       return "idle";
+    case WorkloadKind::kPeriodic:
+      return "periodic";
   }
   throw InvalidArgument("workload_name: unknown kind");
 }
@@ -147,6 +169,9 @@ UtilizationTrace generate_workload(WorkloadKind kind, int threads,
       break;
     case WorkloadKind::kIdle:
       fill_idle(tr, rng);
+      break;
+    case WorkloadKind::kPeriodic:
+      fill_periodic(tr, rng);
       break;
   }
   return tr;

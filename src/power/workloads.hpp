@@ -26,7 +26,19 @@ enum class WorkloadKind {
   kMixed,       ///< half web, half database threads
   kMaxUtil,     ///< all threads near 100% (worst case)
   kIdle,        ///< near-zero background
+  /// Exactly periodic frame loop: one noisy per-thread pattern of
+  /// kPeriodicWorkloadSeconds, tiled bitwise-identically for the whole
+  /// trace (UtilizationTrace::period_hint() finds it). kMultimedia is
+  /// *statistically* periodic but never repeats samples exactly; this
+  /// kind models a steady-state frame pipeline whose per-frame load is
+  /// literally the same every frame — the workload shape the
+  /// limit-cycle replay fast-forward (sim/replay.hpp) engages on. Not
+  /// part of average_case_workloads().
+  kPeriodic,
 };
+
+/// Tiled pattern length [s] of WorkloadKind::kPeriodic.
+inline constexpr int kPeriodicWorkloadSeconds = 12;
 
 /// Human-readable name ("web", "db", ...).
 std::string workload_name(WorkloadKind kind);

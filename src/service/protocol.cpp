@@ -181,7 +181,7 @@ sim::Scenario decode_scenario(Reader& r) {
   if (policy > static_cast<std::uint8_t>(sim::PolicyKind::kLcFuzzy) ||
       has_cooling > 1 ||
       cooling > static_cast<std::uint8_t>(arch::CoolingKind::kLiquidCooled) ||
-      workload > static_cast<std::uint8_t>(power::WorkloadKind::kIdle) ||
+      workload > static_cast<std::uint8_t>(power::WorkloadKind::kPeriodic) ||
       solver > static_cast<std::uint8_t>(sparse::SolverKind::kBicgstabJacobi)) {
     r.fail(DecodeError::kBadValue);
     return s;

@@ -125,6 +125,12 @@ BatchSession::BatchSession(std::vector<PreparedScenario> prepared)
   // Lane indices in the batched solver == indices into `live`.
   lane_of_ = std::move(live);
   batched_ = std::make_unique<thermal::BatchedTransientSolver>(kind, specs);
+  // Batched lanes' per-step solver state lives in the shared batched
+  // solver, outside the session's replay fingerprint: restrict their
+  // limit-cycle replay to quiescent cycles (sim/replay.hpp).
+  for (const int l : lane_of_) {
+    sessions_[static_cast<std::size_t>(l)]->set_replay_external_solver(true);
+  }
   build_tail_plan();
 }
 
@@ -241,6 +247,9 @@ void BatchSession::step() {
         continue;
       }
       try {
+        // A lane locked on a verified limit cycle fast-forwards instead
+        // of stepping; it rejoins real stepping when replay stands down.
+        if (sessions_[l]->replay_fast_forward() > 0) continue;
         sessions_[l]->step();
       } catch (const std::exception& e) {
         errors_[l] = e.what();
@@ -267,6 +276,9 @@ void BatchSession::step_batched_scalar_tail() {
     const std::size_t l = static_cast<std::size_t>(lane_of_[b]);
     if (!errors_[l].empty() || sessions_[l]->done()) continue;
     try {
+      // Replaying lanes drop out of the batched solve: a fast-forwarded
+      // lane leaves its stepping mask 0 for this lockstep interval.
+      if (sessions_[l]->replay_fast_forward() > 0) continue;
       if (sessions_[l]->step_prepare()) {
         stepping_[static_cast<std::size_t>(b)] = 1;
       }
@@ -328,6 +340,9 @@ void BatchSession::step_batched_fused() {
     const std::size_t l = static_cast<std::size_t>(lane_of_[b]);
     if (!errors_[l].empty() || sessions_[l]->done()) continue;
     try {
+      // Replaying lanes drop out of the fused tail and the batched
+      // solve for this interval (mask stays 0).
+      if (sessions_[l]->replay_fast_forward() > 0) continue;
       if (sessions_[l]->tail_begin()) {
         stepping_[static_cast<std::size_t>(b)] = 1;
       }

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
+#include "obs/trace.hpp"
 #include "thermal/transient.hpp"
 
 namespace tac3d::sim {
@@ -147,6 +149,28 @@ SimulationSession::SimulationSession(arch::Mpsoc3D& soc,
   in_.core_demands.resize(n_cores_);
   in_.dt = cfg_.control_dt;
   act_.vf_levels.reserve(n_cores_);
+
+  // --- limit-cycle replay ------------------------------------------------
+  // Arm detection only when it can be sound: the trace must be exactly
+  // periodic, the period an exact whole number of control intervals, and
+  // both the policy and the thermal/linear-solver stack able to
+  // enumerate their history-carrying state for the boundary fingerprint.
+  if (cfg_.limit_cycle_replay) {
+    const int period_s = trace_.period_hint();
+    if (period_s > 0) {
+      const int period_steps = static_cast<int>(
+          std::llround(static_cast<double>(period_s) / cfg_.control_dt));
+      std::uint64_t trial = kFnvOffsetBasis;
+      if (period_steps >= 1 &&
+          static_cast<double>(period_steps) * cfg_.control_dt ==
+              static_cast<double>(period_s) &&
+          policy_.fold_replay_state(trial) &&
+          thermal_->fold_replay_state(trial)) {
+        replay_.arm(period_steps, period_s, n_cores_,
+                    thermal_->temperatures().size());
+      }
+    }
+  }
 }
 
 SimulationSession::~SimulationSession() = default;
@@ -214,6 +238,7 @@ void SimulationSession::tail_apply() {
   if (liquid_ && act_.pump_level >= 0 && act_.pump_level != pump_level_) {
     pump_level_ = act_.pump_level;
     apply_pump(soc_, cfg_.pump, pump_level_);
+    ++pump_changes_;
   }
 
   // 3. Execution model: capacity clipping and busy fractions.
@@ -264,11 +289,113 @@ void SimulationSession::finish_metrics() {
   }
   m_.duration += cfg_.control_dt;
   ++steps_done_;
+  if (replay_.armed()) replay_post_step();
+}
+
+void SimulationSession::replay_post_step() {
+  replay_.note_real_step();
+  if (replay_.journaling()) {
+    // Record this interval's metric addends. Every value is recomputed
+    // from buffers the step left untouched (core_demand_, act_, the
+    // sensed temps, the committed element powers), by the same
+    // expressions tail_apply/finish_metrics evaluated — so the journal
+    // holds bitwise the addends the accumulators just received.
+    CycleStepRecord rec = replay_.journal_step_record();
+    for (int c = 0; c < n_cores_; ++c) {
+      const double capacity = soc_.chip().vf.speed_scale(act_.vf_levels[c]);
+      const double demand = core_demand_[c];
+      const double executed = std::min(demand, capacity);
+      rec.offered[c] = demand * cfg_.control_dt;
+      rec.lost[c] = (demand - executed) * cfg_.control_dt;
+      rec.tcore[c] = in_.core_temps[c];
+    }
+    *rec.chip = soc_.model().total_power() * cfg_.control_dt;
+    const bool pump_on = liquid_ && pump_level_ >= 0;
+    *rec.pump_on = pump_on ? 1 : 0;
+    *rec.pump = pump_on ? cfg_.pump.power(pump_level_,
+                                          soc_.model().n_cavities()) *
+                              cfg_.control_dt
+                        : 0.0;
+    *rec.flow = pump_on ? cfg_.pump.flow_per_cavity(pump_level_) /
+                              cfg_.pump.q_max()
+                        : 0.0;
+  }
+  if (steps_done_ % replay_.period_steps() != 0) return;
+  const int second =
+      static_cast<int>(std::llround(steps_done_ * cfg_.control_dt));
+  replay_.on_boundary(thermal_->temperatures(), replay_fingerprint(),
+                      second, scheduler_.migrations(), pump_changes_);
+}
+
+std::uint64_t SimulationSession::replay_fingerprint() const {
+  // Everything beyond the temperature field (compared bitwise in full)
+  // whose values feed future closed-loop arithmetic. Monotonic counters
+  // (migrations, solver stats, predictor hits) are excluded by design:
+  // they are journaled/credited, never read back into the loop.
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a(h, std::span<const int>(scheduler_.placement()));
+  h = fnv1a(h, pump_level_);
+  for (const arch::CoreState& c : cores_) {
+    h = fnv1a(h, c.busy);
+    h = fnv1a(h, c.vf_level);
+  }
+  h = fnv1a(h, std::span<const double>(in_.core_temps));
+  h = fnv1a(h, std::span<const double>(in_.core_demands));
+  h = fnv1a(h, std::span<const int>(act_.vf_levels));
+  h = fnv1a(h, act_.pump_level);
+  h = fnv1a(h, std::span<const double>(thread_demand_));
+  h = fnv1a(h, std::span<const double>(core_demand_));
+  h = fnv1a(h, soc_.model().element_powers());
+  for (int cav = 0; cav < soc_.model().n_cavities(); ++cav) {
+    h = fnv1a(h, soc_.model().cavity_flow(cav));
+  }
+  // Both folds returned true at arm time; the objects are the same, so
+  // they keep returning true — the calls only mix in their state.
+  policy_.fold_replay_state(h);
+  thermal_->fold_replay_state(h);
+  return h;
+}
+
+int SimulationSession::replay_fast_forward(double t_limit) {
+  if (!replay_.can_fast_forward() || done()) return 0;
+  const int period_steps = replay_.period_steps();
+  const int period_s = replay_.period_seconds();
+  int second =
+      static_cast<int>(std::llround(steps_done_ * cfg_.control_dt));
+  // One whole cycle is allowed when (a) it fits the run, (b) every step
+  // of it would still pass run_until's loop condition — the binding one
+  // is the last, at time (steps_done + P - 1) * dt — and (c) the trace
+  // window ahead is bitwise the journaled window (the [T, T+L] span the
+  // cycle's steps interpolate over; clamped compare near the trace end).
+  const auto cycle_allowed = [&] {
+    if (steps_done_ + period_steps > total_steps_) return false;
+    const double last_time = (steps_done_ + period_steps - 1) *
+                             cfg_.control_dt;
+    if (!(last_time + 1e-12 < t_limit)) return false;
+    return trace_.windows_equal(second, replay_.journal_base_second(),
+                                period_s);
+  };
+  if (!cycle_allowed()) return 0;
+  obs::TraceSpan span("session/replay");
+  int taken = 0;
+  do {
+    replay_.apply_cycle(m_, cfg_.control_dt, cfg_.hot_threshold_k,
+                        flow_fraction_acc_);
+    scheduler_.credit_migrations(replay_.journal_migrations());
+    thermal_->advance_time_steps(period_steps);
+    steps_done_ += period_steps;
+    second += period_s;
+    taken += period_steps;
+    replay_.note_fast_forward();
+  } while (cycle_allowed());
+  return taken;
 }
 
 int SimulationSession::run_until(double t_sim) {
   int taken = 0;
   while (!done() && time() + 1e-12 < t_sim) {
+    taken += replay_fast_forward(t_sim);
+    if (done() || !(time() + 1e-12 < t_sim)) break;
     step();
     ++taken;
   }
@@ -278,6 +405,8 @@ int SimulationSession::run_until(double t_sim) {
 int SimulationSession::run_to_end() {
   int taken = 0;
   while (!done()) {
+    taken += replay_fast_forward();
+    if (done()) break;
     step();
     ++taken;
   }

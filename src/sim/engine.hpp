@@ -9,6 +9,7 @@
 /// and resume), while simulate() remains the one-shot convenience wrapper
 /// that runs a session to completion.
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "microchannel/pump.hpp"
 #include "power/trace.hpp"
 #include "sim/metrics.hpp"
+#include "sim/replay.hpp"
 #include "sim/scheduler.hpp"
 #include "sparse/solver.hpp"
 
@@ -86,6 +88,14 @@ struct SimulationConfig {
   /// stack/grid and the same control_dt; null = build fresh. Bitwise
   /// neutral.
   std::shared_ptr<const thermal::ThermalOperator> operator_prototype;
+  /// Limit-cycle fast-forward (sim/replay.hpp): when the attached trace
+  /// is exactly periodic and the closed-loop state bitwise-recurs at the
+  /// workload period, run_until/run_to_end replay journaled cycles with
+  /// zero linear solves instead of re-stepping them. Bitwise neutral by
+  /// construction — replay engages only on exact state recurrence and
+  /// re-adds the identical journaled values in the identical order; set
+  /// false to force step-everything (the parity baseline).
+  bool limit_cycle_replay = true;
 };
 
 /// The initial state SimulationSession computes at construction: apply
@@ -186,11 +196,37 @@ class SimulationSession {
   const thermal::TransientSolver& thermal_solver() const { return *thermal_; }
 
   /// Step until simulated time reaches \p t_sim (or the run ends).
-  /// \return number of steps taken.
+  /// \return number of steps taken (replayed cycles count per step).
   int run_until(double t_sim);
 
   /// Step to the end of the run. \return number of steps taken.
   int run_to_end();
+
+  /// Limit-cycle fast-forward (sim/replay.hpp): when the session is
+  /// locked on a verified cycle and sits at a verified boundary, replay
+  /// as many whole cycles as fit before \p t_limit (and the run end),
+  /// each with zero linear solves, re-verifying the trace window per
+  /// cycle. Returns the number of steps fast-forwarded (0 when replay
+  /// is not engaged — callers then step normally). run_until/run_to_end
+  /// call this internally; BatchSession calls it per lane so replaying
+  /// lanes drop out of the batched solve.
+  int replay_fast_forward(
+      double t_limit = std::numeric_limits<double>::infinity());
+
+  /// Replay telemetry: verified limit-cycle locks, steps reconstructed
+  /// from the journal, and linear solves those steps skipped.
+  std::uint64_t replay_cycles() const { return replay_.cycles_detected(); }
+  std::uint64_t replay_steps() const { return replay_.steps_replayed(); }
+  std::uint64_t replay_solves_skipped() const {
+    return replay_.solves_skipped();
+  }
+
+  /// Mark this session as a lane whose thermal solves run in an external
+  /// batched solver (BatchSession): replay then locks only on quiescent
+  /// cycles (see LimitCycleReplay::set_conservative).
+  void set_replay_external_solver(bool on) {
+    replay_.set_conservative(on);
+  }
 
   /// All control intervals executed?
   bool done() const { return steps_done_ >= total_steps_; }
@@ -251,6 +287,16 @@ class SimulationSession {
   bool sensed_fresh_ = false;
   double tail_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
+  // Limit-cycle replay (sim/replay.hpp): detection state machine plus
+  // the pump-change counter its conservative mode keys on.
+  LimitCycleReplay replay_;
+  std::uint64_t pump_changes_ = 0;
+  /// FNV-1a fingerprint of all auxiliary closed-loop state (everything
+  /// beyond the temperature field that feeds future arithmetic).
+  std::uint64_t replay_fingerprint() const;
+  /// Journal recording + boundary detection, called by finish_metrics()
+  /// after each committed interval while replay is armed.
+  void replay_post_step();
 };
 
 /// Run \p trace through \p policy on \p soc and collect metrics.

@@ -38,6 +38,13 @@ class Scheduler {
   /// Total migrations performed so far.
   std::int64_t migrations() const { return migrations_; }
 
+  /// Add \p n migrations to the counter without moving any thread.
+  /// Limit-cycle replay (sim/replay.hpp) fast-forwards whole control
+  /// cycles without invoking balance_into and credits each journaled
+  /// cycle's migration count here, so migrations() matches the
+  /// step-everything run exactly.
+  void credit_migrations(std::int64_t n) { migrations_ += n; }
+
   int cores() const { return n_cores_; }
   int threads() const { return n_threads_; }
 

@@ -202,6 +202,24 @@ double SweepReport::tail_seconds_total() const {
   return sum;
 }
 
+std::uint64_t SweepReport::replay_cycles_total() const {
+  std::uint64_t sum = 0;
+  for (const SweepResult& r : results_) sum += r.replay_cycles;
+  return sum;
+}
+
+std::uint64_t SweepReport::replay_steps_total() const {
+  std::uint64_t sum = 0;
+  for (const SweepResult& r : results_) sum += r.replay_steps;
+  return sum;
+}
+
+std::uint64_t SweepReport::replay_solves_skipped_total() const {
+  std::uint64_t sum = 0;
+  for (const SweepResult& r : results_) sum += r.replay_solves_skipped;
+  return sum;
+}
+
 double SweepReport::tail_fraction() const {
   const double tail = tail_seconds_total();
   const double instrumented = tail + solve_seconds_total();
@@ -404,7 +422,13 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     static obs::Counter pred_interp("predictor/interp_hits");
     static obs::Counter pred_fluid("predictor/fluid_hits");
     static obs::Counter traj("predictor/trajectory_hits");
+    static obs::Counter replay_cycles("replay/cycles");
+    static obs::Counter replay_steps("replay/steps_replayed");
+    static obs::Counter replay_skipped("replay/solves_skipped");
     steps.add(static_cast<std::uint64_t>(s.steps_done()));
+    replay_cycles.add(s.replay_cycles());
+    replay_steps.add(s.replay_steps());
+    replay_skipped.add(s.replay_solves_skipped());
     const sparse::SolverStats& st = s.solver_stats();
     solves.add(st.solves);
     iterations.add(st.iterations);
@@ -449,6 +473,9 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
     r.stepping_seconds = seconds_since(t1);
     r.solve_seconds = session.solve_seconds();
     r.tail_seconds = session.tail_seconds();
+    r.replay_cycles = session.replay_cycles();
+    r.replay_steps = session.replay_steps();
+    r.replay_solves_skipped = session.replay_solves_skipped();
     publish_session(session);
   };
 
@@ -539,6 +566,12 @@ SweepReport run_sweep(const std::vector<Scenario>& scenarios,
         r.solve_seconds = solve * share;
         r.tail_seconds = tail * share;
         r.wall_seconds = r.setup_seconds + r.stepping_seconds;
+        if (batch.has_session(l)) {
+          const SimulationSession& s = batch.session(l);
+          r.replay_cycles = s.replay_cycles();
+          r.replay_steps = s.replay_steps();
+          r.replay_solves_skipped = s.replay_solves_skipped();
+        }
         if (batch.lane_ok(l)) {
           r.metrics = batch.metrics(l);
         } else {

@@ -81,6 +81,14 @@ struct SweepResult {
   /// SweepOptions::batch_width); 0 = ran on the scalar path. Batched
   /// stepping wall time is attributed to lanes by their step counts.
   int batch_lanes = 0;
+  /// Limit-cycle replay telemetry of the session (sim/replay.hpp):
+  /// verified cycles locked, control steps fast-forwarded from the
+  /// journal, and linear solves those steps skipped. All 0 when replay
+  /// never engaged (aperiodic trace, solver never bitwise-locked, or
+  /// SimulationConfig::limit_cycle_replay off).
+  std::uint64_t replay_cycles = 0;
+  std::uint64_t replay_steps = 0;
+  std::uint64_t replay_solves_skipped = 0;
   std::string error;          ///< exception text; empty on success
 
   bool ok() const { return error.empty(); }
@@ -185,6 +193,12 @@ class SweepReport {
   /// SweepResult::solve_seconds / tail_seconds).
   double solve_seconds_total() const;
   double tail_seconds_total() const;
+
+  /// Sums of the per-scenario limit-cycle replay counters (see
+  /// SweepResult::replay_steps and friends).
+  std::uint64_t replay_cycles_total() const;
+  std::uint64_t replay_steps_total() const;
+  std::uint64_t replay_solves_skipped_total() const;
 
   /// Fraction of per-scenario busy time spent on construction:
   /// setup / (setup + stepping), 0 for an empty report. The headline

@@ -67,6 +67,13 @@ class Ilu0Preconditioner final : public Preconditioner {
 
   void apply(std::span<const double> r, std::span<double> z) const override;
 
+  /// The current factor values (A's pattern order). Exposed so the
+  /// solver facade can fold possibly-stale factors into a replay
+  /// fingerprint (LinearSolver::fold_replay_state) — unlike Jacobi, the
+  /// ILU(0) factors are deliberately left stale under lazy refresh and
+  /// therefore carry history.
+  std::span<const double> factor_values() const { return lu_.values(); }
+
  private:
   CsrMatrix lu_;                     ///< combined factors on A's pattern
   std::vector<std::int32_t> diag_;   ///< index of diagonal entry per row

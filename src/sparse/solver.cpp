@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "sparse/banded_lu.hpp"
 #include "sparse/iterative.hpp"
 #include "sparse/preconditioner.hpp"
@@ -150,6 +151,16 @@ class BandedLuSolver final : public LinearSolver {
       }
       active_ = want > 0 ? &slots_.front() : nullptr;
     }
+  }
+
+  // A solve here is a pure function of the bound matrix's current
+  // values: the active factor always matches them (a slot-cache hit is
+  // bitwise-equal to a fresh refactor, a partial refactor is exact), so
+  // slot contents, LRU stamps and eviction order affect cost only —
+  // nothing to fold.
+  bool fold_replay_state(std::uint64_t& h) const override {
+    (void)h;
+    return true;
   }
 
   const char* name() const override {
@@ -298,6 +309,25 @@ class BicgstabSolver final : public LinearSolver {
 
   void set_tolerance(double rel_tolerance) override {
     rel_tolerance_ = rel_tolerance;
+  }
+
+  bool fold_replay_state(std::uint64_t& h) const override {
+    if constexpr (std::is_same_v<Precond, JacobiPreconditioner>) {
+      // The inverse diagonal is refreshed exactly on every value change,
+      // so a solve is a pure function of the current matrix values plus
+      // (b, x) — nothing history-carrying to fold.
+      (void)h;
+    } else {
+      // ILU(0) factors are deliberately stale under lazy refresh, and
+      // the dirty bookkeeping decides *when* future refactors fire —
+      // both feed future solve() results, so both go into the print.
+      h = fnv1a(h, precond_.factor_values());
+      h = fnv1a_bytes(h, row_dirty_.data(), row_dirty_.size());
+      h = fnv1a(h, dirty_rows_);
+      h = fnv1a(h, fresh_iterations_);
+      h = fnv1a(h, stats_.pending_dirty_fraction);
+    }
+    return true;
   }
 
   const char* name() const override { return name_; }

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "power/trace.hpp"
 #include "sim/sweep.hpp"
 
 namespace tac3d {
@@ -270,6 +272,24 @@ sim::Scenario lane_scenario(std::uint64_t seed) {
   return s;
 }
 
+/// A constant-trace closed loop settles onto an exact fixed point, so
+/// the limit-cycle detector locks within a few control intervals and
+/// the rest of the run fast-forwards — putting the session/replay span
+/// on the traced timeline.
+sim::Scenario replay_scenario() {
+  auto tr = std::make_shared<power::UtilizationTrace>("const", 32, 30);
+  for (int th = 0; th < 32; ++th) {
+    for (int t = 0; t < 30; ++t) tr->set(th, t, 0.45 + 0.01 * (th % 4));
+  }
+  sim::Scenario s;
+  s.tiers = 2;
+  s.policy = sim::PolicyKind::kLcLb;
+  s.trace = std::move(tr);
+  s.trace_seconds = 30;
+  s.grid = thermal::GridOptions{8, 8};
+  return s;
+}
+
 struct ParsedEvent {
   std::string name;
   char phase = '?';
@@ -323,11 +343,16 @@ TEST(ObsTrace, BatchedSweepTraceIsWellFormedAndNested) {
     ASSERT_TRUE(report.all_ok());
     EXPECT_EQ(report.at(0).batch_lanes, 2);
     // One scalar scenario so the per-step solver phases (refresh /
-    // Krylov) show on the timeline next to the fused batched tail.
+    // Krylov) show on the timeline next to the fused batched tail,
+    // plus a limit-cycle-locking scenario for the replay span.
     sim::SweepOptions scalar;
     scalar.jobs = 1;
     scalar.batch_width = 1;
-    ASSERT_TRUE(sim::run_sweep({lane_scenario(3)}, scalar).all_ok());
+    const sim::SweepReport rest =
+        sim::run_sweep({lane_scenario(3), replay_scenario()}, scalar);
+    ASSERT_TRUE(rest.all_ok());
+    EXPECT_GT(rest.at(1).replay_steps, 0u)
+        << "the constant-trace scenario should have locked and replayed";
   }
   obs::trace_end();
   ASSERT_FALSE(obs::trace_enabled());
@@ -371,7 +396,7 @@ TEST(ObsTrace, BatchedSweepTraceIsWellFormedAndNested) {
   for (const char* required :
        {"sweep/job", "bank/prepare", "solver/refresh", "solver/krylov",
         "batch/solve", "tail/control", "tail/power", "tail/sensors",
-        "tail/metrics"}) {
+        "tail/metrics", "session/replay"}) {
     EXPECT_TRUE(names.count(required)) << "missing span: " << required;
   }
   EXPECT_GE(names.size(), 6u);

@@ -18,11 +18,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <vector>
 
 #include "arch/mpsoc.hpp"
 #include "microchannel/pump.hpp"
+#include "power/trace.hpp"
 #include "sim/bank.hpp"
 #include "sim/batch.hpp"
 #include "sim/experiment.hpp"
@@ -217,6 +219,49 @@ TEST(SessionAlloc, BatchedFusedTailIsAllocationFree) {
   const long long allocs = AllocCounter::stop();
   EXPECT_EQ(allocs, 0)
       << "the lane-fused batched tail must not allocate once warm";
+}
+
+TEST(SessionAlloc, WarmReplayJournalAndFastForwardAreAllocationFree) {
+#if !TAC3D_ALLOC_HOOK
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+  // A constant trace (period_hint 1 s = 4 control steps) drives the
+  // loop to a fixed point, so the limit-cycle detector locks after a
+  // few cycle boundaries. Both journaling steps and the fast-forward
+  // replay itself must stay off the heap: the journal is sized at
+  // arm() and cycles are re-applied from it in place.
+  auto trace =
+      std::make_shared<power::UtilizationTrace>("const", 32, 60);
+  for (int th = 0; th < 32; ++th) {
+    for (int t = 0; t < 60; ++t) trace->set(th, t, 0.45 + 0.01 * (th % 4));
+  }
+  sim::Scenario s;
+  s.tiers = 2;
+  s.policy = sim::PolicyKind::kLcLb;
+  s.trace = trace;
+  s.trace_seconds = 60;
+  s.grid = thermal::GridOptions{8, 8};
+  s.sim.solver = sparse::SolverKind::kBicgstabIlu0;
+  sim::ScenarioInstance inst = sim::instantiate(s);
+  sim::SimulationSession session = inst.session();
+
+  for (int i = 0; i < 4; ++i) session.step();  // settle; first boundary
+
+  AllocCounter::start();
+  // Covers the match boundary, the 4 journaling steps and the verify
+  // boundary that flips the detector to locked.
+  for (int i = 0; i < 12; ++i) session.step();
+  const long long journal_allocs = AllocCounter::stop();
+  EXPECT_EQ(journal_allocs, 0)
+      << "journaling a candidate cycle must not allocate";
+
+  AllocCounter::start();
+  const int replayed = session.replay_fast_forward(30.0);
+  const long long replay_allocs = AllocCounter::stop();
+  EXPECT_GT(replayed, 0) << "replay should engage on a constant trace";
+  EXPECT_EQ(replay_allocs, 0)
+      << "fast-forwarding locked cycles must not allocate";
+  EXPECT_GT(session.replay_solves_skipped(), 0u);
 }
 
 TEST(RhsInto, FusedRhsPlusScaledMatchesTwoPassBuild) {
